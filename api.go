@@ -1,0 +1,137 @@
+package drivolution
+
+import (
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/driverimg"
+	"repro/internal/sqlmini"
+)
+
+// Re-exported core types: the Drivolution server, bootloader, and their
+// vocabulary. Aliases keep one implementation while giving users a
+// single import.
+type (
+	// Server is the Drivolution Server (in-database, external, or
+	// standalone depending on its Store).
+	Server = core.Server
+	// ServerOption configures a Server.
+	ServerOption = core.ServerOption
+	// Bootloader is the client-side driver interceptor.
+	Bootloader = core.Bootloader
+	// BootloaderOption configures a Bootloader.
+	BootloaderOption = core.BootloaderOption
+	// Console manages per-database drivers behind one installation
+	// (Figure 3).
+	Console = core.Console
+	// Store is where the Drivolution schema lives.
+	Store = core.Store
+	// LocalStore keeps the schema in an embedded database.
+	LocalStore = core.LocalStore
+	// ConnStore keeps the schema in a remote legacy DBMS (Figure 2).
+	ConnStore = core.ConnStore
+	// Permission is a driver_permission row (Table 2).
+	Permission = core.Permission
+	// Lease is a lease-table row.
+	Lease = core.Lease
+	// DriverRecord is a drivers-table row (Table 1).
+	DriverRecord = core.DriverRecord
+	// RenewPolicy is RENEW / UPGRADE / REVOKE.
+	RenewPolicy = core.RenewPolicy
+	// ExpirationPolicy is AFTER_CLOSE / AFTER_COMMIT / IMMEDIATE.
+	ExpirationPolicy = core.ExpirationPolicy
+	// Metrics counts bootloader lifecycle events.
+	Metrics = core.Metrics
+	// ProtocolError is a DRIVOLUTION_ERROR.
+	ProtocolError = core.ProtocolError
+
+	// Image is a distributable driver image.
+	Image = driverimg.Image
+	// Manifest describes a driver build.
+	Manifest = driverimg.Manifest
+	// Runtime loads driver images into live drivers.
+	Runtime = driverimg.Runtime
+	// PackageStore assembles drivers on demand (§5.4.1).
+	PackageStore = driverimg.PackageStore
+
+	// Driver creates database connections (the JDBC analog).
+	Driver = client.Driver
+	// Conn is one database connection.
+	Conn = client.Conn
+	// Props carries connection options.
+	Props = client.Props
+	// Pool is a bounded connection pool.
+	Pool = client.Pool
+)
+
+// Policy constants, re-exported with the paper's Table 2 encodings.
+const (
+	RenewKeep    = core.RenewKeep
+	RenewUpgrade = core.RenewUpgrade
+	RenewRevoke  = core.RenewRevoke
+
+	AfterClose  = core.AfterClose
+	AfterCommit = core.AfterCommit
+	Immediate   = core.Immediate
+)
+
+// Constructors and helpers.
+var (
+	// NewServer creates a Drivolution server over a Store.
+	NewServer = core.NewServer
+	// NewBootloader creates a client bootloader.
+	NewBootloader = core.NewBootloader
+	// NewConsole creates a multi-database console (Figure 3).
+	NewConsole = core.NewConsole
+	// NewLocalStore wraps an embedded database as a Store.
+	NewLocalStore = core.NewLocalStore
+	// NewConnStore wraps a legacy driver connection as a Store.
+	NewConnStore = core.NewConnStore
+	// NewRuntime creates an empty driver runtime.
+	NewRuntime = driverimg.NewRuntime
+	// NewPackageStore creates an empty feature-package store.
+	NewPackageStore = driverimg.NewPackageStore
+	// NewPool creates a bounded connection pool.
+	NewPool = client.NewPool
+	// EnsureSchema creates the Drivolution tables (Table 1/2 + leases).
+	EnsureSchema = core.EnsureSchema
+	// GenerateTLSCert builds a self-signed cert + trust pool for the
+	// secure transfer channel.
+	GenerateTLSCert = core.GenerateTLSCert
+	// NewDB creates an embedded database for LocalStore.
+	NewDB = sqlmini.NewDB
+)
+
+// Bootloader options, re-exported.
+var (
+	WithCredentials      = core.WithCredentials
+	WithTrustKey         = core.WithTrustKey
+	WithTLS              = core.WithTLS
+	WithPushUpdates      = core.WithPushUpdates
+	WithRequiredPackages = core.WithRequiredPackages
+	WithPreferredVersion = core.WithPreferredVersion
+	WithPreferredFormat  = core.WithPreferredFormat
+	WithRenewAhead       = core.WithRenewAhead
+	WithRetryInterval    = core.WithRetryInterval
+	WithDialTimeout      = core.WithDialTimeout
+	WithClientID         = core.WithClientID
+)
+
+// Server options, re-exported.
+var (
+	WithAuth            = core.WithAuth
+	WithSigningKey      = core.WithSigningKey
+	WithPackages        = core.WithPackages
+	WithDefaultLease    = core.WithDefaultLease
+	WithDefaultPolicies = core.WithDefaultPolicies
+	WithLicenseMode     = core.WithLicenseMode
+)
+
+// Errors, re-exported.
+var (
+	// ErrNoDriverAvailable: the driver was revoked with no replacement.
+	ErrNoDriverAvailable = core.ErrNoDriverAvailable
+	// ErrConnRevoked: the connection was closed by a replacement policy.
+	ErrConnRevoked = client.ErrConnRevoked
+	// ErrProtocolMismatch: driver/server wire-protocol incompatibility.
+	ErrProtocolMismatch = client.ErrProtocolMismatch
+)

@@ -1,0 +1,375 @@
+package drivolution_test
+
+// Benchmarks regenerating the paper's artifacts (see DESIGN.md §4).
+// One bench per table/figure hot path plus the ablations DESIGN.md §6
+// calls out. Run: go test -bench=. -benchmem .
+
+import (
+	"crypto/ed25519"
+	"crypto/tls"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dbver"
+	"repro/internal/scenarios"
+)
+
+func addDriverB(b *testing.B, s *scenarios.Stack, ver dbver.Version, proto uint16, payload int) int64 {
+	b.Helper()
+	id, err := s.Drv.AddDriver(s.Image(ver, proto, payload), dbver.FormatImage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return id
+}
+
+func newStackB(b *testing.B, cfg scenarios.StackConfig) *scenarios.Stack {
+	b.Helper()
+	s, err := scenarios.NewStack(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+// BenchmarkBootstrapProtocol measures the Table 3 flow end to end:
+// DISCOVER-less REQUEST → OFFER → FILE transfer → verify → load →
+// connect, per fresh bootloader.
+func BenchmarkBootstrapProtocol(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	addDriverB(b, s, dbver.V(1, 0, 0), 1, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := s.Bootloader()
+		c, err := bl.Connect(s.AppURL(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+		bl.Close()
+	}
+}
+
+// BenchmarkLeaseRenewalNoChange measures the Table 4 RENEW branch: one
+// round trip, no transfer.
+func BenchmarkLeaseRenewalNoChange(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	addDriverB(b, s, dbver.V(1, 0, 0), 1, 16<<10)
+	bl := s.Bootloader()
+	if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bl.ForceRenew("prod"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if m := bl.Stats(); m.Renewals < int64(b.N) {
+		b.Fatalf("renewals = %d, want >= %d", m.Renewals, b.N)
+	}
+}
+
+// BenchmarkLeaseRenewalUpgrade measures the Table 4 UPGRADE branch: the
+// driver changed; renewal downloads, verifies, loads, and hot-swaps it.
+func BenchmarkLeaseRenewalUpgrade(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	curID := addDriverB(b, s, dbver.V(1, 0, 0), 1, 16<<10)
+	bl := s.Bootloader()
+	if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nextID := addDriverB(b, s, dbver.V(1, 0, i+1), 1, 16<<10)
+		if err := s.Drv.DeleteDriver(curID); err != nil {
+			b.Fatal(err)
+		}
+		curID = nextID
+		b.StartTimer()
+		if err := bl.ForceRenew("prod"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if m := bl.Stats(); m.Upgrades < int64(b.N) {
+		b.Fatalf("upgrades = %d, want >= %d", m.Upgrades, b.N)
+	}
+}
+
+// BenchmarkMatchmaking measures the Sample code 1/2 server logic through
+// the wire (DISCOVER; no lease, no transfer) against a 50-driver table.
+func BenchmarkMatchmaking(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	for i := 0; i < 50; i++ {
+		addDriverB(b, s, dbver.V(1, i, 0), 1, 1<<10)
+	}
+	req := core.Request{
+		Database:       "prod",
+		User:           "app",
+		Password:       "app-pw",
+		API:            dbver.APIOf("JDBC", 3, 0),
+		ClientPlatform: dbver.PlatformLinuxAMD64,
+		ClientID:       "bench",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Probe(s.Drv.Addr(), req, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransferSize sweeps driver binary sizes through the chunked
+// FILE transfer (Figure 1's distribution path).
+func BenchmarkTransferSize(b *testing.B) {
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20, 4 << 20} {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			s := newStackB(b, scenarios.StackConfig{})
+			addDriverB(b, s, dbver.V(1, 0, 0), 1, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bl := s.Bootloader()
+				if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+					b.Fatal(err)
+				}
+				bl.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkConnectOverhead is the interception-cost ablation: the same
+// connect+query through the legacy driver vs through the bootloader
+// (after its driver is installed).
+func BenchmarkConnectOverhead(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	addDriverB(b, s, dbver.V(1, 0, 0), 1, 4<<10)
+
+	b.Run("legacy-driver", func(b *testing.B) {
+		drv := s.LegacyDriver(1)
+		for i := 0; i < b.N; i++ {
+			c, err := drv.Connect(s.AppURL(), s.LegacyProps())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Query("SELECT 1"); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+	b.Run("bootloader", func(b *testing.B) {
+		bl := s.Bootloader()
+		if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+			b.Fatal(err) // install once, outside the loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := bl.Connect(s.AppURL(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Query("SELECT 1"); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	})
+}
+
+// BenchmarkSecureTransfer is the DESIGN.md §6 ablation 4: bootstrap cost
+// plaintext+unsigned vs signed vs TLS.
+func BenchmarkSecureTransfer(b *testing.B) {
+	const payload = 64 << 10
+	b.Run("plain", func(b *testing.B) {
+		s := newStackB(b, scenarios.StackConfig{})
+		addDriverB(b, s, dbver.V(1, 0, 0), 1, payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bl := s.Bootloader()
+			if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+				b.Fatal(err)
+			}
+			bl.Close()
+		}
+	})
+	b.Run("signed", func(b *testing.B) {
+		pub, priv, err := ed25519.GenerateKey(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := newStackB(b, scenarios.StackConfig{ServerOpts: []core.ServerOption{core.WithSigningKey(priv)}})
+		addDriverB(b, s, dbver.V(1, 0, 0), 1, payload)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bl := s.Bootloader(core.WithTrustKey(pub))
+			if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+				b.Fatal(err)
+			}
+			bl.Close()
+		}
+	})
+	b.Run("tls", func(b *testing.B) {
+		cert, roots, err := core.GenerateTLSCert("127.0.0.1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := newStackB(b, scenarios.StackConfig{})
+		addDriverB(b, s, dbver.V(1, 0, 0), 1, payload)
+		tlsSrv, err := core.NewServer("tls", core.NewLocalStore(s.Drv.Store().(*core.LocalStore).DB))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tlsSrv.StartTLS("127.0.0.1:0", cert); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(tlsSrv.Stop)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bl := core.NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+				[]string{tlsSrv.Addr()}, s.RT,
+				core.WithCredentials("app", "app-pw"),
+				core.WithTLS(&tls.Config{RootCAs: roots, ServerName: "127.0.0.1"}))
+			if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+				b.Fatal(err)
+			}
+			bl.Close()
+		}
+	})
+}
+
+// BenchmarkExpirationPolicies measures the connection-transition sweep
+// of an upgrade for each Table 2 expiration policy, with 8 idle
+// connections per iteration.
+func BenchmarkExpirationPolicies(b *testing.B) {
+	for _, pol := range []core.ExpirationPolicy{core.AfterClose, core.AfterCommit, core.Immediate} {
+		b.Run(pol.String(), func(b *testing.B) {
+			s := newStackB(b, scenarios.StackConfig{
+				ServerOpts: []core.ServerOption{core.WithDefaultPolicies(core.RenewUpgrade, pol)},
+			})
+			curID := addDriverB(b, s, dbver.V(1, 0, 0), 1, 8<<10)
+			bl := s.Bootloader()
+			if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				conns := make([]client.Conn, 8)
+				for j := range conns {
+					c, err := bl.Connect(s.AppURL(), nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					conns[j] = c
+				}
+				nextID := addDriverB(b, s, dbver.V(1, 0, i+1), 1, 8<<10)
+				if err := s.Drv.DeleteDriver(curID); err != nil {
+					b.Fatal(err)
+				}
+				curID = nextID
+				b.StartTimer()
+				if err := bl.ForceRenew("prod"); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for _, c := range conns {
+					c.Close()
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkUpgradePropagation compares the complete rollout of one
+// driver upgrade to a fleet of 8 clients: the traditional lifecycle
+// (stop app, replace driver, restart, reconnect — modelled as a full
+// reconnect cycle per client plus the server bounce) vs Drivolution (one
+// insert + per-client renewals). This is the paper's 10-steps-vs-1
+// claim in wall-clock form (Q1).
+func BenchmarkUpgradePropagation(b *testing.B) {
+	const fleet = 8
+	b.Run("traditional-restart", func(b *testing.B) {
+		s := newStackB(b, scenarios.StackConfig{})
+		drv := s.LegacyDriver(1)
+		for i := 0; i < b.N; i++ {
+			// Each client: stop (close), driver replaced, restart
+			// (reconnect + first query).
+			for cNum := 0; cNum < fleet; cNum++ {
+				c, err := drv.Connect(s.AppURL(), s.LegacyProps())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Query("SELECT 1"); err != nil {
+					b.Fatal(err)
+				}
+				c.Close()
+			}
+		}
+	})
+	b.Run("drivolution-hot-swap", func(b *testing.B) {
+		s := newStackB(b, scenarios.StackConfig{})
+		curID := addDriverB(b, s, dbver.V(1, 0, 0), 1, 8<<10)
+		bls := make([]*core.Bootloader, fleet)
+		for j := range bls {
+			bls[j] = s.Bootloader()
+			if _, err := bls[j].Connect(s.AppURL(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			nextID := addDriverB(b, s, dbver.V(1, 0, i+1), 1, 8<<10)
+			if err := s.Drv.DeleteDriver(curID); err != nil {
+				b.Fatal(err)
+			}
+			curID = nextID
+			b.StartTimer()
+			for _, bl := range bls {
+				if err := bl.ForceRenew("prod"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkLeaseTrafficSweep measures the §3.2 trade-off (Q2): server
+// request rate as a function of lease time, for a fixed observation
+// window per iteration. ns/op is the window; the reported metric
+// renewals/s is the traffic.
+func BenchmarkLeaseTrafficSweep(b *testing.B) {
+	for _, lease := range []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 160 * time.Millisecond} {
+		b.Run(lease.String(), func(b *testing.B) {
+			s := newStackB(b, scenarios.StackConfig{
+				ServerOpts: []core.ServerOption{core.WithDefaultLease(lease)},
+			})
+			addDriverB(b, s, dbver.V(1, 0, 0), 1, 4<<10)
+			bl := s.Bootloader(core.WithRenewAhead(0.8))
+			if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+				b.Fatal(err)
+			}
+			const window = 200 * time.Millisecond
+			b.ResetTimer()
+			var renewals int64
+			for i := 0; i < b.N; i++ {
+				before := bl.Stats().Renewals
+				time.Sleep(window)
+				renewals += bl.Stats().Renewals - before
+			}
+			b.StopTimer()
+			secs := window.Seconds() * float64(b.N)
+			b.ReportMetric(float64(renewals)/secs, "renewals/s")
+		})
+	}
+}

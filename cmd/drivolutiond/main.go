@@ -1,0 +1,116 @@
+// Command drivolutiond runs a standalone Drivolution server (§4.1.4): a
+// driver distribution service backed by an embedded database. Driver
+// images are loaded from a directory of encoded image files at startup
+// (and re-scanned on SIGHUP-like demand is out of scope; use drivoctl to
+// build image files).
+//
+//	drivolutiond -addr 127.0.0.1:7070 -drivers ./drivers -lease 1h
+//	drivolutiond -addr 127.0.0.1:7070 -tls            # self-signed TLS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	drivolution "repro"
+	"repro/internal/dbver"
+	"repro/internal/driverimg"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		dir     = flag.String("drivers", "", "directory of encoded driver image files to load")
+		lease   = flag.Duration("lease", time.Hour, "default lease time")
+		useTLS  = flag.Bool("tls", false, "serve over TLS with a self-signed certificate")
+		license = flag.Bool("license", false, "license mode: one live lease per driver")
+		renew   = flag.Int("renew-policy", int(drivolution.RenewUpgrade), "default renew policy (0=RENEW 1=UPGRADE 2=REVOKE)")
+		expire  = flag.Int("expiration-policy", int(drivolution.AfterCommit), "default expiration policy (0=AFTER_CLOSE 1=AFTER_COMMIT 2=IMMEDIATE)")
+	)
+	flag.Parse()
+
+	opts := []drivolution.ServerOption{
+		drivolution.WithDefaultLease(*lease),
+		drivolution.WithDefaultPolicies(
+			drivolution.RenewPolicy(*renew), drivolution.ExpirationPolicy(*expire)),
+	}
+	if *license {
+		opts = append(opts, drivolution.WithLicenseMode())
+	}
+	srv, err := drivolution.NewServer("drivolutiond", drivolution.NewLocalStore(drivolution.NewDB()), opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dir != "" {
+		n, err := loadDrivers(srv, *dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d driver image(s) from %s", n, *dir)
+	}
+
+	if *useTLS {
+		host, _, _ := splitHostPort(*addr)
+		cert, _, err := drivolution.GenerateTLSCert(host)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.StartTLS(*addr, cert); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("drivolutiond serving with TLS on %s", srv.Addr())
+	} else {
+		if err := srv.Start(*addr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("drivolutiond serving on %s", srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	srv.Stop()
+}
+
+func splitHostPort(addr string) (host, port string, err error) {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i], addr[i+1:], nil
+		}
+	}
+	return addr, "", fmt.Errorf("no port in %q", addr)
+}
+
+// loadDrivers inserts every *.img file in dir.
+func loadDrivers(srv *drivolution.Server, dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.img"))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range paths {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			return n, fmt.Errorf("read %s: %w", p, err)
+		}
+		img, err := driverimg.Decode(blob)
+		if err != nil {
+			return n, fmt.Errorf("decode %s: %w", p, err)
+		}
+		id, err := srv.AddDriver(img, dbver.FormatImage)
+		if err != nil {
+			return n, fmt.Errorf("insert %s: %w", p, err)
+		}
+		log.Printf("driver %d <- %s (%s)", id, filepath.Base(p), img.Manifest.ID())
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,70 @@
+// Command experiments regenerates every table and figure of the paper
+// plus the quantitative measurements backing its prose claims (see
+// DESIGN.md §4 for the index).
+//
+//	go run ./cmd/experiments            # run everything
+//	go run ./cmd/experiments -exp F4    # one experiment
+//	go run ./cmd/experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/scenarios"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (default: all)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range scenarios.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []scenarios.Experiment
+	if *exp == "" {
+		toRun = scenarios.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e := scenarios.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, *e)
+		}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		fmt.Printf("\n=== %s: %s ===\n", e.ID, e.Title)
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Printf("ERROR: %v\n", err)
+			failed++
+			continue
+		}
+		for _, line := range rep.Lines {
+			fmt.Println("  " + line)
+		}
+		verdict := "REPRODUCED"
+		if !rep.Pass {
+			verdict = "NOT REPRODUCED"
+			failed++
+		}
+		fmt.Printf("  -> %s\n", verdict)
+	}
+	fmt.Printf("\n%d/%d experiments reproduced\n", len(toRun)-failed, len(toRun))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

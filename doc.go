@@ -1,0 +1,36 @@
+// Package drivolution is the public API of this reproduction of
+// "Drivolution: Rethinking the Database Driver Lifecycle" (Cecchet &
+// Candea, Middleware 2009, Industrial Track).
+//
+// Drivolution stores database drivers inside the database itself and
+// distributes them to client applications on demand over a DHCP-like
+// lease protocol. Applications link a tiny Bootloader instead of a
+// driver; the bootloader downloads, verifies, and dynamically loads the
+// right driver for the database it talks to, and later upgrades,
+// reconfigures, or revokes it — live, under policy, from one central
+// INSERT on the Drivolution server.
+//
+// # Quick start
+//
+//	rt := drivolution.NewRuntime()
+//	rt.Register(dbms.DriverKind, dbms.ImageFactory())
+//
+//	store := drivolution.NewLocalStore(sqlmini.NewDB())
+//	srv, _ := drivolution.NewServer("drivolution-1", store)
+//	srv.Start("127.0.0.1:7070")
+//	srv.AddDriver(img, dbver.FormatImage) // the one-step driver rollout
+//
+//	bl := drivolution.NewBootloader(dbver.APIOf("JDBC", 3, 0),
+//	    dbver.PlatformLinuxAMD64, []string{"127.0.0.1:7070"}, rt)
+//	conn, _ := bl.Connect("dbms://db-host:9001/prod", nil)
+//	conn.Query("SELECT ...")
+//
+// See examples/ for runnable scenarios: quickstart, master/slave
+// failover via driver swap (Figure 4), a heterogeneous DBA console
+// (Figure 3), Sequoia clusters with standalone and embedded Drivolution
+// servers (Figures 5 and 6), and the per-user license server (§5.4.2).
+//
+// The substrates (the simulated DBMS, the embedded SQL engine, the
+// Sequoia middleware, the driver-image runtime) live under internal/ and
+// are documented in DESIGN.md.
+package drivolution

@@ -1,0 +1,113 @@
+// Command quickstart walks the full Drivolution lifecycle in one
+// process: boot a database, store a driver *in a Drivolution server*,
+// bootstrap a client application through the bootloader, then roll out a
+// driver upgrade with a single insert while the application keeps
+// running.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	drivolution "repro"
+	"repro/internal/dbms"
+	"repro/internal/dbver"
+	"repro/internal/sqlmini"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== Drivolution quickstart ==")
+
+	// 1. A database for the application (the simulated DBMS substrate).
+	appDB := sqlmini.NewDB()
+	appDB.MustExec("CREATE TABLE greetings (id INTEGER NOT NULL PRIMARY KEY, msg VARCHAR)")
+	appDB.MustExec("INSERT INTO greetings (id, msg) VALUES (1, 'hello from the database')")
+	target := dbms.NewServer("prod-db", dbms.WithUser("app", "secret"))
+	target.AddDatabase("prod", appDB)
+	if err := target.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer target.Stop()
+	fmt.Printf("database %q up at %s\n", "prod", target.Addr())
+
+	// 2. A standalone Drivolution server holding the drivers table.
+	srv, err := drivolution.NewServer("drivolution-1", drivolution.NewLocalStore(drivolution.NewDB()),
+		drivolution.WithDefaultLease(time.Hour))
+	if err != nil {
+		return err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer srv.Stop()
+	fmt.Printf("Drivolution server up at %s\n", srv.Addr())
+
+	// 3. The DBA stores the driver in the server (Table 1 insert).
+	img := &drivolution.Image{
+		Manifest: drivolution.Manifest{
+			Kind:            dbms.DriverKind,
+			API:             dbver.APIOf("JDBC", 3, 0),
+			Version:         dbver.V(1, 0, 0),
+			ProtocolVersion: 1,
+			Options:         map[string]string{"user": "app", "password": "secret"},
+		},
+		Payload: []byte("driver v1 code body"),
+	}
+	id, err := srv.AddDriver(img, dbver.FormatImage)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("driver v1.0.0 stored in the drivers table (driver_id %d)\n", id)
+
+	// 4. The application links only the bootloader.
+	rt := drivolution.NewRuntime()
+	rt.Register(dbms.DriverKind, dbms.ImageFactory())
+	bl := drivolution.NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+		[]string{srv.Addr()}, rt,
+		drivolution.WithCredentials("app", "secret"))
+	defer bl.Close()
+
+	conn, err := bl.Connect("dbms://"+target.Addr()+"/prod", nil)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	res, err := conn.Query("SELECT msg FROM greetings WHERE id = 1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application query through auto-provisioned driver v%s: %s\n",
+		bl.Version(), res.Rows[0][0].Str())
+
+	// 5. The one-step upgrade: insert driver v2; the bootloader hot-swaps.
+	img2 := &drivolution.Image{Manifest: img.Manifest.Clone(), Payload: []byte("driver v2 code body")}
+	img2.Manifest.Version = dbver.V(2, 0, 0)
+	if _, err := srv.AddDriver(img2, dbver.FormatImage); err != nil {
+		return err
+	}
+	fmt.Println("DBA upgrade: ONE insert on the Drivolution server (no client visits)")
+	if err := bl.ForceRenew("prod"); err != nil {
+		return err
+	}
+	conn2, err := bl.Connect("dbms://"+target.Addr()+"/prod", nil)
+	if err != nil {
+		return err
+	}
+	defer conn2.Close()
+	if _, err := conn2.Query("SELECT msg FROM greetings WHERE id = 1"); err != nil {
+		return err
+	}
+	m := bl.Stats()
+	fmt.Printf("application now on driver v%s (bootstraps=%d upgrades=%d, zero restarts)\n",
+		bl.Version(), m.Bootstraps, m.Upgrades)
+	return nil
+}

@@ -1,0 +1,155 @@
+// Command sequoia reproduces the paper's §5.3 case studies: a Sequoia
+// replication cluster whose drivers — both the Sequoia client driver and
+// the per-backend database drivers — are distributed by Drivolution.
+//
+//	go run ./examples/sequoia             # Figure 5: standalone server
+//	go run ./examples/sequoia -embedded   # Figure 6: embedded servers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	drivolution "repro"
+	"repro/internal/client"
+	"repro/internal/dbms"
+	"repro/internal/dbver"
+	"repro/internal/sequoia"
+	"repro/internal/sqlmini"
+)
+
+func main() {
+	embedded := flag.Bool("embedded", false, "embed Drivolution servers in the controllers (Figure 6)")
+	flag.Parse()
+	if err := run(*embedded); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func seqImage(v dbver.Version) *drivolution.Image {
+	return &drivolution.Image{
+		Manifest: drivolution.Manifest{
+			Kind:            sequoia.DriverKind,
+			API:             dbver.APIOf("JDBC", 3, 0),
+			Version:         v,
+			ProtocolVersion: 1,
+			Options:         map[string]string{"user": "app", "password": "pw"},
+		},
+		Payload: []byte("sequoia driver " + v.String()),
+	}
+}
+
+func run(embedded bool) error {
+	// Build a 2-controller × 2-backend cluster over real DBMS servers.
+	group := sequoia.NewGroup()
+	var controllers []*sequoia.Controller
+	for ci := 1; ci <= 2; ci++ {
+		ctrl := sequoia.NewController(fmt.Sprintf("controller-%d", ci), "vdb", group,
+			sequoia.WithControllerUser("app", "pw"))
+		for bi := 1; bi <= 2; bi++ {
+			name := fmt.Sprintf("db%d-%d", ci, bi)
+			db := sqlmini.NewDB()
+			db.MustExec("CREATE TABLE kv (k VARCHAR NOT NULL PRIMARY KEY, v INTEGER)")
+			srv := dbms.NewServer(name, dbms.WithUser("seq", "seq-pw"))
+			srv.AddDatabase("shard", db)
+			if err := srv.Start("127.0.0.1:0"); err != nil {
+				return err
+			}
+			defer srv.Stop()
+			ctrl.AddBackend(&sequoia.Backend{
+				Name:   name,
+				URL:    "dbms://" + srv.Addr() + "/shard",
+				Props:  client.Props{"user": "seq", "password": "seq-pw"},
+				Driver: dbms.NewNativeDriver(dbver.V(1, 0, 0), 1),
+			})
+			if err := ctrl.EnableBackend(name); err != nil {
+				return err
+			}
+		}
+		if err := ctrl.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer ctrl.Stop()
+		controllers = append(controllers, ctrl)
+	}
+	clusterURL := "sequoia://" + controllers[0].Addr() + "," + controllers[1].Addr() + "/vdb"
+	fmt.Println("Sequoia cluster up: 2 controllers x 2 backends")
+
+	rt := drivolution.NewRuntime()
+	rt.Register(sequoia.DriverKind, sequoia.ImageFactory())
+
+	var servers []string
+	var addDriver func(*drivolution.Image) error
+
+	if embedded {
+		fmt.Println("mode: Figure 6 — Drivolution servers embedded in each controller")
+		rd, err := sequoia.EmbedDrivolution(group, drivolution.WithDefaultLease(time.Hour))
+		if err != nil {
+			return err
+		}
+		defer rd.Stop()
+		servers = rd.Addrs()
+		addDriver = func(img *drivolution.Image) error {
+			_, err := rd.AddDriver(img, dbver.FormatImage)
+			return err
+		}
+	} else {
+		fmt.Println("mode: Figure 5 — one standalone Drivolution server for the whole cluster")
+		srv, err := drivolution.NewServer("standalone", drivolution.NewLocalStore(drivolution.NewDB()))
+		if err != nil {
+			return err
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer srv.Stop()
+		servers = []string{srv.Addr()}
+		addDriver = func(img *drivolution.Image) error {
+			_, err := srv.AddDriver(img, dbver.FormatImage)
+			return err
+		}
+	}
+
+	if err := addDriver(seqImage(dbver.V(1, 0, 0))); err != nil {
+		return err
+	}
+	fmt.Println("Sequoia driver v1.0.0 published")
+
+	bl := drivolution.NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+		servers, rt, drivolution.WithCredentials("app", "pw"))
+	defer bl.Close()
+	c, err := bl.Connect(clusterURL, nil)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Exec("INSERT INTO kv (k, v) VALUES ('hello', 1)"); err != nil {
+		return err
+	}
+	fmt.Printf("application connected through auto-provisioned Sequoia driver v%s; write replicated to all 4 backends\n", bl.Version())
+
+	// Rolling upgrade: publish v1.1.0, stop controller-1 under load.
+	if err := addDriver(seqImage(dbver.V(1, 1, 0))); err != nil {
+		return err
+	}
+	if err := bl.ForceRenew("vdb"); err != nil {
+		return err
+	}
+	fmt.Printf("driver upgraded centrally to v%s (zero client work)\n", bl.Version())
+	// The old connection was drained by the AFTER_COMMIT policy; the
+	// application's pool re-opens through the new driver.
+	c2, err := bl.Connect(clusterURL, nil)
+	if err != nil {
+		return err
+	}
+	defer c2.Close()
+
+	controllers[0].Stop()
+	if _, err := c2.Query("SELECT count(*) FROM kv"); err != nil {
+		return fmt.Errorf("query during controller restart: %w", err)
+	}
+	fmt.Println("controller-1 stopped; v1.1.0 driver failed over transparently; query OK")
+	return nil
+}

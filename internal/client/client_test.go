@@ -1,0 +1,402 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sqlmini"
+)
+
+func TestParseURL(t *testing.T) {
+	tests := []struct {
+		in       string
+		scheme   string
+		hosts    []string
+		database string
+		opts     Props
+		wantErr  bool
+	}{
+		{
+			in:     "dbms://localhost:9001/prod",
+			scheme: "dbms", hosts: []string{"localhost:9001"}, database: "prod",
+		},
+		{
+			in:     "sequoia://controller1:7001,controller2:7002/db",
+			scheme: "sequoia", hosts: []string{"controller1:7001", "controller2:7002"}, database: "db",
+		},
+		{
+			in:     "dbms://h:1/db?user=alice&fetch=100",
+			scheme: "dbms", hosts: []string{"h:1"}, database: "db",
+			opts: Props{"user": "alice", "fetch": "100"},
+		},
+		{
+			in:     "drivolution://h:1",
+			scheme: "drivolution", hosts: []string{"h:1"}, database: "",
+		},
+		{in: "no-scheme", wantErr: true},
+		{in: "://host/db", wantErr: true},
+		{in: "dbms:///db", wantErr: true},
+		{in: "dbms://,/db", wantErr: true},
+	}
+	for _, tt := range tests {
+		u, err := ParseURL(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseURL(%q) succeeded, want error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseURL(%q): %v", tt.in, err)
+			continue
+		}
+		if u.Scheme != tt.scheme || u.Database != tt.database {
+			t.Errorf("ParseURL(%q) = scheme %q db %q", tt.in, u.Scheme, u.Database)
+		}
+		if len(u.Hosts) != len(tt.hosts) {
+			t.Errorf("ParseURL(%q) hosts = %v", tt.in, u.Hosts)
+			continue
+		}
+		for i := range u.Hosts {
+			if u.Hosts[i] != tt.hosts[i] {
+				t.Errorf("ParseURL(%q) hosts = %v, want %v", tt.in, u.Hosts, tt.hosts)
+			}
+		}
+		for k, v := range tt.opts {
+			if u.Options[k] != v {
+				t.Errorf("ParseURL(%q) option %s = %q, want %q", tt.in, k, u.Options[k], v)
+			}
+		}
+	}
+}
+
+func TestURLStringRoundTrip(t *testing.T) {
+	for _, raw := range []string{
+		"dbms://localhost:9001/prod",
+		"sequoia://c1:1,c2:2/db",
+		"dbms://h:1/db?a=1&b=2",
+	} {
+		u, err := ParseURL(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseURL(u.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", u.String(), err)
+		}
+		if again.String() != u.String() {
+			t.Errorf("round trip: %q vs %q", again.String(), u.String())
+		}
+	}
+}
+
+func TestPropsMergeClone(t *testing.T) {
+	base := Props{"a": "1", "b": "2"}
+	merged := base.Merge(Props{"b": "x", "c": "3"})
+	if merged["a"] != "1" || merged["b"] != "x" || merged["c"] != "3" {
+		t.Errorf("merged = %v", merged)
+	}
+	if base["b"] != "2" {
+		t.Error("Merge mutated the receiver")
+	}
+	c := base.Clone()
+	c["a"] = "changed"
+	if base["a"] != "1" {
+		t.Error("Clone did not copy")
+	}
+	if Props(nil).Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+	if got := (Props{"z": "1", "a": "2"}).String(); got != "a=2 z=1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// stubConn is a minimal Conn for pool tests.
+type stubConn struct {
+	mu     sync.Mutex
+	closed bool
+	broken bool
+	id     int
+}
+
+func (c *stubConn) Exec(string, ...any) (*Result, error)  { return &Result{}, nil }
+func (c *stubConn) Query(string, ...any) (*Result, error) { return &Result{}, nil }
+func (c *stubConn) Begin() error                          { return nil }
+func (c *stubConn) Commit() error                         { return nil }
+func (c *stubConn) Rollback() error                       { return nil }
+func (c *stubConn) InTx() bool                            { return false }
+
+func (c *stubConn) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.broken {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (c *stubConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func TestPoolReuse(t *testing.T) {
+	dials := 0
+	p, err := NewPool(func() (Conn, error) {
+		dials++
+		return &stubConn{id: dials}, nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("pool should reuse the idle connection")
+	}
+	if dials != 1 {
+		t.Errorf("dials = %d", dials)
+	}
+	p.Put(c2)
+	idle, active := p.Stats()
+	if idle != 1 || active != 0 {
+		t.Errorf("stats = %d idle, %d active", idle, active)
+	}
+}
+
+func TestPoolCapacityBlocksAndHandsOff(t *testing.T) {
+	p, err := NewPool(func() (Conn, error) { return &stubConn{}, nil }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Conn, 1)
+	go func() {
+		c, err := p.Get() // blocks until Put
+		if err != nil {
+			got <- nil
+			return
+		}
+		got <- c
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get should have blocked at capacity")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Put(c1)
+	select {
+	case c := <-got:
+		if c != c1 {
+			t.Error("expected direct hand-off of the returned connection")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestPoolDiscardFreesSlot(t *testing.T) {
+	p, err := NewPool(func() (Conn, error) { return &stubConn{}, nil }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c1, _ := p.Get()
+	done := make(chan error, 1)
+	go func() {
+		c, err := p.Get()
+		if err == nil {
+			p.Put(c)
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Discard(c1)
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after Discard: %v", err)
+	}
+}
+
+func TestPoolReplacesBrokenIdle(t *testing.T) {
+	dials := 0
+	p, err := NewPool(func() (Conn, error) {
+		dials++
+		return &stubConn{id: dials}, nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c1, _ := p.Get()
+	p.Put(c1)
+	c1.(*stubConn).broken = true
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Error("broken idle connection must be replaced")
+	}
+	if dials != 2 {
+		t.Errorf("dials = %d", dials)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p, err := NewPool(func() (Conn, error) { return &stubConn{}, nil }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.Get()
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := p.Get()
+		waiterErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	if err := <-waiterErr; !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("waiter err = %v", err)
+	}
+	if _, err := p.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	p.Put(c) // returning into a closed pool closes the conn
+	if c.(*stubConn).Ping() == nil {
+		t.Error("conn returned to closed pool should be closed")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolDrainIdle(t *testing.T) {
+	p, err := NewPool(func() (Conn, error) { return &stubConn{}, nil }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var conns []Conn
+	for i := 0; i < 3; i++ {
+		c, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		p.Put(c)
+	}
+	if n := p.DrainIdle(); n != 3 {
+		t.Fatalf("DrainIdle = %d", n)
+	}
+	for _, c := range conns {
+		if c.Ping() == nil {
+			t.Error("drained connection should be closed")
+		}
+	}
+}
+
+func TestPoolConnectError(t *testing.T) {
+	boom := fmt.Errorf("dial failed")
+	p, err := NewPool(func() (Conn, error) { return nil, boom }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Get(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Slot must have been released; a second Get fails the same way
+	// rather than deadlocking.
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Get()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("second Get err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second Get deadlocked: connect-failure leaked the slot")
+	}
+}
+
+func TestPoolConcurrentStress(t *testing.T) {
+	var mu sync.Mutex
+	open := 0
+	maxOpen := 0
+	p, err := NewPool(func() (Conn, error) {
+		mu.Lock()
+		open++
+		if open > maxOpen {
+			maxOpen = open
+		}
+		mu.Unlock()
+		return &stubConn{}, nil
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				c, err := p.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(time.Microsecond)
+				p.Put(c)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxOpen > 4 {
+		t.Errorf("max open connections = %d, want <= 4", maxOpen)
+	}
+	_, active := p.Stats()
+	if active != 0 {
+		t.Errorf("active = %d after all Puts", active)
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(func() (Conn, error) { return nil, nil }, 0); err == nil {
+		t.Fatal("max=0 should be rejected")
+	}
+}
+
+// Ensure Result type composes with sqlmini values (compile-time usage).
+func TestResultHoldsValues(t *testing.T) {
+	r := &Result{Cols: []string{"a"}, Rows: [][]sqlmini.Value{{sqlmini.NewInt(1)}}}
+	if r.Rows[0][0].Int() != 1 {
+		t.Fatal("value round trip")
+	}
+}

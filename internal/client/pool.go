@@ -1,0 +1,188 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrPoolClosed reports use of a closed pool.
+var ErrPoolClosed = errors.New("client: pool is closed")
+
+// Pool is a bounded connection pool over an arbitrary connect function.
+// The paper notes (§3.4.2) that the AFTER_CLOSE expiration policy
+// interacts badly with pools because pooled connections are rarely
+// closed; the workload scenarios use this pool to demonstrate exactly
+// that effect.
+type Pool struct {
+	connect func() (Conn, error)
+	max     int
+
+	mu     sync.Mutex
+	idle   []Conn
+	active int
+	closed bool
+	// waiters receive a freed slot (a nil Conn means "dial your own").
+	waiters []chan Conn
+}
+
+// NewPool creates a pool that opens connections with connect and holds at
+// most max connections (idle + active). max must be >= 1.
+func NewPool(connect func() (Conn, error), max int) (*Pool, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("client: pool max must be >= 1, got %d", max)
+	}
+	return &Pool{connect: connect, max: max}, nil
+}
+
+// Get returns an idle connection or dials a new one, blocking when the
+// pool is at capacity until a connection is returned.
+func (p *Pool) Get() (Conn, error) {
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		if n := len(p.idle); n > 0 {
+			c := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.active++
+			p.mu.Unlock()
+			// Verify liveness; a revoked/broken idle conn is replaced.
+			if err := c.Ping(); err != nil {
+				_ = c.Close()
+				return p.dialReplacement()
+			}
+			return c, nil
+		}
+		if p.active < p.max {
+			p.active++
+			p.mu.Unlock()
+			c, err := p.connect()
+			if err != nil {
+				p.mu.Lock()
+				p.active--
+				p.notifyOneLocked(nil)
+				p.mu.Unlock()
+				return nil, err
+			}
+			return c, nil
+		}
+		// At capacity: wait for a Put or Discard.
+		ch := make(chan Conn, 1)
+		p.waiters = append(p.waiters, ch)
+		p.mu.Unlock()
+		c, ok := <-ch
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		if c != nil {
+			if err := c.Ping(); err != nil {
+				_ = c.Close()
+				return p.dialReplacement()
+			}
+			return c, nil
+		}
+		p.mu.Lock() // slot freed; retry
+	}
+}
+
+// dialReplacement opens a fresh connection for a slot already counted as
+// active.
+func (p *Pool) dialReplacement() (Conn, error) {
+	c, err := p.connect()
+	if err != nil {
+		p.mu.Lock()
+		p.active--
+		p.notifyOneLocked(nil)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Put returns a connection to the pool for reuse.
+func (p *Pool) Put(c Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.active--
+		p.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	if len(p.waiters) > 0 {
+		// Hand off directly; the slot stays active under the new owner.
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.mu.Unlock()
+		w <- c
+		return
+	}
+	p.active--
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Discard removes a broken connection from the pool's accounting and
+// closes it; the freed slot wakes one waiter.
+func (p *Pool) Discard(c Conn) {
+	_ = c.Close()
+	p.mu.Lock()
+	p.active--
+	p.notifyOneLocked(nil)
+	p.mu.Unlock()
+}
+
+// notifyOneLocked wakes one waiter with v. Caller holds p.mu.
+func (p *Pool) notifyOneLocked(v Conn) {
+	if len(p.waiters) == 0 {
+		return
+	}
+	w := p.waiters[0]
+	p.waiters = p.waiters[1:]
+	w <- v
+}
+
+// Stats reports current pool occupancy.
+func (p *Pool) Stats() (idle, active int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle), p.active
+}
+
+// DrainIdle closes all idle connections, returning how many were closed.
+// The Drivolution bootloader calls this during driver upgrades so stale
+// pooled connections don't outlive the old driver indefinitely.
+func (p *Pool) DrainIdle() int {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+	return len(idle)
+}
+
+// Close closes the pool and all idle connections. Active connections are
+// closed by their holders via Put/Discard.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	waiters := p.waiters
+	p.waiters = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+	for _, w := range waiters {
+		close(w)
+	}
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dbver"
+	"repro/internal/driverimg"
+	"repro/internal/wire"
+)
+
+// Bootloader errors surfaced to applications.
+var (
+	// ErrNoDriverAvailable is returned by Connect when the driver was
+	// revoked with no replacement (paper §3.1.2: "the bootloader blocks
+	// new connection requests and it returns errors explaining the
+	// absence of a suitable driver").
+	ErrNoDriverAvailable = errors.New("drivolution: no suitable driver available")
+	// ErrNoServers is returned when no Drivolution server is configured
+	// or reachable at first bootstrap.
+	ErrNoServers = errors.New("drivolution: no Drivolution server reachable")
+)
+
+// Metrics counts bootloader lifecycle events; experiments and benchmarks
+// read them through Bootloader.Stats.
+type Metrics struct {
+	Bootstraps    int64 // initial driver downloads
+	Renewals      int64 // lease renewals keeping the same driver
+	Upgrades      int64 // driver hot-swaps
+	Revocations   int64 // drivers revoked with no replacement
+	BytesFetched  int64 // driver bytes downloaded
+	ForcedCloses  int64 // connections closed by IMMEDIATE/AFTER_COMMIT
+	AbortedTx     int64 // in-flight transactions aborted by IMMEDIATE
+	DeferredTx    int64 // connections drained after their commit (AFTER_COMMIT)
+	RenewFailures int64 // renewal attempts that hit an unreachable server
+}
+
+// Bootloader is the client-side interceptor: it implements client.Driver
+// so the application configures it exactly where a conventional driver
+// would go, and it fetches, verifies, loads, renews, and hot-swaps the
+// real driver underneath (paper §3.1.1). One bootloader instance per
+// (API, platform, database credentials) — its feature set is fixed and
+// minimal, which is why it "hardly ever needs to be updated".
+type Bootloader struct {
+	api      dbver.API
+	platform dbver.Platform
+	user     string
+	password string
+	clientID string
+
+	servers          []string
+	runtime          *driverimg.Runtime
+	trustKey         ed25519.PublicKey
+	tlsConf          *tls.Config
+	dialTimeout      time.Duration
+	renewAhead       float64 // renew when this fraction of the lease has elapsed
+	retryInterval    time.Duration
+	requiredPackages []string
+	preferredVersion dbver.Version
+	preferredFormat  string
+	push             bool
+	logf             func(format string, args ...any)
+
+	mu        sync.Mutex
+	cur       *loadedDriver
+	revoked   bool
+	revokeErr error
+	started   bool
+	stopCh    chan struct{}
+	wakeCh    chan struct{}
+	wg        sync.WaitGroup
+
+	metMu sync.Mutex
+	met   Metrics
+}
+
+// loadedDriver is one installed driver plus its lease and the live
+// connections opened through it.
+type loadedDriver struct {
+	drv      client.Driver
+	img      *driverimg.Image
+	checksum string
+
+	leaseID    uint64
+	leaseTime  time.Duration
+	expiresAt  time.Time
+	renewPol   RenewPolicy
+	expirePol  ExpirationPolicy
+	serverAddr string
+
+	mu    sync.Mutex
+	conns map[*managedConn]struct{}
+}
+
+// BootloaderOption configures a Bootloader.
+type BootloaderOption func(*Bootloader)
+
+// WithTrustKey requires driver images to carry a valid ed25519 signature
+// from the given public key (paper §3.1: "It is also possible to sign
+// drivers, and have a separate trusted wrapper in the bootloader verify
+// signatures").
+func WithTrustKey(pub ed25519.PublicKey) BootloaderOption {
+	return func(b *Bootloader) { b.trustKey = pub }
+}
+
+// WithTLS dials Drivolution servers over TLS, verifying their
+// certificate against roots.
+func WithTLS(conf *tls.Config) BootloaderOption {
+	return func(b *Bootloader) { b.tlsConf = conf }
+}
+
+// WithCredentials sets the database credentials sent in requests.
+func WithCredentials(user, password string) BootloaderOption {
+	return func(b *Bootloader) { b.user = user; b.password = password }
+}
+
+// WithRequiredPackages requests on-demand driver assembly (§5.4.1).
+func WithRequiredPackages(pkgs ...string) BootloaderOption {
+	return func(b *Bootloader) { b.requiredPackages = pkgs }
+}
+
+// WithPreferredVersion restricts matchmaking to a driver version.
+func WithPreferredVersion(v dbver.Version) BootloaderOption {
+	return func(b *Bootloader) { b.preferredVersion = v }
+}
+
+// WithPreferredFormat restricts matchmaking to a binary format.
+func WithPreferredFormat(f dbver.BinaryFormat) BootloaderOption {
+	return func(b *Bootloader) { b.preferredFormat = string(f) }
+}
+
+// WithPushUpdates keeps a dedicated channel to the server so upgrades
+// propagate immediately instead of at lease expiry (paper §3.2:
+// "a dedicated channel ... allows the Drivolution Server to immediately
+// signal that a new driver is available").
+func WithPushUpdates() BootloaderOption {
+	return func(b *Bootloader) { b.push = true }
+}
+
+// WithRenewAhead renews when the given fraction of the lease has elapsed
+// (default 0.9).
+func WithRenewAhead(frac float64) BootloaderOption {
+	return func(b *Bootloader) { b.renewAhead = frac }
+}
+
+// WithRetryInterval bounds how often an unreachable server is retried.
+func WithRetryInterval(d time.Duration) BootloaderOption {
+	return func(b *Bootloader) { b.retryInterval = d }
+}
+
+// WithDialTimeout bounds server dials.
+func WithDialTimeout(d time.Duration) BootloaderOption {
+	return func(b *Bootloader) { b.dialTimeout = d }
+}
+
+// WithClientID labels this bootloader instance in lease bookkeeping.
+func WithClientID(id string) BootloaderOption {
+	return func(b *Bootloader) { b.clientID = id }
+}
+
+// WithBootloaderLogger routes diagnostics; default silent.
+func WithBootloaderLogger(logf func(format string, args ...any)) BootloaderOption {
+	return func(b *Bootloader) { b.logf = logf }
+}
+
+// NewBootloader creates a bootloader for one API/platform that fetches
+// drivers from the given Drivolution servers (several addresses enable
+// the DISCOVER flow and failover). The runtime supplies driver-kind
+// factories — the analog of having a JVM available to load classes into.
+func NewBootloader(api dbver.API, platform dbver.Platform, servers []string,
+	rt *driverimg.Runtime, opts ...BootloaderOption) *Bootloader {
+	b := &Bootloader{
+		api:           api,
+		platform:      platform,
+		servers:       append([]string(nil), servers...),
+		runtime:       rt,
+		dialTimeout:   5 * time.Second,
+		renewAhead:    0.9,
+		retryInterval: 250 * time.Millisecond,
+		clientID:      "bootloader",
+		logf:          func(string, ...any) {},
+		stopCh:        make(chan struct{}),
+		wakeCh:        make(chan struct{}, 1),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Name implements client.Driver; the bootloader masquerades as the
+// driver it loaded.
+func (b *Bootloader) Name() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur != nil {
+		return b.cur.drv.Name()
+	}
+	return "drivolution-bootloader"
+}
+
+// Version implements client.Driver, reporting the loaded driver's
+// version (zero before first bootstrap).
+func (b *Bootloader) Version() dbver.Version {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur != nil {
+		return b.cur.drv.Version()
+	}
+	return dbver.Version{}
+}
+
+// CurrentChecksum reports the running driver's content identity.
+func (b *Bootloader) CurrentChecksum() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur == nil {
+		return ""
+	}
+	return b.cur.checksum
+}
+
+// LeaseID reports the current lease (0 before bootstrap).
+func (b *Bootloader) LeaseID() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur == nil {
+		return 0
+	}
+	return b.cur.leaseID
+}
+
+// Stats snapshots the lifecycle metrics.
+func (b *Bootloader) Stats() Metrics {
+	b.metMu.Lock()
+	defer b.metMu.Unlock()
+	return b.met
+}
+
+func (b *Bootloader) addMetric(f func(*Metrics)) {
+	b.metMu.Lock()
+	f(&b.met)
+	b.metMu.Unlock()
+}
+
+// Connect implements client.Driver: it intercepts the application's
+// connect call, ensures a driver is installed (bootstrapping on first
+// use), and delegates (paper §3.1.1: "It simply intercepts the connect
+// method call of the API ... All other calls are passed through").
+func (b *Bootloader) Connect(url string, props client.Props) (client.Conn, error) {
+	u, err := client.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := b.ensureDriver(u.Database)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := ld.drv.Connect(url, props)
+	if err != nil {
+		return nil, err
+	}
+	mc := &managedConn{bl: b, ld: ld, conn: inner}
+	ld.mu.Lock()
+	ld.conns[mc] = struct{}{}
+	ld.mu.Unlock()
+	return mc, nil
+}
+
+// ensureDriver returns the installed driver, bootstrapping on first use.
+func (b *Bootloader) ensureDriver(database string) (*loadedDriver, error) {
+	b.mu.Lock()
+	if b.revoked {
+		err := b.revokeErr
+		b.mu.Unlock()
+		if err == nil {
+			err = ErrNoDriverAvailable
+		}
+		return nil, err
+	}
+	if b.cur != nil {
+		ld := b.cur
+		b.mu.Unlock()
+		return ld, nil
+	}
+	b.mu.Unlock()
+
+	// Bootstrap outside the lock; serialize concurrent first-connects.
+	ld, err := b.bootstrap(database)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur != nil { // another goroutine won the race
+		return b.cur, nil
+	}
+	b.cur = ld
+	if !b.started {
+		b.started = true
+		b.wg.Add(1)
+		go b.renewLoop(database)
+		if b.push {
+			b.wg.Add(1)
+			go b.pushLoop(database)
+		}
+	}
+	b.addMetric(func(m *Metrics) { m.Bootstraps++ })
+	return b.cur, nil
+}
+
+// request builds the DRIVOLUTION_REQUEST for the given database.
+func (b *Bootloader) request(database string, leaseID uint64, checksum string) Request {
+	return Request{
+		Database:         database,
+		User:             b.user,
+		Password:         b.password,
+		API:              b.api,
+		ClientPlatform:   b.platform,
+		PreferredFormat:  b.preferredFormat,
+		PreferredVersion: b.preferredVersion,
+		RequiredPackages: b.requiredPackages,
+		LeaseID:          leaseID,
+		CurrentChecksum:  checksum,
+		ClientID:         b.clientID,
+	}
+}
+
+// dialServer opens a protocol connection, over TLS when configured.
+func (b *Bootloader) dialServer(addr string) (*wire.Conn, error) {
+	if b.tlsConf != nil {
+		d := &net.Dialer{Timeout: b.dialTimeout}
+		nc, err := tls.DialWithDialer(d, "tcp", addr, b.tlsConf)
+		if err != nil {
+			return nil, fmt.Errorf("drivolution: tls dial %s: %w", addr, err)
+		}
+		return wire.NewConn(nc), nil
+	}
+	return wire.Dial(addr, b.dialTimeout)
+}
+
+// discover probes every configured server (the DHCP-like broadcast,
+// §3.1) and returns the address of the first one that answers with an
+// offer.
+func (b *Bootloader) discover(database string) (string, error) {
+	if len(b.servers) == 0 {
+		return "", ErrNoServers
+	}
+	if len(b.servers) == 1 {
+		return b.servers[0], nil
+	}
+	type answer struct {
+		addr string
+		err  error
+	}
+	ch := make(chan answer, len(b.servers))
+	req := b.request(database, 0, "").encode()
+	for _, addr := range b.servers {
+		go func(addr string) {
+			conn, err := b.dialServer(addr)
+			if err != nil {
+				ch <- answer{err: err}
+				return
+			}
+			defer conn.Close()
+			if err := conn.Send(msgDiscover, req); err != nil {
+				ch <- answer{err: err}
+				return
+			}
+			f, err := conn.RecvTimeout(b.dialTimeout)
+			if err != nil {
+				ch <- answer{err: err}
+				return
+			}
+			if f.Type != msgOffer {
+				ch <- answer{err: fmt.Errorf("drivolution: %s declined discover", addr)}
+				return
+			}
+			ch <- answer{addr: addr}
+		}(addr)
+	}
+	var firstErr error
+	for range b.servers {
+		a := <-ch
+		if a.err == nil {
+			return a.addr, nil
+		}
+		if firstErr == nil {
+			firstErr = a.err
+		}
+	}
+	return "", fmt.Errorf("%w: %v", ErrNoServers, firstErr)
+}
+
+// fetch performs REQUEST → OFFER → FILE_REQUEST → FILE_DATA* against one
+// server and returns the offer plus the (possibly empty) driver blob.
+func (b *Bootloader) fetch(addr, database string, leaseID uint64, checksum string) (Offer, []byte, error) {
+	conn, err := b.dialServer(addr)
+	if err != nil {
+		return Offer{}, nil, err
+	}
+	defer conn.Close()
+
+	if err := conn.Send(msgRequest, b.request(database, leaseID, checksum).encode()); err != nil {
+		return Offer{}, nil, err
+	}
+	f, err := conn.RecvTimeout(b.dialTimeout)
+	if err != nil {
+		return Offer{}, nil, err
+	}
+	switch f.Type {
+	case msgError:
+		pe, derr := decodeProtocolError(f.Payload)
+		if derr != nil {
+			return Offer{}, nil, derr
+		}
+		return Offer{}, nil, pe
+	case msgOffer:
+	default:
+		return Offer{}, nil, fmt.Errorf("drivolution: unexpected frame 0x%04x", f.Type)
+	}
+	offer, err := decodeOffer(f.Payload)
+	if err != nil {
+		return Offer{}, nil, err
+	}
+	if !offer.HasDriver {
+		return offer, nil, nil
+	}
+
+	if err := conn.Send(msgFileRequest, fileRequest{LeaseID: offer.LeaseID}.encode()); err != nil {
+		return Offer{}, nil, err
+	}
+	blob := make([]byte, 0, offer.Size)
+	for {
+		f, err := conn.RecvTimeout(b.dialTimeout)
+		if err != nil {
+			return Offer{}, nil, fmt.Errorf("drivolution: transfer: %w", err)
+		}
+		if f.Type == msgError {
+			pe, derr := decodeProtocolError(f.Payload)
+			if derr != nil {
+				return Offer{}, nil, derr
+			}
+			return Offer{}, nil, pe
+		}
+		if f.Type != msgFileData {
+			return Offer{}, nil, fmt.Errorf("drivolution: unexpected frame 0x%04x during transfer", f.Type)
+		}
+		chunk, err := decodeFileChunk(f.Payload)
+		if err != nil {
+			return Offer{}, nil, err
+		}
+		if int(chunk.Offset) != len(blob) {
+			return Offer{}, nil, fmt.Errorf("drivolution: transfer gap at offset %d", chunk.Offset)
+		}
+		blob = append(blob, chunk.Data...)
+		if chunk.Last {
+			break
+		}
+	}
+	if uint32(len(blob)) != offer.Size {
+		return Offer{}, nil, fmt.Errorf("drivolution: transfer size mismatch: got %d, offered %d", len(blob), offer.Size)
+	}
+	b.addMetric(func(m *Metrics) { m.BytesFetched += int64(len(blob)) })
+	return offer, blob, nil
+}
+
+// install decodes, verifies, and loads a driver blob (the paper's
+// "recheck_time = ...; decode(...); load(...)" from Table 3).
+func (b *Bootloader) install(offer Offer, blob []byte, addr string) (*loadedDriver, error) {
+	img, err := driverimg.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("drivolution: decode driver: %w", err)
+	}
+	if b.trustKey != nil {
+		if err := img.Verify(b.trustKey); err != nil {
+			return nil, fmt.Errorf("drivolution: reject driver: %w", err)
+		}
+	}
+	if img.Checksum() != offer.DriverChecksum {
+		return nil, fmt.Errorf("drivolution: driver checksum mismatch (offered %s, got %s)",
+			offer.DriverChecksum, img.Checksum())
+	}
+	drv, err := b.runtime.Load(img)
+	if err != nil {
+		return nil, err
+	}
+	return &loadedDriver{
+		drv:        drv,
+		img:        img,
+		checksum:   img.Checksum(),
+		leaseID:    offer.LeaseID,
+		leaseTime:  offer.LeaseTime,
+		expiresAt:  time.Now().Add(offer.LeaseTime),
+		renewPol:   offer.RenewPolicy,
+		expirePol:  offer.ExpirationPolicy,
+		serverAddr: addr,
+		conns:      make(map[*managedConn]struct{}),
+	}, nil
+}
+
+// bootstrap acquires the first driver: discover, request, download,
+// verify, load.
+func (b *Bootloader) bootstrap(database string) (*loadedDriver, error) {
+	addr, err := b.discover(database)
+	if err != nil {
+		return nil, err
+	}
+	offer, blob, err := b.fetch(addr, database, 0, "")
+	if err != nil {
+		return nil, err
+	}
+	if !offer.HasDriver {
+		return nil, fmt.Errorf("drivolution: server %s offered no driver data on bootstrap", addr)
+	}
+	return b.install(offer, blob, addr)
+}
+
+// Close stops renewal goroutines and force-closes every managed
+// connection.
+func (b *Bootloader) Close() {
+	b.mu.Lock()
+	started := b.started
+	cur := b.cur
+	b.cur = nil
+	b.revoked = true
+	b.revokeErr = ErrNoDriverAvailable
+	select {
+	case <-b.stopCh:
+	default:
+		close(b.stopCh)
+	}
+	b.mu.Unlock()
+	if cur != nil {
+		cur.closeAll(b, false)
+	}
+	if started {
+		b.wg.Wait()
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/dbver"
+	"repro/internal/driverimg"
+)
+
+// Console is the multi-database face of the bootloader: one installed
+// component that transparently manages a separate driver (and lease) per
+// target database — the paper's Figure 3 DBA management console, where
+// "a single Drivolution bootloader has to be installed in the management
+// console" and each database provides its own driver. It implements
+// client.Driver, so management tools configure it like any driver.
+type Console struct {
+	api      dbver.API
+	platform dbver.Platform
+	runtime  *driverimg.Runtime
+	opts     []BootloaderOption
+
+	mu      sync.Mutex
+	loaders map[string]*Bootloader // key: drivolution server set + database
+}
+
+// NewConsole creates a console for one API/platform. Options apply to
+// every per-database bootloader it spawns.
+func NewConsole(api dbver.API, platform dbver.Platform, rt *driverimg.Runtime,
+	opts ...BootloaderOption) *Console {
+	return &Console{
+		api:      api,
+		platform: platform,
+		runtime:  rt,
+		opts:     opts,
+		loaders:  make(map[string]*Bootloader),
+	}
+}
+
+// Register associates a target database URL with its Drivolution server
+// addresses (for fully Drivolution-compliant databases these are the
+// databases themselves). Connects to that URL will bootstrap from those
+// servers.
+func (c *Console) Register(appURL string, servers []string, extra ...BootloaderOption) error {
+	u, err := client.ParseURL(appURL)
+	if err != nil {
+		return err
+	}
+	key := consoleKey(u)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.loaders[key]; dup {
+		return fmt.Errorf("drivolution: console already manages %s", key)
+	}
+	all := append(append([]BootloaderOption(nil), c.opts...), extra...)
+	c.loaders[key] = NewBootloader(c.api, c.platform, servers, c.runtime, all...)
+	return nil
+}
+
+func consoleKey(u *client.URL) string {
+	return u.Hosts[0] + "/" + u.Database
+}
+
+// Name implements client.Driver.
+func (c *Console) Name() string { return "drivolution-console" }
+
+// Version implements client.Driver.
+func (c *Console) Version() dbver.Version { return dbver.Version{} }
+
+// Connect implements client.Driver, routing to the per-database
+// bootloader.
+func (c *Console) Connect(url string, props client.Props) (client.Conn, error) {
+	u, err := client.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	b, ok := c.loaders[consoleKey(u)]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("drivolution: console has no registration for %s (call Register first)", consoleKey(u))
+	}
+	return b.Connect(url, props)
+}
+
+// BootloaderFor exposes the per-database bootloader (for renewals and
+// stats in experiments).
+func (c *Console) BootloaderFor(appURL string) *Bootloader {
+	u, err := client.ParseURL(appURL)
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loaders[consoleKey(u)]
+}
+
+// DriverVersions reports the loaded driver version per registration.
+func (c *Console) DriverVersions() map[string]dbver.Version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]dbver.Version, len(c.loaders))
+	for k, b := range c.loaders {
+		out[k] = b.Version()
+	}
+	return out
+}
+
+// Close shuts every per-database bootloader down.
+func (c *Console) Close() {
+	c.mu.Lock()
+	loaders := make([]*Bootloader, 0, len(c.loaders))
+	for _, b := range c.loaders {
+		loaders = append(loaders, b)
+	}
+	c.mu.Unlock()
+	for _, b := range loaders {
+		b.Close()
+	}
+}

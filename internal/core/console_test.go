@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dbver"
+)
+
+// TestConsoleHeterogeneousDatabases is Figure 3 in miniature: one
+// console, two Drivolution-compliant databases with different protocol
+// versions, each providing its own driver.
+func TestConsoleHeterogeneousDatabases(t *testing.T) {
+	f1 := newFixture(t, 1) // database 1 speaks protocol 1
+	f2 := newFixture(t, 2) // database 2 speaks protocol 2
+	f1.addDriver(t, f1.driverImage(dbver.V(1, 0, 0), 1, 128))
+	f2.addDriver(t, f2.driverImage(dbver.V(2, 0, 0), 2, 128))
+
+	console := NewConsole(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64, f1.rt,
+		WithCredentials("app", "app-pw"),
+		WithDialTimeout(2*time.Second))
+	defer console.Close()
+
+	if err := console.Register(f1.appURL(), []string{f1.drv.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := console.Register(f2.appURL(), []string{f2.drv.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration is rejected.
+	if err := console.Register(f1.appURL(), []string{f1.drv.Addr()}); err == nil {
+		t.Fatal("duplicate Register should fail")
+	}
+
+	// The console connects to both databases; each connection uses the
+	// right driver for its database's protocol.
+	c1, err := console.Connect(f1.appURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := console.Connect(f2.appURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c1.Query("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Query("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	vers := console.DriverVersions()
+	if len(vers) != 2 {
+		t.Fatalf("versions = %v", vers)
+	}
+	var saw1, saw2 bool
+	for _, v := range vers {
+		if v == dbver.V(1, 0, 0) {
+			saw1 = true
+		}
+		if v == dbver.V(2, 0, 0) {
+			saw2 = true
+		}
+	}
+	if !saw1 || !saw2 {
+		t.Fatalf("console did not load both driver implementations: %v", vers)
+	}
+}
+
+func TestConsoleUnregisteredURL(t *testing.T) {
+	f := newFixture(t, 1)
+	console := NewConsole(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64, f.rt)
+	defer console.Close()
+	_, err := console.Connect(f.appURL(), nil)
+	if err == nil || !strings.Contains(err.Error(), "no registration") {
+		t.Fatalf("err = %v", err)
+	}
+	if console.BootloaderFor(f.appURL()) != nil {
+		t.Fatal("BootloaderFor should be nil for unregistered URL")
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlmini"
+)
+
+// grant resolves a request into an Offer, creating or renewing the lease
+// row and staging the driver blob for FILE_REQUEST. This is the server
+// side of the paper's Table 3 (new lease) and Table 4 (renewal) flows.
+// isTLS reports the requesting connection's channel, enforcing the
+// Table 2 transfer_method restriction before any lease is touched.
+func (s *Server) grant(req Request, isTLS bool) (Offer, *ProtocolError) {
+	g, perr := s.match(req)
+	if perr == nil && g.transfer == TransferTLS && !isTLS {
+		return Offer{}, &ProtocolError{Code: ErrCodeTransfer,
+			Message: "driver requires the TLS transfer channel; reconnect over TLS"}
+	}
+
+	if req.LeaseID != 0 {
+		return s.renewLease(req, g, perr)
+	}
+	if perr != nil {
+		return Offer{}, perr
+	}
+
+	leaseID, err := s.newLease(req, g)
+	if err != nil {
+		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+	s.stageTransfer(leaseID, g.blob)
+	return Offer{
+		LeaseID:          leaseID,
+		LeaseTime:        g.leaseTime,
+		RenewPolicy:      g.renew,
+		ExpirationPolicy: g.expiration,
+		TransferMethod:   g.transfer,
+		HasDriver:        true,
+		DriverChecksum:   g.checksum,
+		Format:           g.format,
+		Size:             uint32(len(g.blob)),
+		ServerName:       s.name,
+	}, nil
+}
+
+// renewLease handles the Table 4 server side: "if (driver still valid)
+// send OFFER; else if (new driver available) send OFFER + FILE_DATA;
+// else send DRIVOLUTION_ERROR".
+func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) (Offer, *ProtocolError) {
+	lease, ok, err := s.leaseByID(req.LeaseID)
+	if err != nil {
+		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+	if !ok || lease.Released {
+		return Offer{}, &ProtocolError{Code: ErrCodeNoLease,
+			Message: fmt.Sprintf("lease %d unknown or released", req.LeaseID)}
+	}
+	if matchErr != nil {
+		if matchErr.Code == ErrCodeNoDriver {
+			// The driver the client runs was retired and nothing replaces
+			// it: revoke (paper §3.1.2 "when the lease has expired, but no
+			// new driver is available ... a DRIVOLUTION_ERROR is sent").
+			s.expireLease(lease.LeaseID)
+			return Offer{}, &ProtocolError{Code: ErrCodeRevoked,
+				Message: "no driver available for renewal: " + matchErr.Message}
+		}
+		return Offer{}, matchErr
+	}
+	if g.renew == RenewRevoke {
+		s.expireLease(lease.LeaseID)
+		return Offer{}, &ProtocolError{Code: ErrCodeRevoked,
+			Message: fmt.Sprintf("driver %d revoked by policy", lease.DriverID)}
+	}
+
+	// "Driver still valid" means the matched content equals what the
+	// client already runs; RenewKeep pins the client to its current
+	// driver even if a newer one exists.
+	sameContent := req.CurrentChecksum != "" && req.CurrentChecksum == g.checksum
+	keep := sameContent || (g.renew == RenewKeep && lease.DriverID == g.driverID)
+
+	now := s.clock()
+	_, err = s.store.Exec(`UPDATE `+LeasesTable+`
+		SET expires_at = $exp, renewals = renewals + 1, driver_id = $drv
+		WHERE lease_id = $id`,
+		sqlmini.Args{
+			"exp": now.Add(g.leaseTime),
+			"drv": g.driverID,
+			"id":  int64(lease.LeaseID),
+		})
+	if err != nil {
+		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+
+	offer := Offer{
+		LeaseID:          lease.LeaseID,
+		LeaseTime:        g.leaseTime,
+		RenewPolicy:      g.renew,
+		ExpirationPolicy: g.expiration,
+		TransferMethod:   g.transfer,
+		HasDriver:        !keep,
+		DriverChecksum:   g.checksum,
+		Format:           g.format,
+		ServerName:       s.name,
+	}
+	if !keep {
+		offer.Size = uint32(len(g.blob))
+		s.stageTransfer(lease.LeaseID, g.blob)
+	}
+	return offer, nil
+}
+
+func (s *Server) stageTransfer(leaseID uint64, blob []byte) {
+	s.mu.Lock()
+	s.pending[leaseID] = blob
+	s.mu.Unlock()
+}
+
+// newLease inserts a lease row and returns its id. When several servers
+// share one store (replicated embedded servers, Figure 6), concurrent
+// allocations can collide on the primary key; colliding inserts retry
+// with a fresh id.
+func (s *Server) newLease(req Request, g *grantInfo) (uint64, error) {
+	now := s.clock()
+	for attempt := 0; attempt < 16; attempt++ {
+		s.mu.Lock()
+		if err := s.loadIDsLocked(); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+		s.nextLease++
+		id := s.nextLease
+		s.mu.Unlock()
+
+		_, err := s.store.Exec(`INSERT INTO `+LeasesTable+`
+			(lease_id, driver_id, database, user, client_id, granted_at,
+			 expires_at, released, renewals)
+			VALUES ($id, $drv, $db, $user, $client, $granted, $exp, FALSE, 0)`,
+			sqlmini.Args{
+				"id":      int64(id),
+				"drv":     g.driverID,
+				"db":      nullableStr(req.Database),
+				"user":    nullableStr(req.User),
+				"client":  nullableStr(req.ClientID),
+				"granted": now,
+				"exp":     now.Add(g.leaseTime),
+			})
+		if err == nil {
+			return id, nil
+		}
+		if !isDuplicateKey(err) {
+			return 0, err
+		}
+		s.mu.Lock()
+		s.idsLoaded = false // another server advanced the sequence
+		s.mu.Unlock()
+	}
+	return 0, fmt.Errorf("core: lease id allocation kept colliding")
+}
+
+// isDuplicateKey detects a primary-key collision, both for local stores
+// (typed error) and external stores (error text over the wire).
+func isDuplicateKey(err error) bool {
+	if errors.Is(err, sqlmini.ErrDuplicateKey) {
+		return true
+	}
+	return err != nil && strings.Contains(err.Error(), "duplicate primary key")
+}
+
+func (s *Server) expireLease(id uint64) {
+	_, _ = s.store.Exec(`UPDATE `+LeasesTable+` SET released = TRUE WHERE lease_id = $id`,
+		sqlmini.Args{"id": int64(id)})
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+// ReleaseLeaseByID marks a lease released server-side — the admin /
+// license-manager path (§5.4.2), as opposed to the bootloader-initiated
+// msgRelease.
+func (s *Server) ReleaseLeaseByID(id uint64) error {
+	res, err := s.store.Exec(`UPDATE `+LeasesTable+`
+		SET released = TRUE WHERE lease_id = $id`,
+		sqlmini.Args{"id": int64(id)})
+	if err != nil {
+		return err
+	}
+	if res.Affected == 0 {
+		return fmt.Errorf("core: no lease %d", id)
+	}
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// leaseByID loads one lease row.
+func (s *Server) leaseByID(id uint64) (Lease, bool, error) {
+	res, err := s.store.Exec(`SELECT lease_id, driver_id, database, user,
+		client_id, granted_at, expires_at, released, renewals
+		FROM `+LeasesTable+` WHERE lease_id = $id`,
+		sqlmini.Args{"id": int64(id)})
+	if err != nil {
+		return Lease{}, false, err
+	}
+	if len(res.Rows) == 0 {
+		return Lease{}, false, nil
+	}
+	idx := colIndex(res.Cols)
+	row := res.Rows[0]
+	l := Lease{
+		LeaseID:   uint64(row[idx["lease_id"]].Int()),
+		DriverID:  row[idx["driver_id"]].Int(),
+		Database:  row[idx["database"]].Str(),
+		User:      row[idx["user"]].Str(),
+		ClientID:  row[idx["client_id"]].Str(),
+		GrantedAt: row[idx["granted_at"]].Time(),
+		ExpiresAt: row[idx["expires_at"]].Time(),
+		Released:  row[idx["released"]].Bool(),
+		Renewals:  int(row[idx["renewals"]].Int()),
+	}
+	return l, true, nil
+}
+
+// Leases returns all lease rows (admin/experiments).
+func (s *Server) Leases() ([]Lease, error) {
+	res, err := s.store.Exec(`SELECT lease_id, driver_id, database, user,
+		client_id, granted_at, expires_at, released, renewals
+		FROM ` + LeasesTable + ` ORDER BY lease_id`)
+	if err != nil {
+		return nil, err
+	}
+	idx := colIndex(res.Cols)
+	out := make([]Lease, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, Lease{
+			LeaseID:   uint64(row[idx["lease_id"]].Int()),
+			DriverID:  row[idx["driver_id"]].Int(),
+			Database:  row[idx["database"]].Str(),
+			User:      row[idx["user"]].Str(),
+			ClientID:  row[idx["client_id"]].Str(),
+			GrantedAt: row[idx["granted_at"]].Time(),
+			ExpiresAt: row[idx["expires_at"]].Time(),
+			Released:  row[idx["released"]].Bool(),
+			Renewals:  int(row[idx["renewals"]].Int()),
+		})
+	}
+	return out, nil
+}
+
+// loadIDsLocked initializes id allocators from the store; caller holds
+// s.mu.
+func (s *Server) loadIDsLocked() error {
+	if s.idsLoaded {
+		return nil
+	}
+	maxOf := func(col, table string) (int64, error) {
+		res, err := s.store.Exec(fmt.Sprintf("SELECT max(%s) FROM %s", col, table))
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+			return 0, nil
+		}
+		return res.Rows[0][0].Int(), nil
+	}
+	lease, err := maxOf("lease_id", LeasesTable)
+	if err != nil {
+		return err
+	}
+	perm, err := maxOf("permission_id", PermissionTable)
+	if err != nil {
+		return err
+	}
+	drv, err := maxOf("driver_id", DriversTable)
+	if err != nil {
+		return err
+	}
+	s.nextLease = uint64(lease)
+	s.nextPermID = perm
+	s.nextDrvID = drv
+	s.idsLoaded = true
+	return nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/driverimg"
+	"repro/internal/sqlmini"
+)
+
+// grantInfo is the resolved outcome of matchmaking: which driver, under
+// which lease terms.
+type grantInfo struct {
+	driverID   int64
+	blob       []byte
+	checksum   string
+	format     string
+	leaseTime  time.Duration
+	renew      RenewPolicy
+	expiration ExpirationPolicy
+	transfer   TransferMethod
+}
+
+// millis converts a lease_time_in_ms column value.
+func millis(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+// preferenceSQL is the paper's Sample code 1, adapted to the split
+// api/driver version columns of Table 1. The italicized preference
+// predicates are the ones dropped by the fallback query.
+const preferenceSQL = `SELECT driver_id, api_name, api_version_major,
+	api_version_minor, platform, driver_version_major,
+	driver_version_minor, driver_version_micro, binary_code, binary_format
+FROM ` + DriversTable + `
+WHERE api_name LIKE $client_api_name
+AND (platform IS NULL OR platform LIKE $client_platform)
+AND ($client_api_major IS NULL OR api_version_major IS NULL
+     OR api_version_major = $client_api_major)
+AND ($client_api_minor IS NULL OR api_version_minor IS NULL
+     OR api_version_minor = $client_api_minor)
+AND ($client_drv_major IS NULL OR driver_version_major IS NULL
+     OR driver_version_major = $client_drv_major)
+AND ($client_drv_minor IS NULL OR driver_version_minor IS NULL
+     OR driver_version_minor = $client_drv_minor)
+AND ($client_drv_micro IS NULL OR driver_version_micro IS NULL
+     OR driver_version_micro = $client_drv_micro)
+AND ($client_format IS NULL OR binary_format LIKE $client_format)
+ORDER BY driver_version_major DESC, driver_version_minor DESC,
+	driver_version_micro DESC, driver_id DESC`
+
+// fallbackSQL is the "simple SELECT without preferences" issued when the
+// preference query returns nothing (paper §4.1.1).
+const fallbackSQL = `SELECT driver_id, api_name, api_version_major,
+	api_version_minor, platform, driver_version_major,
+	driver_version_minor, driver_version_micro, binary_code, binary_format
+FROM ` + DriversTable + `
+WHERE api_name LIKE $client_api_name
+AND (platform IS NULL OR platform LIKE $client_platform)
+ORDER BY driver_version_major DESC, driver_version_minor DESC,
+	driver_version_micro DESC, driver_id DESC`
+
+// permissionSQL is the paper's Sample code 2 (the distribution table
+// lookup), with its date predicate verbatim, extended to also return the
+// lease terms the offer needs.
+const permissionSQL = `SELECT permission_id, driver_id, driver_options,
+	lease_time_in_ms, renew_policy, expiration_policy, transfer_method
+FROM ` + PermissionTable + `
+WHERE (database IS NULL OR database LIKE $user_database)
+AND (user IS NULL OR user LIKE $client_user)
+AND (client_ip IS NULL OR client_ip LIKE $client_client_ip)
+AND (start_date IS NULL OR end_date IS NULL
+     OR now() BETWEEN start_date AND end_date)
+ORDER BY permission_id DESC`
+
+const driverByIDSQL = `SELECT driver_id, api_name, api_version_major,
+	api_version_minor, platform, driver_version_major,
+	driver_version_minor, driver_version_micro, binary_code, binary_format
+FROM ` + DriversTable + ` WHERE driver_id = $id`
+
+// match resolves a request to a driver + lease terms, implementing the
+// paper's server logic (§4.1.1): consult the permission/distribution
+// table first; otherwise match by client preference with a no-preference
+// fallback. License mode additionally skips drivers whose lease is held.
+func (s *Server) match(req Request) (*grantInfo, *ProtocolError) {
+	// 1. Permission table (Sample code 2).
+	res, err := s.store.Exec(permissionSQL, sqlmini.Args{
+		"user_database":    req.Database,
+		"client_user":      nullableStr(req.User),
+		"client_client_ip": nullableStr(req.ClientID),
+	})
+	if err != nil {
+		return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+	for _, row := range res.Rows {
+		g, ok, perr := s.grantFromPermissionRow(req, res.Cols, row)
+		if perr != nil {
+			return nil, perr
+		}
+		if ok {
+			return g, nil
+		}
+	}
+
+	// 2. Preference query (Sample code 1) then fallback.
+	g, perr := s.matchByPreference(req)
+	if perr != nil {
+		return nil, perr
+	}
+	return g, nil
+}
+
+func colIndex(cols []string) map[string]int {
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		idx[c] = i
+	}
+	return idx
+}
+
+func (s *Server) grantFromPermissionRow(req Request, cols []string, row []sqlmini.Value) (*grantInfo, bool, *ProtocolError) {
+	idx := colIndex(cols)
+	driverID := row[idx["driver_id"]].Int()
+	rec, ok, err := s.driverByID(driverID)
+	if err != nil {
+		return nil, false, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+	if !ok || !driverMatchesRequest(rec, req) {
+		return nil, false, nil // try the next permission row
+	}
+	renew := RenewPolicy(row[idx["renew_policy"]].Int())
+	if renew == RenewRevoke && req.LeaseID == 0 {
+		// A REVOKE permission exists to retire the driver: new clients
+		// don't get it; renewing clients are told to stop (handled by
+		// grant()).
+		return nil, false, nil
+	}
+	g := &grantInfo{
+		driverID:   driverID,
+		blob:       rec.BinaryCode,
+		format:     rec.Format,
+		renew:      renew,
+		expiration: ExpirationPolicy(row[idx["expiration_policy"]].Int()),
+		transfer:   TransferMethod(row[idx["transfer_method"]].Int()),
+		leaseTime:  s.defaultLease,
+	}
+	if v := row[idx["lease_time_in_ms"]]; !v.IsNull() && v.Int() > 0 {
+		g.leaseTime = millis(v.Int())
+	}
+	if perr := s.finishGrant(g, req, row[idx["driver_options"]].Str()); perr != nil {
+		return nil, false, perr
+	}
+	if s.licenseMode {
+		free, err := s.driverLeaseFree(driverID, req.LeaseID)
+		if err != nil {
+			return nil, false, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+		}
+		if !free {
+			return nil, false, nil // license held; try next row
+		}
+	}
+	return g, true, nil
+}
+
+func (s *Server) matchByPreference(req Request) (*grantInfo, *ProtocolError) {
+	args := sqlmini.Args{
+		"client_api_name":  req.API.Name,
+		"client_platform":  string(req.ClientPlatform),
+		"client_api_major": nullableInt(req.API.Major),
+		"client_api_minor": nullableInt(req.API.Minor),
+		"client_drv_major": nullableInt(req.PreferredVersion.Major),
+		"client_drv_minor": nullableInt(req.PreferredVersion.Minor),
+		"client_drv_micro": nullableInt(req.PreferredVersion.Micro),
+		"client_format":    nullableStr(req.PreferredFormat),
+	}
+	res, err := s.store.Exec(preferenceSQL, args)
+	if err != nil {
+		return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+	if len(res.Rows) == 0 {
+		res, err = s.store.Exec(fallbackSQL, sqlmini.Args{
+			"client_api_name": req.API.Name,
+			"client_platform": string(req.ClientPlatform),
+		})
+		if err != nil {
+			return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+		}
+	}
+	for _, row := range res.Rows {
+		rec, err := scanDriverRecord(res.Cols, row)
+		if err != nil {
+			return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+		}
+		if s.licenseMode {
+			free, lerr := s.driverLeaseFree(rec.DriverID, req.LeaseID)
+			if lerr != nil {
+				return nil, &ProtocolError{Code: ErrCodeInternal, Message: lerr.Error()}
+			}
+			if !free {
+				continue
+			}
+		}
+		g := &grantInfo{
+			driverID:   rec.DriverID,
+			blob:       rec.BinaryCode,
+			format:     rec.Format,
+			leaseTime:  s.defaultLease,
+			renew:      s.defaultRenew,
+			expiration: s.defaultExpiration,
+			transfer:   s.defaultTransfer,
+		}
+		if perr := s.finishGrant(g, req, ""); perr != nil {
+			return nil, perr
+		}
+		return g, nil
+	}
+	return nil, &ProtocolError{Code: ErrCodeNoDriver, Message: fmt.Sprintf(
+		"no driver for database %q, API %s, platform %q", req.Database, req.API, req.ClientPlatform)}
+}
+
+// finishGrant applies on-demand assembly (§5.4.1) and server-side
+// pre-configuration (§3.1.1: "Connection options can also be configured
+// and enforced on the Drivolution server, which then sends a
+// pre-configured driver to the client"), then computes the checksum.
+func (s *Server) finishGrant(g *grantInfo, req Request, options string) *ProtocolError {
+	needsRewrite := len(req.RequiredPackages) > 0 || options != ""
+	if !needsRewrite {
+		img, err := driverimg.Decode(g.blob)
+		if err != nil {
+			return &ProtocolError{Code: ErrCodeInternal, Message: fmt.Sprintf("stored driver %d is corrupt: %v", g.driverID, err)}
+		}
+		g.checksum = img.Checksum()
+		return nil
+	}
+	img, err := driverimg.Decode(g.blob)
+	if err != nil {
+		return &ProtocolError{Code: ErrCodeInternal, Message: fmt.Sprintf("stored driver %d is corrupt: %v", g.driverID, err)}
+	}
+	if len(req.RequiredPackages) > 0 {
+		if s.packages == nil {
+			return &ProtocolError{Code: ErrCodeNoDriver, Message: "server has no package store for on-demand assembly"}
+		}
+		img, err = s.packages.Assemble(img, req.RequiredPackages...)
+		if err != nil {
+			return &ProtocolError{Code: ErrCodeNoDriver, Message: err.Error()}
+		}
+	}
+	if options != "" {
+		if img.Manifest.Options == nil {
+			img.Manifest.Options = map[string]string{}
+		}
+		for k, v := range ParseDriverOptions(options) {
+			img.Manifest.Options[k] = v
+		}
+		img.Signature = nil // content changed
+	}
+	if s.signKey != nil {
+		img.Sign(s.signKey)
+	}
+	g.blob = img.Encode()
+	g.checksum = img.Checksum()
+	return nil
+}
+
+// driverByID loads one driver row.
+func (s *Server) driverByID(id int64) (DriverRecord, bool, error) {
+	res, err := s.store.Exec(driverByIDSQL, sqlmini.Args{"id": id})
+	if err != nil {
+		return DriverRecord{}, false, err
+	}
+	if len(res.Rows) == 0 {
+		return DriverRecord{}, false, nil
+	}
+	rec, err := scanDriverRecord(res.Cols, res.Rows[0])
+	return rec, err == nil, err
+}
+
+// driverMatchesRequest checks the API/platform compatibility of a
+// permission-designated driver against the requesting client.
+func driverMatchesRequest(rec DriverRecord, req Request) bool {
+	if !sqlmini.Like(rec.APIName, req.API.Name) {
+		return false
+	}
+	if rec.Platform != "" && !sqlmini.Like(string(rec.Platform), string(req.ClientPlatform)) {
+		return false
+	}
+	if req.API.Major >= 0 && rec.APIMajor >= 0 && req.API.Major != rec.APIMajor {
+		return false
+	}
+	if req.API.Minor >= 0 && rec.APIMinor >= 0 && req.API.Minor != rec.APIMinor {
+		return false
+	}
+	return true
+}
+
+// driverLeaseFree reports whether no *other* live lease holds driverID
+// (license mode). ownLease is the requesting client's lease id (0 for a
+// new client).
+func (s *Server) driverLeaseFree(driverID int64, ownLease uint64) (bool, error) {
+	res, err := s.store.Exec(`SELECT count(*) FROM `+LeasesTable+`
+		WHERE driver_id = $id AND released = FALSE
+		AND expires_at > now() AND lease_id <> $own`,
+		sqlmini.Args{"id": driverID, "own": int64(ownLease)})
+	if err != nil {
+		return false, err
+	}
+	return res.Rows[0][0].Int() == 0, nil
+}

@@ -1,0 +1,116 @@
+// Package core implements Drivolution itself — the paper's contribution:
+// drivers stored in database tables (Table 1/2), distributed to clients
+// over a DHCP-like lease protocol (Table 3/4), loaded dynamically by a
+// client-side bootloader that substitutes for the driver, and upgraded,
+// reconfigured, or revoked centrally with configurable connection
+// transition policies.
+//
+// The package is organized as:
+//
+//   - policy.go    — renewal and expiration policy enums (Table 2)
+//   - protocol.go  — DRIVOLUTION_* message codec (Table 3/4)
+//   - schema.go    — drivers / driver_permission / leases DDL (Table 1/2)
+//   - store.go     — schema access, local (in-database/standalone) or via
+//     a legacy driver connection (external server, Figure 2)
+//   - server.go    — the Drivolution Server: matchmaking, leases, transfer
+//   - admin.go     — DBA operations: add/revoke drivers, permissions
+//   - bootloader.go— the client bootloader: intercept connect, download,
+//     verify, load, renew, transition connections
+//   - conn.go      — managed connections implementing the policies
+package core
+
+import "fmt"
+
+// RenewPolicy is the action a bootloader takes when a lease needs
+// renewal (Table 2, renew_policy). Integer values match the paper's
+// encoding exactly.
+type RenewPolicy int
+
+// Renewal policies (paper Table 2).
+const (
+	// RenewKeep continues using the same driver (paper: RENEW = 0).
+	RenewKeep RenewPolicy = 0
+	// RenewUpgrade downloads the new driver (paper: UPGRADE = 1).
+	RenewUpgrade RenewPolicy = 1
+	// RenewRevoke stops using the current driver with no replacement
+	// (paper: REVOKE = 2).
+	RenewRevoke RenewPolicy = 2
+)
+
+// String returns the paper's name for the policy.
+func (p RenewPolicy) String() string {
+	switch p {
+	case RenewKeep:
+		return "RENEW"
+	case RenewUpgrade:
+		return "UPGRADE"
+	case RenewRevoke:
+		return "REVOKE"
+	default:
+		return fmt.Sprintf("RenewPolicy(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is a defined policy value.
+func (p RenewPolicy) Valid() bool { return p >= RenewKeep && p <= RenewRevoke }
+
+// ExpirationPolicy is when existing connections transition off the old
+// driver (Table 2, expiration_policy). Integer values match the paper.
+type ExpirationPolicy int
+
+// Expiration policies (paper Table 2).
+const (
+	// AfterClose waits for the application to close each connection
+	// (paper: AFTER_CLOSE = 0).
+	AfterClose ExpirationPolicy = 0
+	// AfterCommit closes connections as soon as they are idle or their
+	// in-flight transaction commits (paper: AFTER_COMMIT = 1).
+	AfterCommit ExpirationPolicy = 1
+	// Immediate terminates all connections at once (paper: IMMEDIATE = 2).
+	Immediate ExpirationPolicy = 2
+)
+
+// String returns the paper's name for the policy.
+func (p ExpirationPolicy) String() string {
+	switch p {
+	case AfterClose:
+		return "AFTER_CLOSE"
+	case AfterCommit:
+		return "AFTER_COMMIT"
+	case Immediate:
+		return "IMMEDIATE"
+	default:
+		return fmt.Sprintf("ExpirationPolicy(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is a defined policy value.
+func (p ExpirationPolicy) Valid() bool { return p >= AfterClose && p <= Immediate }
+
+// TransferMethod restricts how driver code travels (Table 2,
+// transfer_method): -1 means any, >= 0 selects a protocol id.
+type TransferMethod int
+
+// Transfer methods.
+const (
+	// TransferAny lets the bootloader and server negotiate (paper: -1).
+	TransferAny TransferMethod = -1
+	// TransferPlain is the in-band plaintext transfer (protocol id 0).
+	TransferPlain TransferMethod = 0
+	// TransferTLS requires the TLS channel (protocol id 1).
+	TransferTLS TransferMethod = 1
+)
+
+// String names the transfer method.
+func (t TransferMethod) String() string {
+	switch t {
+	case TransferAny:
+		return "ANY"
+	case TransferPlain:
+		return "PLAIN"
+	case TransferTLS:
+		return "TLS"
+	default:
+		return fmt.Sprintf("TransferMethod(%d)", int(t))
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Probe sends a one-shot DRIVOLUTION_DISCOVER to a server and returns
+// its offer, without creating a lease — the administrative "which driver
+// would this client get?" check used by drivoctl.
+func Probe(addr string, req Request, timeout time.Duration) (Offer, error) {
+	conn, err := wire.Dial(addr, timeout)
+	if err != nil {
+		return Offer{}, err
+	}
+	defer conn.Close()
+	if err := conn.Send(msgDiscover, req.encode()); err != nil {
+		return Offer{}, err
+	}
+	f, err := conn.RecvTimeout(timeout)
+	if err != nil {
+		return Offer{}, err
+	}
+	switch f.Type {
+	case msgOffer:
+		return decodeOffer(f.Payload)
+	case msgError:
+		pe, derr := decodeProtocolError(f.Payload)
+		if derr != nil {
+			return Offer{}, derr
+		}
+		return Offer{}, pe
+	default:
+		return Offer{}, fmt.Errorf("drivolution: unexpected frame 0x%04x", f.Type)
+	}
+}

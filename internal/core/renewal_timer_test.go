@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dbver"
+)
+
+// TestAutomaticRenewalTimer: with a short lease, the bootloader's timer
+// thread renews on its own — no ForceRenew — and picks up an upgrade
+// within roughly one lease period.
+func TestAutomaticRenewalTimer(t *testing.T) {
+	f := newFixture(t, 1)
+	// Short lease so the test runs fast.
+	lease := 40 * time.Millisecond
+	srv2, err := NewServer("short-lease", NewLocalStore(f.drv.store.(*LocalStore).DB),
+		WithDefaultLease(lease))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv2.Stop)
+	f.addDriver(t, f.driverImage(dbver.V(1, 0, 0), 1, 256))
+
+	b := NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+		[]string{srv2.Addr()}, f.rt,
+		WithCredentials("app", "app-pw"),
+		WithRenewAhead(0.7),
+		WithDialTimeout(time.Second))
+	t.Cleanup(b.Close)
+	mustConnect(t, b, f.appURL())
+
+	// Renewals happen by themselves.
+	deadline := time.Now().Add(3 * time.Second)
+	for b.Stats().Renewals < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := b.Stats().Renewals; got < 2 {
+		t.Fatalf("timer renewals = %d, want >= 2", got)
+	}
+
+	// An upgrade lands without any explicit trigger.
+	f.addDriver(t, f.driverImage(dbver.V(2, 0, 0), 1, 256))
+	for b.Version() != dbver.V(2, 0, 0) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b.Version() != dbver.V(2, 0, 0) {
+		t.Fatalf("upgrade not picked up by the timer; version = %v, stats = %+v",
+			b.Version(), b.Stats())
+	}
+}
+
+// TestUpgradeUnderConcurrentConnects: connects racing a hot swap must
+// each get a working driver (old or new), never an error.
+func TestUpgradeUnderConcurrentConnects(t *testing.T) {
+	f := newFixture(t, 1)
+	f.addDriver(t, f.driverImage(dbver.V(1, 0, 0), 1, 4096))
+	b := f.bootloader(t)
+	mustConnect(t, b, f.appURL())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := b.Connect(f.appURL(), nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Query("SELECT 1"); err != nil {
+					// A connection drained mid-use by the swap is
+					// expected under AFTER_COMMIT; a *connect* failure
+					// is not. Only connect errors fail the test.
+					c.Close()
+					continue
+				}
+				c.Close()
+			}
+		}()
+	}
+
+	// Several upgrades while connects hammer the bootloader.
+	for i := 0; i < 5; i++ {
+		f.addDriver(t, f.driverImage(dbver.V(1, i+1, 0), 1, 4096))
+		if err := b.ForceRenew("prod"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("connect failed during upgrade: %v", err)
+	}
+	if b.Version() != dbver.V(1, 5, 0) {
+		t.Fatalf("final version = %v", b.Version())
+	}
+	if got := b.Stats().Upgrades; got != 5 {
+		t.Fatalf("upgrades = %d", got)
+	}
+}

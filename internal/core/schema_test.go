@@ -1,0 +1,299 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dbver"
+	"repro/internal/driverimg"
+	"repro/internal/sqlmini"
+)
+
+// TestDriversTable verifies the Table 1 schema is created verbatim:
+// every column from the paper, with its constraints enforced.
+func TestDriversTable(t *testing.T) {
+	db := sqlmini.NewDB()
+	st := NewLocalStore(db)
+	if err := EnsureSchema(st); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := EnsureSchema(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// All Table 1 columns accept a full row.
+	_, err := st.Exec(`INSERT INTO ` + DriversTable + `
+		(driver_id, api_name, api_version_major, api_version_minor,
+		 platform, driver_version_major, driver_version_minor,
+		 driver_version_micro, binary_code, binary_format)
+		VALUES (1, 'JDBC', 3, 0, 'linux-x86_64', 1, 2, 3, ?, 'IMAGE')`)
+	if err == nil {
+		t.Fatal("positional param unbound should error") // sanity: params work
+	}
+	_, err = db.Exec(`INSERT INTO `+DriversTable+`
+		(driver_id, api_name, api_version_major, api_version_minor,
+		 platform, driver_version_major, driver_version_minor,
+		 driver_version_micro, binary_code, binary_format)
+		VALUES (1, 'JDBC', 3, 0, 'linux-x86_64', 1, 2, 3, ?, 'IMAGE')`,
+		[]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PRIMARY KEY on driver_id (Table 1).
+	_, err = db.Exec(`INSERT INTO `+DriversTable+`
+		(driver_id, api_name, binary_code, binary_format)
+		VALUES (1, 'ODBC', ?, 'IMAGE')`, []byte{9})
+	if err == nil {
+		t.Fatal("duplicate driver_id must violate the primary key")
+	}
+
+	// NOT NULL on binary_code (Table 1).
+	_, err = db.Exec(`INSERT INTO ` + DriversTable + `
+		(driver_id, api_name, binary_format) VALUES (2, 'ODBC', 'IMAGE')`)
+	if err == nil {
+		t.Fatal("NULL binary_code must be rejected")
+	}
+
+	// NULL platform/api_version mean "all" and are storable.
+	if _, err := db.Exec(`INSERT INTO `+DriversTable+`
+		(driver_id, api_name, binary_code, binary_format)
+		VALUES (2, 'ODBC', ?, 'IMAGE')`, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermissionTableForeignKey verifies Table 2's REFERENCES
+// driver(driver_id) is enforced.
+func TestPermissionTableForeignKey(t *testing.T) {
+	db := sqlmini.NewDB()
+	st := NewLocalStore(db)
+	if err := EnsureSchema(st); err != nil {
+		t.Fatal(err)
+	}
+	err := insertPermission(st, Permission{
+		PermissionID: 1,
+		DriverID:     42, // no such driver
+		LeaseTime:    time.Hour,
+	})
+	if err == nil {
+		t.Fatal("permission with dangling driver_id must be rejected")
+	}
+}
+
+func TestDriverOptionsRoundTrip(t *testing.T) {
+	opts := map[string]string{"user": "app", "fetchSize": "100", "tz": "UTC"}
+	s := FormatDriverOptions(opts)
+	if s != "fetchSize=100,tz=UTC,user=app" {
+		t.Errorf("FormatDriverOptions = %q", s)
+	}
+	back := ParseDriverOptions(s)
+	if len(back) != 3 || back["user"] != "app" || back["fetchSize"] != "100" {
+		t.Errorf("ParseDriverOptions = %v", back)
+	}
+	if got := ParseDriverOptions(""); len(got) != 0 {
+		t.Errorf("empty options = %v", got)
+	}
+	if got := FormatDriverOptions(nil); got != "" {
+		t.Errorf("nil options = %q", got)
+	}
+	if got := ParseDriverOptions(" a = 1 , b = 2 "); got["a"] != "1" || got["b"] != "2" {
+		t.Errorf("whitespace handling = %v", got)
+	}
+}
+
+func TestPolicyEnumsMatchPaperEncoding(t *testing.T) {
+	// Table 2 encodes: RENEW=0 UPGRADE=1 REVOKE=2;
+	// AFTER_CLOSE=0 AFTER_COMMIT=1 IMMEDIATE=2.
+	if int(RenewKeep) != 0 || int(RenewUpgrade) != 1 || int(RenewRevoke) != 2 {
+		t.Error("RenewPolicy values diverge from the paper's Table 2")
+	}
+	if int(AfterClose) != 0 || int(AfterCommit) != 1 || int(Immediate) != 2 {
+		t.Error("ExpirationPolicy values diverge from the paper's Table 2")
+	}
+	if RenewKeep.String() != "RENEW" || RenewUpgrade.String() != "UPGRADE" || RenewRevoke.String() != "REVOKE" {
+		t.Error("RenewPolicy names diverge")
+	}
+	if AfterClose.String() != "AFTER_CLOSE" || AfterCommit.String() != "AFTER_COMMIT" || Immediate.String() != "IMMEDIATE" {
+		t.Error("ExpirationPolicy names diverge")
+	}
+	if int(TransferAny) != -1 {
+		t.Error("TransferMethod ANY must be -1 per Table 2")
+	}
+	if RenewPolicy(3).Valid() || ExpirationPolicy(-1).Valid() {
+		t.Error("Valid() accepts out-of-range policies")
+	}
+}
+
+// TestMatchmakingSampleCode1 exercises the preference query directly:
+// the paper's NULL-as-wildcard semantics for platform and versions.
+func TestMatchmakingSampleCode1(t *testing.T) {
+	db := sqlmini.NewDB()
+	st := NewLocalStore(db)
+	srv, err := NewServer("s", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	insert := func(id int64, api string, apiMaj int, platform string, ver dbver.Version) {
+		t.Helper()
+		rec := DriverRecord{
+			DriverID: id, APIName: api, APIMajor: apiMaj, APIMinor: -1,
+			Platform: dbver.Platform(platform), Version: ver,
+			BinaryCode: testImageBlob(t, api, ver), Format: "IMAGE",
+		}
+		if err := insertDriver(st, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	insert(1, "JDBC", 3, "linux-x86_64", dbver.V(1, 0, 0))
+	insert(2, "JDBC", 3, "", dbver.V(1, 1, 0)) // NULL platform = all
+	insert(3, "JDBC", 4, "windows-i586", dbver.V(2, 0, 0))
+	insert(4, "ODBC", -1, "", dbver.V(5, 0, 0)) // NULL api version = all
+
+	cases := []struct {
+		name   string
+		req    Request
+		wantID int64
+		wantNo bool
+	}{
+		{
+			name:   "exact platform prefers newest matching",
+			req:    Request{API: dbver.APIOf("JDBC", 3, -1), ClientPlatform: "linux-x86_64"},
+			wantID: 2, // driver 2 matches via NULL platform and is newer (1.1.0)
+		},
+		{
+			name:   "preferred version pins older driver",
+			req:    Request{API: dbver.APIOf("JDBC", 3, -1), ClientPlatform: "linux-x86_64", PreferredVersion: dbver.V(1, 0, 0)},
+			wantID: 1,
+		},
+		{
+			name:   "windows client gets api-4 build",
+			req:    Request{API: dbver.APIOf("JDBC", 4, -1), ClientPlatform: "windows-i586"},
+			wantID: 3,
+		},
+		{
+			name:   "odbc any version",
+			req:    Request{API: dbver.AnyVersionAPI("ODBC"), ClientPlatform: "solaris-sparc"},
+			wantID: 4,
+		},
+		{
+			name:   "no driver for unknown api",
+			req:    Request{API: dbver.AnyVersionAPI("TCL"), ClientPlatform: "linux-x86_64"},
+			wantNo: true,
+		},
+		{
+			name: "fallback drops unsatisfiable preferences",
+			req: Request{API: dbver.APIOf("JDBC", 3, -1), ClientPlatform: "linux-x86_64",
+				PreferredVersion: dbver.V(9, 9, 9)},
+			wantID: 2, // preference query empty → fallback picks newest compatible
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			g, perr := srv.match(tt.req)
+			if tt.wantNo {
+				if perr == nil {
+					t.Fatalf("expected NO_DRIVER, got driver %d", g.driverID)
+				}
+				if perr.Code != ErrCodeNoDriver {
+					t.Fatalf("code = %v", perr.Code)
+				}
+				return
+			}
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			if g.driverID != tt.wantID {
+				t.Fatalf("matched driver %d, want %d", g.driverID, tt.wantID)
+			}
+		})
+	}
+}
+
+// TestMatchmakingSampleCode2 exercises the permission/distribution path:
+// user/db/client_ip LIKE filters and the date window.
+func TestMatchmakingSampleCode2(t *testing.T) {
+	now := time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
+	db := sqlmini.NewDB(sqlmini.WithClock(func() time.Time { return now }))
+	st := NewLocalStore(db)
+	srv, err := NewServer("s", st, WithClock(func() time.Time { return now }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	insert := func(id int64, ver dbver.Version) {
+		t.Helper()
+		rec := DriverRecord{
+			DriverID: id, APIName: "JDBC", APIMajor: -1, APIMinor: -1,
+			Version: ver, BinaryCode: testImageBlob(t, "JDBC", ver), Format: "IMAGE",
+		}
+		if err := insertDriver(st, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert(1, dbver.V(1, 0, 0))
+	insert(2, dbver.V(2, 0, 0))
+
+	// Per Sample code 2 the stored column is the LIKE *string* and the
+	// client value the pattern, so admins store exact users (or NULL for
+	// any). User gis-batch gets driver 1; everyone on db "geo" driver 2.
+	mustPerm := func(p Permission) {
+		t.Helper()
+		p.PermissionID = 0
+		if _, err := srv.SetPermission(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPerm(Permission{User: "gis-batch", DriverID: 1, LeaseTime: time.Hour,
+		RenewPolicy: RenewUpgrade, ExpirationPolicy: AfterCommit, TransferMethod: TransferAny})
+	mustPerm(Permission{Database: "geo", DriverID: 2, LeaseTime: 30 * time.Minute,
+		RenewPolicy: RenewKeep, ExpirationPolicy: AfterClose, TransferMethod: TransferAny,
+		StartDate: now.Add(-time.Hour), EndDate: now.Add(time.Hour)})
+
+	// Permission rows are consulted newest-first: a "geo" database
+	// client matches permission 2.
+	g, perr := srv.match(Request{Database: "geo", User: "web1", API: dbver.AnyVersionAPI("JDBC"), ClientPlatform: "linux-x86_64"})
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if g.driverID != 2 || g.renew != RenewKeep || g.expiration != AfterClose || g.leaseTime != 30*time.Minute {
+		t.Fatalf("grant = %+v", g)
+	}
+
+	// A gis user on another database matches permission 1.
+	g, perr = srv.match(Request{Database: "other", User: "gis-batch", API: dbver.AnyVersionAPI("JDBC"), ClientPlatform: "linux-x86_64"})
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if g.driverID != 1 {
+		t.Fatalf("driver = %d, want 1", g.driverID)
+	}
+
+	// Outside the date window the geo permission stops matching and the
+	// preference path takes over (newest driver = 2 anyway). Shift the
+	// clock past end_date.
+	now = now.Add(2 * time.Hour)
+	g, perr = srv.match(Request{Database: "geo", User: "web1", API: dbver.AnyVersionAPI("JDBC"), ClientPlatform: "linux-x86_64"})
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if g.renew != srv.defaultRenew {
+		t.Fatalf("expected default policies after permission window closed, got %+v", g)
+	}
+}
+
+// testImageBlob builds a minimal encodable driver image blob.
+func testImageBlob(t *testing.T, api string, ver dbver.Version) []byte {
+	t.Helper()
+	img := &driverimg.Image{
+		Manifest: driverimg.Manifest{
+			Kind:    "dbms-native",
+			API:     dbver.AnyVersionAPI(api),
+			Version: ver,
+		},
+	}
+	return img.Encode()
+}

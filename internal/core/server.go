@@ -1,0 +1,411 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/driverimg"
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// AuthFunc validates bootstrap credentials. Returning an error rejects
+// the request with a DRIVOLUTION_ERROR(AUTH).
+type AuthFunc func(database, user, password string) error
+
+// Server is the Drivolution Server: it answers bootloader requests by
+// querying the driver schema (Sample code 1/2), manages leases, streams
+// driver binaries, and pushes update notifications over dedicated
+// channels. Where the schema lives is decided by the Store, so one
+// implementation covers the in-database (§4.1.2), external (§4.1.3), and
+// standalone (§4.1.4) deployments.
+type Server struct {
+	name  string
+	store Store
+	clock func() time.Time
+
+	auth        AuthFunc
+	signKey     ed25519.PrivateKey
+	packages    *driverimg.PackageStore
+	licenseMode bool
+
+	defaultLease      time.Duration
+	defaultRenew      RenewPolicy
+	defaultExpiration ExpirationPolicy
+	defaultTransfer   TransferMethod
+
+	mu          sync.Mutex
+	ln          net.Listener
+	nextLease   uint64
+	nextPermID  int64
+	nextDrvID   int64
+	pending     map[uint64][]byte // leaseID → driver blob awaiting FILE_REQUEST
+	subscribers map[*wire.Conn]subscribeMsg
+	idsLoaded   bool
+
+	wg sync.WaitGroup
+
+	// Metrics for experiments and benchmarks.
+	requests  atomic.Int64
+	offers    atomic.Int64
+	errsSent  atomic.Int64
+	transfers atomic.Int64
+	bytesOut  atomic.Int64
+	notifies  atomic.Int64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithClock overrides the time source (tests).
+func WithClock(clock func() time.Time) ServerOption {
+	return func(s *Server) { s.clock = clock }
+}
+
+// WithAuth installs credential validation for bootstrap requests.
+func WithAuth(fn AuthFunc) ServerOption {
+	return func(s *Server) { s.auth = fn }
+}
+
+// WithSigningKey makes the server sign driver images it assembles on
+// demand (base images are signed at insert time by the admin API).
+func WithSigningKey(key ed25519.PrivateKey) ServerOption {
+	return func(s *Server) { s.signKey = key }
+}
+
+// WithPackages enables on-demand driver assembly (§5.4.1).
+func WithPackages(ps *driverimg.PackageStore) ServerOption {
+	return func(s *Server) { s.packages = ps }
+}
+
+// WithDefaultLease sets the lease duration used when no permission row
+// specifies one. The paper suggests "settings ranging from an hour to a
+// day"; tests use milliseconds.
+func WithDefaultLease(d time.Duration) ServerOption {
+	return func(s *Server) { s.defaultLease = d }
+}
+
+// WithDefaultPolicies sets the policies offered when no permission row
+// matches.
+func WithDefaultPolicies(r RenewPolicy, e ExpirationPolicy) ServerOption {
+	return func(s *Server) { s.defaultRenew = r; s.defaultExpiration = e }
+}
+
+// WithLicenseMode makes every driver single-lease: a driver already
+// leased (and not released or expired) is unavailable to other clients —
+// the §5.4.2 per-user license model.
+func WithLicenseMode() ServerOption {
+	return func(s *Server) { s.licenseMode = true }
+}
+
+// NewServer creates a Drivolution server over the given store. Call
+// EnsureSchema (or let NewServer do it) before serving.
+func NewServer(name string, store Store, opts ...ServerOption) (*Server, error) {
+	s := &Server{
+		name:              name,
+		store:             store,
+		clock:             time.Now,
+		defaultLease:      time.Hour,
+		defaultRenew:      RenewUpgrade,
+		defaultExpiration: AfterCommit,
+		defaultTransfer:   TransferAny,
+		pending:           make(map[uint64][]byte),
+		subscribers:       make(map[*wire.Conn]subscribeMsg),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if err := EnsureSchema(store); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// Store exposes the underlying schema store, letting deployments share
+// one store across several server frontends (e.g. a plaintext and a TLS
+// listener over the same drivers table).
+func (s *Server) Store() Store { return s.store }
+
+// Stats reports protocol counters: requests received, offers sent,
+// errors sent, file transfers completed, bytes transferred, and push
+// notifications delivered.
+func (s *Server) Stats() (requests, offers, errsSent, transfers, bytesOut, notifies int64) {
+	return s.requests.Load(), s.offers.Load(), s.errsSent.Load(),
+		s.transfers.Load(), s.bytesOut.Load(), s.notifies.Load()
+}
+
+// Start listens for bootloader connections on addr.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("core: listen %s: %w", addr, err)
+	}
+	return s.serveListener(ln)
+}
+
+// StartTLS listens with TLS — the paper's default secure configuration
+// ("In its default configuration, Drivolution uses encrypted
+// authenticated SSL channels").
+func (s *Server) StartTLS(addr string, cert tls.Certificate) error {
+	ln, err := tls.Listen("tcp", addr, &tls.Config{Certificates: []tls.Certificate{cert}})
+	if err != nil {
+		return fmt.Errorf("core: tls listen %s: %w", addr, err)
+	}
+	return s.serveListener(ln)
+}
+
+func (s *Server) serveListener(ln net.Listener) error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return fmt.Errorf("core: server %s already started", s.name)
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(nc)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the listen address, or "" when not started.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stop closes the listener and all subscriber channels and waits for
+// connection goroutines. The store (and therefore all leases/drivers)
+// survives; Start may be called again.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+		s.ln = nil
+	}
+	for c := range s.subscribers {
+		_ = c.Close()
+	}
+	s.subscribers = make(map[*wire.Conn]subscribeMsg)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	conn := wire.NewConn(nc)
+	subscribed := false
+	defer func() {
+		if !subscribed {
+			conn.Close()
+		}
+	}()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// Best effort: protocol errors just end the session.
+				_ = err
+			}
+			if subscribed {
+				s.dropSubscriber(conn)
+				conn.Close()
+			}
+			return
+		}
+		switch f.Type {
+		case msgDiscover:
+			s.handleDiscover(conn, f.Payload)
+		case msgRequest:
+			s.handleRequest(conn, f.Payload)
+		case msgFileRequest:
+			s.handleFileRequest(conn, f.Payload)
+		case msgSubscribe:
+			if s.handleSubscribe(conn, f.Payload) {
+				subscribed = true
+			}
+		case msgRelease:
+			s.handleRelease(conn, f.Payload)
+		default:
+			s.sendError(conn, ErrCodeInternal, fmt.Sprintf("unexpected frame 0x%04x", f.Type))
+		}
+	}
+}
+
+func (s *Server) sendError(conn *wire.Conn, code ErrorCode, msg string) {
+	s.errsSent.Add(1)
+	_ = conn.Send(msgError, encodeProtocolError(code, msg))
+}
+
+// handleDiscover answers a broadcast probe: matchmaking runs but no
+// lease is created; the bootloader then unicasts a REQUEST to one of the
+// offering servers (paper §3.1).
+func (s *Server) handleDiscover(conn *wire.Conn, payload []byte) {
+	req, err := decodeRequest(payload)
+	if err != nil {
+		s.sendError(conn, ErrCodeInternal, "malformed discover")
+		return
+	}
+	s.requests.Add(1)
+	if s.auth != nil {
+		if err := s.auth(req.Database, req.User, req.Password); err != nil {
+			s.sendError(conn, ErrCodeAuth, err.Error())
+			return
+		}
+	}
+	g, perr := s.match(req)
+	if perr != nil {
+		s.sendError(conn, perr.Code, perr.Message)
+		return
+	}
+	s.offers.Add(1)
+	_ = conn.Send(msgOffer, Offer{
+		LeaseTime:        g.leaseTime,
+		RenewPolicy:      g.renew,
+		ExpirationPolicy: g.expiration,
+		TransferMethod:   g.transfer,
+		HasDriver:        true,
+		DriverChecksum:   g.checksum,
+		Format:           g.format,
+		Size:             uint32(len(g.blob)),
+		ServerName:       s.name,
+	}.encode())
+}
+
+func (s *Server) handleRequest(conn *wire.Conn, payload []byte) {
+	req, err := decodeRequest(payload)
+	if err != nil {
+		s.sendError(conn, ErrCodeInternal, "malformed request")
+		return
+	}
+	s.requests.Add(1)
+	if s.auth != nil {
+		if err := s.auth(req.Database, req.User, req.Password); err != nil {
+			s.sendError(conn, ErrCodeAuth, err.Error())
+			return
+		}
+	}
+	offer, perr := s.grant(req, conn.IsTLS())
+	if perr != nil {
+		s.sendError(conn, perr.Code, perr.Message)
+		return
+	}
+	s.offers.Add(1)
+	_ = conn.Send(msgOffer, offer.encode())
+}
+
+func (s *Server) handleFileRequest(conn *wire.Conn, payload []byte) {
+	fr, err := decodeFileRequest(payload)
+	if err != nil {
+		s.sendError(conn, ErrCodeInternal, "malformed file request")
+		return
+	}
+	s.mu.Lock()
+	blob, ok := s.pending[fr.LeaseID]
+	s.mu.Unlock()
+	if !ok {
+		s.sendError(conn, ErrCodeNoLease, fmt.Sprintf("no pending transfer for lease %d", fr.LeaseID))
+		return
+	}
+	total := uint32(len(blob))
+	for off := uint32(0); ; {
+		end := off + transferChunkSize
+		if end > total {
+			end = total
+		}
+		chunk := fileChunk{Offset: off, Total: total, Last: end == total, Data: blob[off:end]}
+		if err := conn.Send(msgFileData, chunk.encode()); err != nil {
+			return
+		}
+		s.bytesOut.Add(int64(end - off))
+		if chunk.Last {
+			break
+		}
+		off = end
+	}
+	s.transfers.Add(1)
+}
+
+func (s *Server) handleSubscribe(conn *wire.Conn, payload []byte) bool {
+	sub, err := decodeSubscribe(payload)
+	if err != nil {
+		s.sendError(conn, ErrCodeInternal, "malformed subscribe")
+		return false
+	}
+	s.mu.Lock()
+	s.subscribers[conn] = sub
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) dropSubscriber(conn *wire.Conn) {
+	s.mu.Lock()
+	delete(s.subscribers, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleRelease(conn *wire.Conn, payload []byte) {
+	rel, err := decodeRelease(payload)
+	if err != nil {
+		s.sendError(conn, ErrCodeInternal, "malformed release")
+		return
+	}
+	_, execErr := s.store.Exec(
+		`UPDATE `+LeasesTable+` SET released = TRUE WHERE lease_id = $id`,
+		sqlmini.Args{"id": int64(rel.LeaseID)})
+	if execErr != nil {
+		s.sendError(conn, ErrCodeInternal, execErr.Error())
+		return
+	}
+	s.mu.Lock()
+	delete(s.pending, rel.LeaseID)
+	s.mu.Unlock()
+	_ = conn.Send(msgReleaseOK, nil)
+}
+
+// NotifyUpdate pushes a change notification to dedicated-channel
+// subscribers whose (database, api) scope matches; empty strings match
+// everything. Admin operations call it automatically.
+func (s *Server) NotifyUpdate(database, api string) {
+	s.mu.Lock()
+	conns := make([]*wire.Conn, 0, len(s.subscribers))
+	for c, sub := range s.subscribers {
+		if (sub.Database == "" || database == "" || sub.Database == database) &&
+			(sub.API == "" || api == "" || sub.API == api) {
+			conns = append(conns, c)
+		}
+	}
+	s.mu.Unlock()
+	payload := subscribeMsg{Database: database, API: api}.encode()
+	for _, c := range conns {
+		if err := c.Send(msgNotify, payload); err == nil {
+			s.notifies.Add(1)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/sqlmini"
+)
+
+// Store abstracts where the Drivolution schema lives. The paper's three
+// deployment shapes map onto two implementations:
+//
+//   - LocalStore: the schema sits in an embedded/in-process database —
+//     the in-database server (§4.1.2, sharing the DBMS's own sqlmini
+//     instance) and the standalone server (§4.1.4, "use an embedded
+//     database that does not require driver upgrades").
+//   - ConnStore: the schema sits in a remote legacy DBMS reached through
+//     a conventional driver connection — the external server (§4.1.3,
+//     Figure 2).
+type Store interface {
+	// Exec runs one SQL statement against the schema's database.
+	Exec(sql string, args ...any) (*sqlmini.Result, error)
+}
+
+// LocalStore serves the schema from an in-process sqlmini database.
+type LocalStore struct {
+	DB *sqlmini.DB
+}
+
+// NewLocalStore wraps db.
+func NewLocalStore(db *sqlmini.DB) *LocalStore { return &LocalStore{DB: db} }
+
+// Exec implements Store.
+func (s *LocalStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	return s.DB.Exec(sql, args...)
+}
+
+// ConnStore serves the schema through a legacy driver connection to a
+// remote database (Figure 2: "the server then connects to the database
+// using a legacy database driver"). Statements serialize on the single
+// connection; on connection failure it redials lazily.
+type ConnStore struct {
+	mu      sync.Mutex
+	dial    func() (client.Conn, error)
+	conn    client.Conn
+	dialErr error
+}
+
+// NewConnStore creates a store that obtains connections from dial.
+func NewConnStore(dial func() (client.Conn, error)) *ConnStore {
+	return &ConnStore{dial: dial}
+}
+
+// Exec implements Store.
+func (s *ConnStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		c, err := s.dial()
+		if err != nil {
+			return nil, fmt.Errorf("core: external store dial: %w", err)
+		}
+		s.conn = c
+	}
+	res, err := s.conn.Exec(sql, args...)
+	if err != nil {
+		// A dead connection is retried once on a fresh dial; statement
+		// errors pass through.
+		if pingErr := s.conn.Ping(); pingErr != nil {
+			_ = s.conn.Close()
+			s.conn = nil
+			c, dialErr := s.dial()
+			if dialErr != nil {
+				return nil, fmt.Errorf("core: external store redial: %w", dialErr)
+			}
+			s.conn = c
+			res, err = s.conn.Exec(sql, args...)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &sqlmini.Result{Cols: res.Cols, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+// Close releases the underlying connection.
+func (s *ConnStore) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+}

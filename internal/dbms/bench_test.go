@@ -1,0 +1,62 @@
+package dbms
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/dbver"
+	"repro/internal/sqlmini"
+)
+
+func benchServer(b *testing.B) (*Server, client.Conn) {
+	b.Helper()
+	db := sqlmini.NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v VARCHAR)")
+	db.MustExec("INSERT INTO t (id, v) VALUES (1, 'x')")
+	s := NewServer("bench", WithUser("u", "p"))
+	s.AddDatabase("d", db)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Stop)
+	d := NewNativeDriver(dbver.V(1, 0, 0), 1)
+	c, err := d.Connect("dbms://"+s.Addr()+"/d", client.Props{"user": "u", "password": "p"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func BenchmarkQueryOverWire(b *testing.B) {
+	_, c := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT v FROM t WHERE id = ?", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecOverWire(b *testing.B) {
+	_, c := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Exec("UPDATE t SET v = 'y' WHERE id = 1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnectHandshake(b *testing.B) {
+	s, _ := benchServer(b)
+	d := NewNativeDriver(dbver.V(1, 0, 0), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := d.Connect("dbms://"+s.Addr()+"/d", client.Props{"user": "u", "password": "p"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,287 @@
+package dbms
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dbver"
+	"repro/internal/driverimg"
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// DriverKind is the driver-image kind instantiated by this package's
+// image factory.
+const DriverKind = "dbms-native"
+
+// NativeDriver is the conventional ("legacy") driver for the DBMS
+// protocol: the thing the paper's lifecycle installs by hand on every
+// client machine. It speaks exactly one protocol version; pointing it at
+// a server speaking another version fails at connect time.
+type NativeDriver struct {
+	version      dbver.Version
+	protoVersion uint16
+	dialTimeout  time.Duration
+}
+
+// NativeDriverOption configures a NativeDriver.
+type NativeDriverOption func(*NativeDriver)
+
+// WithDialTimeout bounds connection establishment.
+func WithDialTimeout(d time.Duration) NativeDriverOption {
+	return func(n *NativeDriver) { n.dialTimeout = d }
+}
+
+// NewNativeDriver builds a driver of the given build version speaking
+// the given wire-protocol version.
+func NewNativeDriver(version dbver.Version, protoVersion uint16, opts ...NativeDriverOption) *NativeDriver {
+	d := &NativeDriver{version: version, protoVersion: protoVersion, dialTimeout: 5 * time.Second}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Name implements client.Driver.
+func (d *NativeDriver) Name() string { return DriverKind }
+
+// Version implements client.Driver.
+func (d *NativeDriver) Version() dbver.Version { return d.version }
+
+// ProtocolVersion reports the wire-protocol version this build speaks.
+func (d *NativeDriver) ProtocolVersion() uint16 { return d.protoVersion }
+
+// Connect implements client.Driver. URL form:
+// dbms://host:port/database?user=u&password=p — props override URL
+// options.
+func (d *NativeDriver) Connect(rawURL string, props client.Props) (client.Conn, error) {
+	u, err := client.ParseURL(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme != "dbms" {
+		return nil, fmt.Errorf("dbms: driver cannot handle scheme %q", u.Scheme)
+	}
+	opts := u.Options.Merge(props)
+	conn, err := wire.Dial(u.Hosts[0], d.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	hello := helloMsg{
+		ProtocolVersion: d.protoVersion,
+		Database:        u.Database,
+		User:            opts["user"],
+		Password:        opts["password"],
+		ClientInfo:      fmt.Sprintf("%s %s (proto %d)", DriverKind, d.version, d.protoVersion),
+	}
+	if err := conn.Send(msgHello, hello.encode()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := conn.RecvTimeout(d.dialTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dbms: handshake: %w", err)
+	}
+	switch f.Type {
+	case msgHelloOK:
+		ok, err := decodeHelloOK(f.Payload)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("dbms: handshake: %w", err)
+		}
+		return &nativeConn{conn: conn, server: ok.ServerName, sessionID: ok.SessionID}, nil
+	case msgError:
+		code, msg, derr := decodeError(f.Payload)
+		conn.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("dbms: handshake: %w", derr)
+		}
+		return nil, wrapServerError(code, msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("dbms: handshake: unexpected frame 0x%04x", f.Type)
+	}
+}
+
+// wrapServerError maps protocol error codes onto the shared client
+// errors so applications can errors.Is against them.
+func wrapServerError(code uint16, msg string) error {
+	switch code {
+	case codeProtocolMismatch:
+		return fmt.Errorf("%w: %s", client.ErrProtocolMismatch, msg)
+	case codeAuthFailed:
+		return fmt.Errorf("%w: %s", client.ErrAuth, msg)
+	case codeNoDatabase:
+		return fmt.Errorf("%w: %s", client.ErrNoDatabase, msg)
+	case codeReadOnly, codeQueryError:
+		return fmt.Errorf("dbms: %s", msg)
+	case codeShutdown:
+		return fmt.Errorf("%w: %s", client.ErrClosed, msg)
+	default:
+		return fmt.Errorf("dbms: [%d] %s", code, msg)
+	}
+}
+
+// nativeConn is one live protocol connection. Request/response is
+// serialized with a mutex: one outstanding statement per connection,
+// like classic JDBC.
+type nativeConn struct {
+	mu        sync.Mutex
+	conn      *wire.Conn
+	server    string
+	sessionID uint64
+	inTx      bool
+	closed    bool
+}
+
+func (c *nativeConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return wire.Frame{}, client.ErrClosed
+	}
+	if err := c.conn.Send(typ, payload); err != nil {
+		c.closed = true
+		return wire.Frame{}, fmt.Errorf("%w: %v", client.ErrClosed, err)
+	}
+	f, err := c.conn.Recv()
+	if err != nil {
+		c.closed = true
+		return wire.Frame{}, fmt.Errorf("%w: %v", client.ErrClosed, err)
+	}
+	return f, nil
+}
+
+func (c *nativeConn) exec(sql string, args []any) (*client.Result, error) {
+	m := execMsg{SQL: sql}
+	if len(args) == 1 {
+		if named, ok := args[0].(sqlmini.Args); ok {
+			m.Named = make(map[string]sqlmini.Value, len(named))
+			for k, v := range named {
+				val, err := sqlmini.FromGo(v)
+				if err != nil {
+					return nil, err
+				}
+				m.Named[k] = val
+			}
+		}
+	}
+	if m.Named == nil {
+		for _, a := range args {
+			v, err := sqlmini.FromGo(a)
+			if err != nil {
+				return nil, err
+			}
+			m.Positional = append(m.Positional, v)
+		}
+	}
+	f, err := c.roundTrip(msgExec, m.encode())
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case msgResult:
+		r, err := decodeResult(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &client.Result{Cols: r.Cols, Rows: r.Rows, Affected: r.Affected}, nil
+	case msgError:
+		code, msg, derr := decodeError(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, wrapServerError(code, msg)
+	default:
+		return nil, fmt.Errorf("dbms: unexpected frame 0x%04x", f.Type)
+	}
+}
+
+// Exec implements client.Conn.
+func (c *nativeConn) Exec(sql string, args ...any) (*client.Result, error) {
+	return c.exec(sql, args)
+}
+
+// Query implements client.Conn.
+func (c *nativeConn) Query(sql string, args ...any) (*client.Result, error) {
+	return c.exec(sql, args)
+}
+
+// Begin implements client.Conn.
+func (c *nativeConn) Begin() error {
+	if _, err := c.exec("BEGIN", nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.inTx = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Commit implements client.Conn.
+func (c *nativeConn) Commit() error {
+	if _, err := c.exec("COMMIT", nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.inTx = false
+	c.mu.Unlock()
+	return nil
+}
+
+// Rollback implements client.Conn.
+func (c *nativeConn) Rollback() error {
+	if _, err := c.exec("ROLLBACK", nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.inTx = false
+	c.mu.Unlock()
+	return nil
+}
+
+// InTx implements client.Conn.
+func (c *nativeConn) InTx() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inTx
+}
+
+// Ping implements client.Conn.
+func (c *nativeConn) Ping() error {
+	f, err := c.roundTrip(msgPing, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != msgPong {
+		return fmt.Errorf("dbms: unexpected ping reply 0x%04x", f.Type)
+	}
+	return nil
+}
+
+// Close implements client.Conn.
+func (c *nativeConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// ImageFactory returns the driverimg factory for DriverKind: it builds a
+// NativeDriver whose protocol version and build version come from the
+// image manifest, wrapped with manifest semantics (URL pinning, option
+// defaults). Register it on a Runtime to make DBMS drivers loadable:
+//
+//	rt.Register(dbms.DriverKind, dbms.ImageFactory())
+func ImageFactory() driverimg.Factory {
+	return func(img *driverimg.Image) (client.Driver, error) {
+		inner := NewNativeDriver(img.Manifest.Version, img.Manifest.ProtocolVersion)
+		return driverimg.WrapDriver(inner, img), nil
+	}
+}

@@ -1,0 +1,214 @@
+// Package dbms implements the simulated database management system the
+// reproduction runs against: a TCP server speaking a versioned binary
+// protocol, executing SQL against sqlmini databases, with per-user
+// authentication, transactions, statement-based master/slave
+// replication, and an information schema. It also ships the "legacy"
+// native driver for that protocol — the conventional driver whose
+// lifecycle the paper is reforming.
+//
+// The protocol version carried in the client hello is the compatibility
+// axis the paper cares about: a driver built for protocol N fails at
+// connect time against a server speaking protocol M≠N, reproducing the
+// paper's step-5 incompatibility ("Step 5 is where the compatibility
+// between the database and the driver is checked").
+package dbms
+
+import (
+	"fmt"
+
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// Frame types of the DBMS protocol.
+const (
+	msgHello   uint16 = 0x0101 // client → server: version, db, credentials
+	msgHelloOK uint16 = 0x0102 // server → client: accepted
+	msgExec    uint16 = 0x0103 // client → server: statement + args
+	msgResult  uint16 = 0x0104 // server → client: result set
+	msgPing    uint16 = 0x0105
+	msgPong    uint16 = 0x0106
+	msgError   uint16 = 0x01FF
+)
+
+// Error codes carried by msgError.
+const (
+	codeProtocolMismatch uint16 = iota + 1
+	codeAuthFailed
+	codeNoDatabase
+	codeQueryError
+	codeReadOnly
+	codeShutdown
+)
+
+// serverError is a protocol-level error with a code.
+type serverError struct {
+	code uint16
+	msg  string
+}
+
+func (e *serverError) Error() string { return fmt.Sprintf("dbms: [%d] %s", e.code, e.msg) }
+
+type helloMsg struct {
+	ProtocolVersion uint16
+	Database        string
+	User            string
+	Password        string
+	ClientInfo      string // driver name/version, for diagnostics
+}
+
+func (h helloMsg) encode() []byte {
+	e := wire.NewEncoder(128)
+	e.Uint16(h.ProtocolVersion)
+	e.String(h.Database)
+	e.String(h.User)
+	e.String(h.Password)
+	e.String(h.ClientInfo)
+	return e.Bytes()
+}
+
+func decodeHello(b []byte) (helloMsg, error) {
+	d := wire.NewDecoder(b)
+	h := helloMsg{
+		ProtocolVersion: d.Uint16(),
+		Database:        d.String(),
+		User:            d.String(),
+		Password:        d.String(),
+		ClientInfo:      d.String(),
+	}
+	return h, d.Err()
+}
+
+type helloOKMsg struct {
+	ServerName      string
+	ServerVersion   string
+	ProtocolVersion uint16
+	SessionID       uint64
+}
+
+func (h helloOKMsg) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.String(h.ServerName)
+	e.String(h.ServerVersion)
+	e.Uint16(h.ProtocolVersion)
+	e.Uint64(h.SessionID)
+	return e.Bytes()
+}
+
+func decodeHelloOK(b []byte) (helloOKMsg, error) {
+	d := wire.NewDecoder(b)
+	h := helloOKMsg{
+		ServerName:      d.String(),
+		ServerVersion:   d.String(),
+		ProtocolVersion: d.Uint16(),
+		SessionID:       d.Uint64(),
+	}
+	return h, d.Err()
+}
+
+type execMsg struct {
+	SQL        string
+	Named      map[string]sqlmini.Value
+	Positional []sqlmini.Value
+}
+
+func (m execMsg) encode() []byte {
+	e := wire.NewEncoder(256)
+	e.String(m.SQL)
+	e.Uint32(uint32(len(m.Named)))
+	for k, v := range m.Named {
+		e.String(k)
+		sqlmini.EncodeValue(e, v)
+	}
+	e.Uint32(uint32(len(m.Positional)))
+	for _, v := range m.Positional {
+		sqlmini.EncodeValue(e, v)
+	}
+	return e.Bytes()
+}
+
+func decodeExec(b []byte) (execMsg, error) {
+	d := wire.NewDecoder(b)
+	m := execMsg{SQL: d.String()}
+	nNamed := d.Uint32()
+	if err := d.Err(); err != nil {
+		return m, err
+	}
+	if nNamed > 0 {
+		m.Named = make(map[string]sqlmini.Value, nNamed)
+		for i := uint32(0); i < nNamed; i++ {
+			k := d.String()
+			v, err := sqlmini.DecodeValue(d)
+			if err != nil {
+				return m, err
+			}
+			m.Named[k] = v
+		}
+	}
+	nPos := d.Uint32()
+	if err := d.Err(); err != nil {
+		return m, err
+	}
+	for i := uint32(0); i < nPos; i++ {
+		v, err := sqlmini.DecodeValue(d)
+		if err != nil {
+			return m, err
+		}
+		m.Positional = append(m.Positional, v)
+	}
+	return m, d.Err()
+}
+
+func encodeResult(r *sqlmini.Result) []byte {
+	e := wire.NewEncoder(256)
+	e.StringSlice(r.Cols)
+	e.Uint32(uint32(len(r.Rows)))
+	for _, row := range r.Rows {
+		e.Uint32(uint32(len(row)))
+		for _, v := range row {
+			sqlmini.EncodeValue(e, v)
+		}
+	}
+	e.Int64(int64(r.Affected))
+	return e.Bytes()
+}
+
+func decodeResult(b []byte) (*sqlmini.Result, error) {
+	d := wire.NewDecoder(b)
+	r := &sqlmini.Result{Cols: d.StringSlice()}
+	nRows := d.Uint32()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nRows; i++ {
+		nCols := d.Uint32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		row := make([]sqlmini.Value, 0, nCols)
+		for j := uint32(0); j < nCols; j++ {
+			v, err := sqlmini.DecodeValue(d)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	r.Affected = int(d.Int64())
+	return r, d.Err()
+}
+
+func encodeError(code uint16, msg string) []byte {
+	e := wire.NewEncoder(len(msg) + 8)
+	e.Uint16(code)
+	e.String(msg)
+	return e.Bytes()
+}
+
+func decodeError(b []byte) (uint16, string, error) {
+	d := wire.NewDecoder(b)
+	code := d.Uint16()
+	msg := d.String()
+	return code, msg, d.Err()
+}

@@ -1,0 +1,470 @@
+package dbms
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dbver"
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// Server is one simulated DBMS instance: a TCP endpoint serving one or
+// more named sqlmini databases. Servers are restartable (Stop then Start)
+// to model maintenance windows (paper §5.2).
+type Server struct {
+	name          string
+	engineVersion dbver.Version
+	protoVersion  uint16
+	users         map[string]string
+	logf          func(format string, args ...any)
+
+	mu        sync.Mutex
+	dbs       map[string]*sqlmini.DB
+	readOnly  bool
+	replicas  []*Server
+	ln        net.Listener
+	stopped   bool
+	sessions  map[*session]struct{}
+	nextSID   uint64
+	userConns map[string]int
+
+	wg sync.WaitGroup
+
+	// counters for benchmarks and experiments
+	queries atomic.Int64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithEngineVersion sets the reported engine version.
+func WithEngineVersion(v dbver.Version) ServerOption {
+	return func(s *Server) { s.engineVersion = v }
+}
+
+// WithProtocolVersion sets the wire-protocol version the engine speaks.
+// Clients presenting a different version are rejected at connect time.
+func WithProtocolVersion(v uint16) ServerOption {
+	return func(s *Server) { s.protoVersion = v }
+}
+
+// WithUser adds an authentication entry.
+func WithUser(user, password string) ServerOption {
+	return func(s *Server) { s.users[user] = password }
+}
+
+// WithReadOnly marks the server as a read-only replica: client mutations
+// are rejected, replicated statements still apply.
+func WithReadOnly() ServerOption {
+	return func(s *Server) { s.readOnly = true }
+}
+
+// WithLogger routes server diagnostics; default is silent.
+func WithLogger(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer creates a DBMS instance named name. At least one database
+// must be attached with AddDatabase before clients can connect to it.
+func NewServer(name string, opts ...ServerOption) *Server {
+	s := &Server{
+		name:          name,
+		engineVersion: dbver.V(1, 0, 0),
+		protoVersion:  1,
+		users:         map[string]string{},
+		dbs:           map[string]*sqlmini.DB{},
+		sessions:      map[*session]struct{}{},
+		userConns:     map[string]int{},
+		logf:          func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// EngineVersion returns the engine version.
+func (s *Server) EngineVersion() dbver.Version { return s.engineVersion }
+
+// ProtocolVersion returns the wire-protocol version this engine speaks.
+func (s *Server) ProtocolVersion() uint16 { return s.protoVersion }
+
+// AddDatabase attaches db under the given name.
+func (s *Server) AddDatabase(name string, db *sqlmini.DB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dbs[name] = db
+}
+
+// Database returns the named database, or nil.
+func (s *Server) Database(name string) *sqlmini.DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dbs[name]
+}
+
+// Databases lists attached database names.
+func (s *Server) Databases() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// AttachReplica registers r to receive every mutating statement applied
+// on this server (statement-based replication). Initial state transfers
+// via Snapshot/Restore; see SyncReplica.
+func (s *Server) AttachReplica(r *Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replicas = append(s.replicas, r)
+}
+
+// DetachReplica removes r from the replication fan-out.
+func (s *Server) DetachReplica(r *Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, x := range s.replicas {
+		if x == r {
+			s.replicas = append(s.replicas[:i], s.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// SyncReplica copies every database's current state into r.
+func (s *Server) SyncReplica(r *Server) error {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	for _, n := range names {
+		src := s.Database(n)
+		dst := r.Database(n)
+		if dst == nil {
+			dst = sqlmini.NewDB()
+			r.AddDatabase(n, dst)
+		}
+		if err := dst.Restore(src.Snapshot()); err != nil {
+			return fmt.Errorf("dbms: sync replica %s/%s: %w", r.name, n, err)
+		}
+	}
+	return nil
+}
+
+// Start listens on addr ("127.0.0.1:0" picks a free port) and serves
+// until Stop.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dbms: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return fmt.Errorf("dbms: server %s already started", s.name)
+	}
+	s.ln = ln
+	s.stopped = false
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listen address, or "" when stopped.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// Stop closes the listener and force-disconnects every session, then
+// waits for all connection goroutines to exit. Databases and their
+// contents survive; Start may be called again (maintenance window).
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+		s.ln = nil
+	}
+	s.stopped = true
+	for sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.sessions = map[*session]struct{}{}
+	s.userConns = map[string]int{}
+	s.mu.Unlock()
+}
+
+// ActiveSessions reports the number of connected client sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// UserHasSession reports whether any live session authenticated as user —
+// the in-engine failure detector for the license server (paper §5.4.2:
+// "If the Drivolution Server is tightly integrated with the database, it
+// can check if any connection with the client is still active").
+func (s *Server) UserHasSession(user string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.userConns[user] > 0
+}
+
+// QueriesServed reports the total statements executed.
+func (s *Server) QueriesServed() int64 { return s.queries.Load() }
+
+// DisconnectUser force-closes every session authenticated as user and
+// returns how many were closed — the paper's §3.2 option of enforcing
+// connection revocation "in the database server, if the Drivolution
+// Server is tightly integrated with the database engine".
+func (s *Server) DisconnectUser(user string) int {
+	s.mu.Lock()
+	var victims []*session
+	for sess := range s.sessions {
+		if sess.user == user {
+			victims = append(victims, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range victims {
+		_ = sess.conn.Close()
+	}
+	return len(victims)
+}
+
+type session struct {
+	id   uint64
+	conn *wire.Conn
+	user string
+	db   string
+	sql  *sqlmini.Session
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+
+	// Handshake with a deadline so stalled dialers can't pin goroutines.
+	f, err := conn.RecvTimeout(10 * time.Second)
+	if err != nil {
+		return
+	}
+	if f.Type != msgHello {
+		_ = conn.Send(msgError, encodeError(codeProtocolMismatch, "expected hello"))
+		return
+	}
+	hello, err := decodeHello(f.Payload)
+	if err != nil {
+		_ = conn.Send(msgError, encodeError(codeProtocolMismatch, "malformed hello"))
+		return
+	}
+	if hello.ProtocolVersion != s.protoVersion {
+		_ = conn.Send(msgError, encodeError(codeProtocolMismatch,
+			fmt.Sprintf("server %s speaks protocol %d, driver sent %d (%s)",
+				s.name, s.protoVersion, hello.ProtocolVersion, hello.ClientInfo)))
+		return
+	}
+	if pw, ok := s.users[hello.User]; !ok || pw != hello.Password {
+		_ = conn.Send(msgError, encodeError(codeAuthFailed,
+			fmt.Sprintf("authentication failed for user %q", hello.User)))
+		return
+	}
+	db := s.Database(hello.Database)
+	if db == nil {
+		_ = conn.Send(msgError, encodeError(codeNoDatabase,
+			fmt.Sprintf("no database %q on server %s", hello.Database, s.name)))
+		return
+	}
+
+	sess := &session{conn: conn, user: hello.User, db: hello.Database, sql: db.NewSession()}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		_ = conn.Send(msgError, encodeError(codeShutdown, "server stopping"))
+		return
+	}
+	s.nextSID++
+	sess.id = s.nextSID
+	s.sessions[sess] = struct{}{}
+	s.userConns[hello.User]++
+	s.mu.Unlock()
+
+	defer func() {
+		sess.sql.Close()
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.userConns[sess.user]--
+		s.mu.Unlock()
+	}()
+
+	if err := conn.Send(msgHelloOK, helloOKMsg{
+		ServerName:      s.name,
+		ServerVersion:   s.engineVersion.String(),
+		ProtocolVersion: s.protoVersion,
+		SessionID:       sess.id,
+	}.encode()); err != nil {
+		return
+	}
+
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("dbms %s: session %d read: %v", s.name, sess.id, err)
+			}
+			return
+		}
+		switch f.Type {
+		case msgPing:
+			if err := conn.Send(msgPong, nil); err != nil {
+				return
+			}
+		case msgExec:
+			if err := s.handleExec(sess, f.Payload); err != nil {
+				return
+			}
+		default:
+			_ = conn.Send(msgError, encodeError(codeQueryError,
+				fmt.Sprintf("unexpected frame type 0x%04x", f.Type)))
+		}
+	}
+}
+
+func (s *Server) handleExec(sess *session, payload []byte) error {
+	m, err := decodeExec(payload)
+	if err != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, "malformed exec: "+err.Error()))
+	}
+	s.queries.Add(1)
+
+	mutating, parseErr := isMutating(m.SQL)
+	if parseErr != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, parseErr.Error()))
+	}
+	if mutating && s.isReadOnly() {
+		return sess.conn.Send(msgError, encodeError(codeReadOnly,
+			fmt.Sprintf("server %s is a read-only replica", s.name)))
+	}
+
+	res, err := execOn(sess.sql, m)
+	if err != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, err.Error()))
+	}
+	if mutating {
+		s.replicate(sess.db, m)
+	}
+	return sess.conn.Send(msgResult, encodeResult(res))
+}
+
+func (s *Server) isReadOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readOnly
+}
+
+// SetReadOnly flips the replica flag at run time (used when promoting a
+// slave during failover).
+func (s *Server) SetReadOnly(ro bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readOnly = ro
+}
+
+func execOn(sess *sqlmini.Session, m execMsg) (*sqlmini.Result, error) {
+	if len(m.Named) > 0 {
+		args := sqlmini.Args{}
+		for k, v := range m.Named {
+			args[k] = v
+		}
+		return sess.Exec(m.SQL, args)
+	}
+	args := make([]any, len(m.Positional))
+	for i, v := range m.Positional {
+		args[i] = v
+	}
+	return sess.Exec(m.SQL, args...)
+}
+
+// replicate ships a mutating statement to every attached replica.
+// Statement-based replication applies synchronously in autocommit on the
+// replica; explicit-transaction interleavings are out of scope for this
+// substrate (documented in DESIGN.md).
+func (s *Server) replicate(dbName string, m execMsg) {
+	s.mu.Lock()
+	replicas := append([]*Server(nil), s.replicas...)
+	s.mu.Unlock()
+	for _, r := range replicas {
+		if err := r.ApplyReplicated(dbName, m); err != nil {
+			s.logf("dbms %s: replicate to %s: %v", s.name, r.name, err)
+		}
+	}
+}
+
+// ApplyReplicated applies a statement shipped from a master, bypassing
+// the read-only gate.
+func (s *Server) ApplyReplicated(dbName string, m execMsg) error {
+	db := s.Database(dbName)
+	if db == nil {
+		return fmt.Errorf("dbms %s: replicated statement for unknown database %q", s.name, dbName)
+	}
+	sess := db.NewSession()
+	defer sess.Close()
+	_, err := execOn(sess, m)
+	return err
+}
+
+// isMutating classifies a statement by its parsed type.
+func isMutating(sql string) (bool, error) {
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return false, err
+	}
+	switch st.(type) {
+	case *sqlmini.InsertStmt, *sqlmini.UpdateStmt, *sqlmini.DeleteStmt,
+		*sqlmini.CreateTableStmt, *sqlmini.DropTableStmt:
+		return true, nil
+	default:
+		return false, nil
+	}
+}

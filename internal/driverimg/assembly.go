@@ -1,0 +1,88 @@
+package driverimg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PackageStore holds feature packages (NLS locales, GIS extensions,
+// Kerberos security libraries, license keys...) from which drivers are
+// assembled on demand — the paper's §5.4.1 "Assembling Drivers on
+// Demand". A base image plus a set of named packages yields a customized
+// image containing exactly the features a client needs.
+type PackageStore struct {
+	mu   sync.RWMutex
+	pkgs map[string]pkg
+}
+
+type pkg struct {
+	payload []byte
+	options map[string]string
+}
+
+// NewPackageStore creates an empty store.
+func NewPackageStore() *PackageStore {
+	return &PackageStore{pkgs: make(map[string]pkg)}
+}
+
+// AddPackage registers a feature package: its payload is appended to the
+// assembled image's payload and its options merged into the manifest.
+func (ps *PackageStore) AddPackage(name string, payload []byte, options map[string]string) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	opts := make(map[string]string, len(options))
+	for k, v := range options {
+		opts[k] = v
+	}
+	ps.pkgs[name] = pkg{payload: append([]byte(nil), payload...), options: opts}
+}
+
+// Packages lists registered package names, sorted.
+func (ps *PackageStore) Packages() []string {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	names := make([]string, 0, len(ps.pkgs))
+	for n := range ps.pkgs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Assemble builds a customized image from base plus the named packages.
+// The base image is not modified. Unknown package names are an error —
+// the Drivolution server reports them to the bootloader rather than
+// shipping an incomplete driver.
+func (ps *PackageStore) Assemble(base *Image, packages ...string) (*Image, error) {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+
+	out := &Image{
+		Manifest: base.Manifest.Clone(),
+		Payload:  append([]byte(nil), base.Payload...),
+	}
+	sorted := append([]string(nil), packages...)
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		p, ok := ps.pkgs[name]
+		if !ok {
+			return nil, fmt.Errorf("driverimg: unknown package %q (available: %v)", name, ps.Packages())
+		}
+		if out.Manifest.HasPackage(name) {
+			continue // already included in the base
+		}
+		out.Payload = append(out.Payload, p.payload...)
+		if len(p.options) > 0 && out.Manifest.Options == nil {
+			out.Manifest.Options = make(map[string]string, len(p.options))
+		}
+		for k, v := range p.options {
+			out.Manifest.Options[k] = v
+		}
+		out.Manifest.Packages = append(out.Manifest.Packages, name)
+	}
+	sort.Strings(out.Manifest.Packages)
+	// Assembly invalidates any base signature; the caller re-signs.
+	out.Signature = nil
+	return out, nil
+}

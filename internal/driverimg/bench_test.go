@@ -1,0 +1,83 @@
+package driverimg
+
+import (
+	"crypto/ed25519"
+	"testing"
+
+	"repro/internal/dbver"
+)
+
+func benchImage(payload int) *Image {
+	body := make([]byte, payload)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	return &Image{
+		Manifest: Manifest{
+			Kind:            "dbms-native",
+			API:             dbver.APIOf("JDBC", 3, 0),
+			Version:         dbver.V(1, 2, 3),
+			ProtocolVersion: 2,
+			Options:         map[string]string{"user": "app", "password": "pw"},
+			Packages:        []string{"core"},
+		},
+		Payload: body,
+	}
+}
+
+func BenchmarkImageEncode(b *testing.B) {
+	img := benchImage(64 << 10)
+	b.SetBytes(int64(len(img.Payload)))
+	for i := 0; i < b.N; i++ {
+		_ = img.Encode()
+	}
+}
+
+func BenchmarkImageDecode(b *testing.B) {
+	blob := benchImage(64 << 10).Encode()
+	b.SetBytes(int64(len(blob)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	_, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := benchImage(64 << 10)
+	for i := 0; i < b.N; i++ {
+		img.Sign(priv)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := benchImage(64 << 10)
+	img.Sign(priv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := img.Verify(pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	ps := NewPackageStore()
+	ps.AddPackage("gis", make([]byte, 8<<10), map[string]string{"gis": "on"})
+	ps.AddPackage("nls", make([]byte, 4<<10), nil)
+	base := benchImage(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.Assemble(base, "gis", "nls"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

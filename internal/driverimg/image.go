@@ -1,0 +1,222 @@
+// Package driverimg defines the driver image: the unit of distribution
+// that Drivolution stores in the database's drivers table (the paper's
+// binary_code BLOB) and ships to bootloaders.
+//
+// Substitution note (see DESIGN.md §2): the paper's Java implementation
+// ships JAR files and loads them with a fresh classloader. A static Go
+// binary cannot hot-load native code, so a driver image is a *signed,
+// serialized description of driver behaviour* — which wire protocol
+// version to speak, which dialect quirks to apply, which endpoint to pin
+// (the paper's pre-configured failover drivers, §5.2), which feature
+// packages are included (§5.4.1), and arbitrary configuration options.
+// The Runtime in this package instantiates an image into a live
+// client.Driver at run time. Everything the paper's lifecycle measures —
+// fetch, verify, install, hot-swap under live connections — exercises the
+// same code path.
+package driverimg
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"repro/internal/dbver"
+	"repro/internal/wire"
+)
+
+// imageVersion guards the serialized image format.
+const imageVersion = 1
+
+// Manifest describes one driver build.
+type Manifest struct {
+	// Kind selects the connector factory in the Runtime, e.g.
+	// "dbms-native" or "sequoia". The analog of the driver's main class.
+	Kind string
+	// API is the client-facing API this driver implements (JDBC analog).
+	API dbver.API
+	// Platform is the platform this build targets; empty means portable.
+	Platform dbver.Platform
+	// Version is the driver's own three-part version.
+	Version dbver.Version
+	// ProtocolVersion is the wire-protocol major version the driver
+	// speaks to the server. Mismatches reproduce the paper's step-5
+	// connect-time incompatibility.
+	ProtocolVersion uint16
+	// PinnedURL, when set, overrides whatever URL the application passes
+	// to connect — the paper's pre-configured DBmaster/DBslave failover
+	// drivers (§5.2) are exactly this.
+	PinnedURL string
+	// Options are driver configuration defaults, merged under the
+	// application's own props (driver_options column, Table 2).
+	Options map[string]string
+	// Packages lists included feature packages (NLS, GIS, Kerberos...),
+	// §5.4.1. Sorted on encode.
+	Packages []string
+}
+
+// Clone deep-copies the manifest.
+func (m Manifest) Clone() Manifest {
+	out := m
+	if m.Options != nil {
+		out.Options = make(map[string]string, len(m.Options))
+		for k, v := range m.Options {
+			out.Options[k] = v
+		}
+	}
+	out.Packages = append([]string(nil), m.Packages...)
+	return out
+}
+
+// HasPackage reports whether the manifest includes the named package.
+func (m Manifest) HasPackage(name string) bool {
+	for _, p := range m.Packages {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ID renders a stable human-readable identity for logs:
+// kind/api/version/platform.
+func (m Manifest) ID() string {
+	plat := string(m.Platform)
+	if plat == "" {
+		plat = "any"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", m.Kind, m.API, m.Version, plat)
+}
+
+// Image is a manifest plus integrity metadata, ready for storage in the
+// drivers table or transfer to a bootloader.
+type Image struct {
+	Manifest Manifest
+	// Payload is opaque ballast simulating the code body of a real
+	// driver; assembly (§5.4.1) concatenates per-package payloads. Its
+	// size shows up in transfer benchmarks.
+	Payload []byte
+	// Signature is an ed25519 signature over the canonical encoding of
+	// (manifest, payload); empty for unsigned images.
+	Signature []byte
+}
+
+// Encode serializes the image into the BLOB stored in binary_code.
+func (img *Image) Encode() []byte {
+	e := wire.NewEncoder(256 + len(img.Payload))
+	e.Uint8(imageVersion)
+	encodeManifest(e, img.Manifest)
+	e.Bytes32(img.Payload)
+	e.Bytes32(img.Signature)
+	return e.Bytes()
+}
+
+// Decode parses an encoded image.
+func Decode(blob []byte) (*Image, error) {
+	d := wire.NewDecoder(blob)
+	if v := d.Uint8(); v != imageVersion {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("driverimg: decode: %w", err)
+		}
+		return nil, fmt.Errorf("driverimg: unsupported image version %d", v)
+	}
+	m, err := decodeManifest(d)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{Manifest: m, Payload: d.Bytes32(), Signature: d.Bytes32()}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("driverimg: decode: %w", err)
+	}
+	return img, nil
+}
+
+func encodeManifest(e *wire.Encoder, m Manifest) {
+	e.String(m.Kind)
+	e.String(m.API.Name)
+	e.Int32(int32(m.API.Major))
+	e.Int32(int32(m.API.Minor))
+	e.String(string(m.Platform))
+	e.Int32(int32(m.Version.Major))
+	e.Int32(int32(m.Version.Minor))
+	e.Int32(int32(m.Version.Micro))
+	e.Uint16(m.ProtocolVersion)
+	e.String(m.PinnedURL)
+	keys := make([]string, 0, len(m.Options))
+	for k := range m.Options {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		e.String(k)
+		e.String(m.Options[k])
+	}
+	pkgs := append([]string(nil), m.Packages...)
+	sort.Strings(pkgs)
+	e.StringSlice(pkgs)
+}
+
+func decodeManifest(d *wire.Decoder) (Manifest, error) {
+	var m Manifest
+	m.Kind = d.String()
+	m.API.Name = d.String()
+	m.API.Major = int(d.Int32())
+	m.API.Minor = int(d.Int32())
+	m.Platform = dbver.Platform(d.String())
+	m.Version.Major = int(d.Int32())
+	m.Version.Minor = int(d.Int32())
+	m.Version.Micro = int(d.Int32())
+	m.ProtocolVersion = d.Uint16()
+	m.PinnedURL = d.String()
+	nOpts := d.Uint32()
+	if err := d.Err(); err != nil {
+		return m, fmt.Errorf("driverimg: decode manifest: %w", err)
+	}
+	if nOpts > 0 {
+		m.Options = make(map[string]string, nOpts)
+		for i := uint32(0); i < nOpts; i++ {
+			k := d.String()
+			m.Options[k] = d.String()
+		}
+	}
+	m.Packages = d.StringSlice()
+	if err := d.Err(); err != nil {
+		return m, fmt.Errorf("driverimg: decode manifest: %w", err)
+	}
+	return m, nil
+}
+
+// canonicalBytes is the byte string covered by the signature.
+func (img *Image) canonicalBytes() []byte {
+	e := wire.NewEncoder(256 + len(img.Payload))
+	encodeManifest(e, img.Manifest)
+	e.Bytes32(img.Payload)
+	return e.Bytes()
+}
+
+// Checksum returns the SHA-256 of the canonical encoding, hex-encoded;
+// used as a cheap content identity in lease bookkeeping.
+func (img *Image) Checksum() string {
+	sum := sha256.Sum256(img.canonicalBytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// Sign signs the image with the given ed25519 private key, replacing any
+// existing signature.
+func (img *Image) Sign(key ed25519.PrivateKey) {
+	img.Signature = ed25519.Sign(key, img.canonicalBytes())
+}
+
+// Verify checks the signature against pub. Unsigned images fail
+// verification.
+func (img *Image) Verify(pub ed25519.PublicKey) error {
+	if len(img.Signature) == 0 {
+		return fmt.Errorf("driverimg: image %s is unsigned", img.Manifest.ID())
+	}
+	if !ed25519.Verify(pub, img.canonicalBytes(), img.Signature) {
+		return fmt.Errorf("driverimg: signature verification failed for %s", img.Manifest.ID())
+	}
+	return nil
+}

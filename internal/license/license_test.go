@@ -1,0 +1,182 @@
+package license
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dbms"
+	"repro/internal/dbver"
+	"repro/internal/driverimg"
+	"repro/internal/sqlmini"
+)
+
+// stack is a license-mode Drivolution server + target DBMS + runtime.
+type stack struct {
+	target *dbms.Server
+	srv    *core.Server
+	rt     *driverimg.Runtime
+}
+
+func newStack(t *testing.T, lease time.Duration) *stack {
+	t.Helper()
+	appDB := sqlmini.NewDB()
+	appDB.MustExec("CREATE TABLE t (x INTEGER)")
+	target := dbms.NewServer("db", dbms.WithUser("u1", "pw"), dbms.WithUser("u2", "pw"))
+	target.AddDatabase("prod", appDB)
+	if err := target.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(target.Stop)
+
+	srv, err := core.NewServer("lic", core.NewLocalStore(sqlmini.NewDB()),
+		core.WithLicenseMode(), core.WithDefaultLease(lease))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+
+	img := &driverimg.Image{
+		Manifest: driverimg.Manifest{
+			Kind:            dbms.DriverKind,
+			API:             dbver.APIOf("JDBC", 3, 0),
+			Version:         dbver.V(1, 0, 0),
+			ProtocolVersion: 1,
+		},
+		Payload: []byte("license key #1"),
+	}
+	if _, err := srv.AddDriver(img, dbver.FormatImage); err != nil {
+		t.Fatal(err)
+	}
+
+	rt := driverimg.NewRuntime()
+	rt.Register(dbms.DriverKind, dbms.ImageFactory())
+	return &stack{target: target, srv: srv, rt: rt}
+}
+
+func (s *stack) bootloader(t *testing.T, user, id string) *core.Bootloader {
+	t.Helper()
+	b := core.NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+		[]string{s.srv.Addr()}, s.rt,
+		core.WithCredentials(user, "pw"),
+		core.WithClientID(id),
+		core.WithDialTimeout(time.Second))
+	t.Cleanup(b.Close)
+	return b
+}
+
+func (s *stack) url() string { return "dbms://" + s.target.Addr() + "/prod" }
+
+func TestSingleLicenseExclusion(t *testing.T) {
+	s := newStack(t, time.Hour)
+	b1 := s.bootloader(t, "u1", "c1")
+	if _, err := b1.Connect(s.url(), client.Props{"user": "u1", "password": "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	b2 := s.bootloader(t, "u2", "c2")
+	_, err := b2.Connect(s.url(), client.Props{"user": "u2", "password": "pw"})
+	var pe *core.ProtocolError
+	if !errors.As(err, &pe) || pe.Code != core.ErrCodeNoDriver {
+		t.Fatalf("second holder should be denied: %v", err)
+	}
+}
+
+func TestLeaseExpiryFreesLicense(t *testing.T) {
+	s := newStack(t, 50*time.Millisecond)
+	b1 := s.bootloader(t, "u1", "c1")
+	if _, err := b1.Connect(s.url(), client.Props{"user": "u1", "password": "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	b1.Close() // dies without releasing; no renewals will come
+
+	// After expiry the license frees itself (strategy 3).
+	time.Sleep(80 * time.Millisecond)
+	b2 := s.bootloader(t, "u2", "c2")
+	if _, err := b2.Connect(s.url(), client.Props{"user": "u2", "password": "pw"}); err != nil {
+		t.Fatalf("license should free after lease expiry: %v", err)
+	}
+}
+
+func TestManagerDBMSFailureDetector(t *testing.T) {
+	s := newStack(t, time.Hour) // long lease: only the detector can reclaim
+	b1 := s.bootloader(t, "u1", "c1")
+	c, err := b1.Connect(s.url(), client.Props{"user": "u1", "password": "pw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := NewManager(s.srv, DetectorFromDBMS(s.target))
+	// While u1 has a live DB session, nothing is reclaimed.
+	if n, err := mgr.SweepOnce(); err != nil || n != 0 {
+		t.Fatalf("sweep = %d, %v", n, err)
+	}
+
+	// The client dies: its DB connection closes, no release was sent.
+	_ = c.Close()
+	b1.Close()
+	waitUntil(t, func() bool { return !s.target.UserHasSession("u1") })
+
+	n, err := mgr.SweepOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || mgr.Reclaimed() != 1 {
+		t.Fatalf("reclaimed = %d (total %d)", n, mgr.Reclaimed())
+	}
+
+	// License is available again.
+	b2 := s.bootloader(t, "u2", "c2")
+	if _, err := b2.Connect(s.url(), client.Props{"user": "u2", "password": "pw"}); err != nil {
+		t.Fatalf("license should be free after reclamation: %v", err)
+	}
+}
+
+func TestManagerBackgroundSweep(t *testing.T) {
+	s := newStack(t, time.Hour)
+	b1 := s.bootloader(t, "u1", "c1")
+	c, err := b1.Connect(s.url(), client.Props{"user": "u1", "password": "pw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(s.srv, DetectorFromDBMS(s.target), WithInterval(20*time.Millisecond))
+	mgr.Start()
+	defer mgr.Stop()
+
+	_ = c.Close()
+	b1.Close()
+	waitUntil(t, func() bool { return mgr.Reclaimed() >= 1 })
+	mgr.Stop()
+	mgr.Stop() // idempotent
+}
+
+func TestExplicitReleasePath(t *testing.T) {
+	s := newStack(t, time.Hour)
+	b1 := s.bootloader(t, "u1", "c1")
+	if _, err := b1.Connect(s.url(), client.Props{"user": "u1", "password": "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.ReleaseLease(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := s.bootloader(t, "u2", "c2")
+	if _, err := b2.Connect(s.url(), client.Props{"user": "u2", "password": "pw"}); err != nil {
+		t.Fatalf("license should be free after explicit release: %v", err)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}

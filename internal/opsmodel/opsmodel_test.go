@@ -1,0 +1,123 @@
+package opsmodel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperStepCounts(t *testing.T) {
+	// §2: seven install steps, ten update steps per client.
+	if got := len(TraditionalInstall().Steps); got != 7 {
+		t.Errorf("traditional install steps = %d, want 7", got)
+	}
+	if got := len(TraditionalUpdate().Steps); got != 10 {
+		t.Errorf("traditional update steps = %d, want 10 (steps 8-10 incl. repeat of 1-7)", got)
+	}
+	// §3.2: four install steps, one update step.
+	if got := len(DrivolutionInstall().Steps); got != 4 {
+		t.Errorf("drivolution install steps = %d, want 4", got)
+	}
+	if got := len(DrivolutionUpdate().Steps); got != 1 {
+		t.Errorf("drivolution update steps = %d, want 1", got)
+	}
+}
+
+func TestUpdateScaling(t *testing.T) {
+	// "The upgrade process drops from ten steps per client application
+	// to one simple insert operation on the Drivolution Server" (§3.2).
+	const clients = 100
+	trad := CountFor(TraditionalUpdate(), clients)
+	drv := CountFor(DrivolutionUpdate(), clients)
+	if trad.Steps != 10*clients {
+		t.Errorf("traditional steps for %d clients = %d, want %d", clients, trad.Steps, 10*clients)
+	}
+	if drv.Steps != 1 {
+		t.Errorf("drivolution steps = %d, want 1 regardless of client count", drv.Steps)
+	}
+	// Traditional updates stop every application; Drivolution stops none.
+	if trad.Disruptive != clients {
+		t.Errorf("traditional disruptive = %d, want %d", trad.Disruptive, clients)
+	}
+	if drv.Disruptive != 0 {
+		t.Errorf("drivolution disruptive = %d, want 0", drv.Disruptive)
+	}
+}
+
+func TestScalingProperty(t *testing.T) {
+	// Drivolution update cost is constant in client count; traditional
+	// is linear. Check across arbitrary client counts.
+	prop := func(n uint8) bool {
+		clients := int(n%100) + 1
+		trad := CountFor(TraditionalUpdate(), clients)
+		drv := CountFor(DrivolutionUpdate(), clients)
+		return trad.Steps == 10*clients && drv.Steps == 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable5Verbatim(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 2 {
+		t.Fatalf("Table 5 rows = %d", len(rows))
+	}
+	if rows[0].Task != "Accessing a new database" || len(rows[0].Current) != 6 || len(rows[0].Drivolution) != 2 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Task != "Database driver upgrade" || len(rows[1].Current) != 6 || len(rows[1].Drivolution) != 2 {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+}
+
+func TestTable5ProceduresScale(t *testing.T) {
+	procs := Table5Procedures()
+	access := procs["Accessing a new database"]
+	// 2 DBAs reproduce the paper's counts: 6 current vs 2 drivolution.
+	if got := CountFor(access[0], 2).Steps; got != 6 {
+		t.Errorf("current access steps for 2 DBAs = %d, want 6", got)
+	}
+	if got := CountFor(access[1], 2).Steps; got != 2 {
+		t.Errorf("drivolution access steps for 2 DBAs = %d, want 2", got)
+	}
+	upgrade := procs["Database driver upgrade"]
+	if got := CountFor(upgrade[0], 2).Steps; got != 6 {
+		t.Errorf("current upgrade steps for 2 DBAs = %d, want 6", got)
+	}
+	// Drivolution upgrade steps are central: constant at 2 (insert +
+	// revoke) no matter how many DBAs.
+	if got := CountFor(upgrade[1], 50).Steps; got != 2 {
+		t.Errorf("drivolution upgrade steps for 50 DBAs = %d, want 2", got)
+	}
+}
+
+func TestRunExecutesBoundActions(t *testing.T) {
+	ran := 0
+	p := Procedure{
+		Name: "test",
+		Steps: []Step{
+			{Desc: "central", Action: func() error { ran++; return nil }},
+			{Desc: "per-client", PerClient: true, Action: func() error { ran++; return nil }},
+			{Desc: "unbound", PerClient: true},
+		},
+	}
+	c, err := Run(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1+3 {
+		t.Errorf("ran = %d, want 4", ran)
+	}
+	if c.Steps != 1+3+3 {
+		t.Errorf("steps = %d, want 7", c.Steps)
+	}
+}
+
+func TestRunPropagatesFailure(t *testing.T) {
+	boom := errors.New("boom")
+	p := Procedure{Steps: []Step{{Desc: "fails", Action: func() error { return boom }}}}
+	if _, err := Run(p, 1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+package scenarios
+
+// Experiment is a named, runnable reproduction artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Report, error)
+}
+
+// All returns every experiment in presentation order: the paper's
+// tables, figures, sample code, case studies, and the quantitative
+// measurements backing its prose claims.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "T1", Title: "Table 1 — drivers schema", Run: T1},
+		{ID: "T2", Title: "Table 2 — driver_permission schema", Run: T2},
+		{ID: "T3", Title: "Table 3 — bootstrap protocol", Run: T3},
+		{ID: "T4", Title: "Table 4 — renewal protocol", Run: T4},
+		{ID: "T5", Title: "Table 5 — DBA procedures", Run: T5},
+		{ID: "F1", Title: "Figure 1 — architecture overview", Run: F1},
+		{ID: "F2", Title: "Figure 2 — external server for legacy DBs", Run: F2},
+		{ID: "F3", Title: "Figure 3 — heterogeneous DBMS console", Run: F3},
+		{ID: "F4", Title: "Figure 4 — master/slave failover", Run: F4},
+		{ID: "F5", Title: "Figure 5 — standalone server + Sequoia", Run: F5},
+		{ID: "F6", Title: "Figure 6 — embedded Drivolution servers", Run: F6},
+		{ID: "S", Title: "Sample code 1&2 — matchmaking", Run: SampleCode},
+		{ID: "A", Title: "§5.4.1 — driver assembly", Run: Assembly},
+		{ID: "L", Title: "§5.4.2 — license server", Run: License},
+		{ID: "Q1", Title: "upgrade disruption, traditional vs Drivolution", Run: Q1},
+		{ID: "Q2", Title: "lease-time trade-off sweep", Run: Q2},
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			out := e
+			return &out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package scenarios
+
+import (
+	"testing"
+)
+
+// TestAllExperimentsPass runs every reproduction artifact end to end and
+// requires each one to report Pass — this is the repository's statement
+// that all tables, figures, and case studies reproduce.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			for _, line := range rep.Lines {
+				t.Log(line)
+			}
+			if !rep.Pass {
+				t.Fatalf("%s (%s) did not reproduce the paper's claim", e.ID, e.Title)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if e := ByID("T3"); e == nil || e.ID != "T3" {
+		t.Fatalf("ByID(T3) = %+v", e)
+	}
+	if e := ByID("nope"); e != nil {
+		t.Fatal("ByID(nope) should be nil")
+	}
+}

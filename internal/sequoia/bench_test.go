@@ -1,0 +1,96 @@
+package sequoia
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/dbms"
+	"repro/internal/dbver"
+	"repro/internal/sqlmini"
+)
+
+func benchCluster(b *testing.B, controllers, backendsPer int) (string, func()) {
+	b.Helper()
+	group := NewGroup()
+	var closers []func()
+	var hosts string
+	for ci := 0; ci < controllers; ci++ {
+		ctrl := NewController(fmt.Sprintf("c%d", ci), "vdb", group,
+			WithControllerUser("u", "p"))
+		for bi := 0; bi < backendsPer; bi++ {
+			db := sqlmini.NewDB()
+			db.MustExec("CREATE TABLE kv (k VARCHAR NOT NULL PRIMARY KEY, v INTEGER)")
+			srv := dbms.NewServer(fmt.Sprintf("b%d-%d", ci, bi), dbms.WithUser("s", "s"))
+			srv.AddDatabase("shard", db)
+			if err := srv.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			closers = append(closers, srv.Stop)
+			name := fmt.Sprintf("b%d-%d", ci, bi)
+			ctrl.AddBackend(&Backend{
+				Name:   name,
+				URL:    "dbms://" + srv.Addr() + "/shard",
+				Props:  client.Props{"user": "s", "password": "s"},
+				Driver: dbms.NewNativeDriver(dbver.V(1, 0, 0), 1),
+			})
+			if err := ctrl.EnableBackend(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ctrl.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		closers = append(closers, ctrl.Stop)
+		if hosts != "" {
+			hosts += ","
+		}
+		hosts += ctrl.Addr()
+	}
+	return "sequoia://" + hosts + "/vdb", func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+func BenchmarkReplicatedWrite(b *testing.B) {
+	for _, backends := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends-%d", backends), func(b *testing.B) {
+			url, cleanup := benchCluster(b, 1, backends)
+			defer cleanup()
+			d := NewDriver(dbver.V(1, 0, 0), 1)
+			c, err := d.Connect(url, client.Props{"user": "u", "password": "p"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Exec("INSERT INTO kv (k, v) VALUES (?, ?)", fmt.Sprintf("k%d", i), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLoadBalancedRead(b *testing.B) {
+	url, cleanup := benchCluster(b, 1, 2)
+	defer cleanup()
+	d := NewDriver(dbver.V(1, 0, 0), 1)
+	c, err := d.Connect(url, client.Props{"user": "u", "password": "p"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("INSERT INTO kv (k, v) VALUES ('x', 1)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query("SELECT v FROM kv WHERE k = 'x'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package sequoia
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dbver"
+	"repro/internal/driverimg"
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// DriverKind is the driver-image kind for Sequoia drivers.
+const DriverKind = "sequoia"
+
+// Driver is the Sequoia client driver: it accepts multi-host URLs
+// ('sequoia://controller1,controller2/db', §5.3.2), load-balances
+// connection establishment across controllers, and fails over — both at
+// connect time and transparently mid-connection — so that "drivers ...
+// always end up connecting to a compatible controller, as long as one is
+// available" (§5.3.1).
+type Driver struct {
+	version      dbver.Version
+	protoVersion uint16
+	dialTimeout  time.Duration
+}
+
+// NewDriver builds a Sequoia driver speaking the given controller
+// protocol version.
+func NewDriver(version dbver.Version, protoVersion uint16) *Driver {
+	return &Driver{version: version, protoVersion: protoVersion, dialTimeout: 5 * time.Second}
+}
+
+// Name implements client.Driver.
+func (d *Driver) Name() string { return DriverKind }
+
+// Version implements client.Driver.
+func (d *Driver) Version() dbver.Version { return d.version }
+
+// Connect implements client.Driver.
+func (d *Driver) Connect(rawURL string, props client.Props) (client.Conn, error) {
+	u, err := client.ParseURL(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme != "sequoia" {
+		return nil, fmt.Errorf("sequoia: driver cannot handle scheme %q", u.Scheme)
+	}
+	opts := u.Options.Merge(props)
+	sc := &seqConn{
+		driver:   d,
+		hosts:    u.Hosts,
+		database: u.Database,
+		user:     opts["user"],
+		password: opts["password"],
+	}
+	if err := sc.reconnect(nil); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// seqConn is one virtual connection that silently re-homes onto another
+// controller when its current one dies.
+type seqConn struct {
+	driver   *Driver
+	hosts    []string
+	database string
+	user     string
+	password string
+
+	mu     sync.Mutex
+	conn   *wire.Conn
+	host   string
+	inTx   bool
+	closed bool
+}
+
+// reconnect dials controllers in order, skipping skipHost (the one that
+// just failed). Caller must NOT hold mu.
+func (sc *seqConn) reconnect(skip map[string]bool) error {
+	var firstErr error
+	for _, h := range sc.hosts {
+		if skip[h] {
+			continue
+		}
+		conn, err := wire.Dial(h, sc.driver.dialTimeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		hello := helloMsg{
+			ProtocolVersion: sc.driver.protoVersion,
+			Database:        sc.database,
+			User:            sc.user,
+			Password:        sc.password,
+			ClientInfo:      fmt.Sprintf("sequoia-driver %s", sc.driver.version),
+		}
+		if err := conn.Send(msgHello, hello.encode()); err != nil {
+			conn.Close()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		f, err := conn.RecvTimeout(sc.driver.dialTimeout)
+		if err != nil {
+			conn.Close()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if f.Type == msgError {
+			code, msg, _ := decodeError(f.Payload)
+			conn.Close()
+			err := mapError(code, msg)
+			// Protocol/auth errors are not transient: stop here.
+			return err
+		}
+		if f.Type != msgHelloOK {
+			conn.Close()
+			continue
+		}
+		sc.mu.Lock()
+		sc.conn = conn
+		sc.host = h
+		sc.mu.Unlock()
+		return nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("sequoia: no controller reachable among %v", sc.hosts)
+	}
+	return firstErr
+}
+
+func mapError(code uint16, msg string) error {
+	switch code {
+	case codeProtocolMismatch:
+		return fmt.Errorf("%w: %s", client.ErrProtocolMismatch, msg)
+	case codeAuthFailed:
+		return fmt.Errorf("%w: %s", client.ErrAuth, msg)
+	case codeNoDatabase:
+		return fmt.Errorf("%w: %s", client.ErrNoDatabase, msg)
+	default:
+		return fmt.Errorf("%s", fmtCode(code, msg))
+	}
+}
+
+// roundTrip sends a frame and reads the reply, failing over to another
+// controller and retrying once if the connection died.
+func (sc *seqConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		sc.mu.Lock()
+		if sc.closed {
+			sc.mu.Unlock()
+			return wire.Frame{}, client.ErrClosed
+		}
+		conn := sc.conn
+		host := sc.host
+		sc.mu.Unlock()
+		if conn == nil {
+			if err := sc.reconnect(nil); err != nil {
+				return wire.Frame{}, err
+			}
+			continue
+		}
+		if err := conn.Send(typ, payload); err == nil {
+			f, rerr := conn.Recv()
+			if rerr == nil {
+				return f, nil
+			}
+		}
+		// Connection failed: drop it and fail over away from this host.
+		conn.Close()
+		sc.mu.Lock()
+		sc.conn = nil
+		sc.mu.Unlock()
+		if err := sc.reconnect(map[string]bool{host: true}); err != nil {
+			// Last resort: maybe the failed host came back.
+			if err2 := sc.reconnect(nil); err2 != nil {
+				return wire.Frame{}, fmt.Errorf("%w: failover exhausted: %v", client.ErrClosed, err)
+			}
+		}
+	}
+	return wire.Frame{}, fmt.Errorf("%w: failover retry exhausted", client.ErrClosed)
+}
+
+func (sc *seqConn) exec(sql string, args []any) (*client.Result, error) {
+	m := execMsg{SQL: sql}
+	if len(args) == 1 {
+		if named, ok := args[0].(sqlmini.Args); ok {
+			m.Named = make(map[string]sqlmini.Value, len(named))
+			for k, v := range named {
+				val, err := sqlmini.FromGo(v)
+				if err != nil {
+					return nil, err
+				}
+				m.Named[k] = val
+			}
+		}
+	}
+	if m.Named == nil {
+		for _, a := range args {
+			v, err := sqlmini.FromGo(a)
+			if err != nil {
+				return nil, err
+			}
+			m.Positional = append(m.Positional, v)
+		}
+	}
+	f, err := sc.roundTrip(msgExec, m.encode())
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case msgResult:
+		cols, rows, affected, err := decodeResult(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &client.Result{Cols: cols, Rows: rows, Affected: affected}, nil
+	case msgError:
+		code, msg, derr := decodeError(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, mapError(code, msg)
+	default:
+		return nil, fmt.Errorf("sequoia: unexpected frame 0x%04x", f.Type)
+	}
+}
+
+// Exec implements client.Conn.
+func (sc *seqConn) Exec(sql string, args ...any) (*client.Result, error) {
+	return sc.exec(sql, args)
+}
+
+// Query implements client.Conn.
+func (sc *seqConn) Query(sql string, args ...any) (*client.Result, error) {
+	return sc.exec(sql, args)
+}
+
+// Begin implements client.Conn; the controller substrate is
+// replicated-autocommit, so transactions are rejected.
+func (sc *seqConn) Begin() error {
+	_, err := sc.exec("BEGIN", nil)
+	return err
+}
+
+// Commit implements client.Conn.
+func (sc *seqConn) Commit() error {
+	_, err := sc.exec("COMMIT", nil)
+	return err
+}
+
+// Rollback implements client.Conn.
+func (sc *seqConn) Rollback() error {
+	_, err := sc.exec("ROLLBACK", nil)
+	return err
+}
+
+// InTx implements client.Conn.
+func (sc *seqConn) InTx() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.inTx
+}
+
+// Ping implements client.Conn.
+func (sc *seqConn) Ping() error {
+	f, err := sc.roundTrip(msgPing, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != msgPong {
+		return fmt.Errorf("sequoia: unexpected ping reply 0x%04x", f.Type)
+	}
+	return nil
+}
+
+// Close implements client.Conn.
+func (sc *seqConn) Close() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.closed {
+		return nil
+	}
+	sc.closed = true
+	if sc.conn != nil {
+		return sc.conn.Close()
+	}
+	return nil
+}
+
+// Host reports which controller the connection currently uses
+// (experiments observe failover with it).
+func (sc *seqConn) Host() string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.host
+}
+
+// ImageFactory returns the driverimg factory for Sequoia drivers, so
+// Sequoia driver upgrades flow through Drivolution like any other driver
+// (§5.3.1 "Sequoia driver upgrade").
+func ImageFactory() driverimg.Factory {
+	return func(img *driverimg.Image) (client.Driver, error) {
+		inner := NewDriver(img.Manifest.Version, img.Manifest.ProtocolVersion)
+		return driverimg.WrapDriver(inner, img), nil
+	}
+}

@@ -1,0 +1,184 @@
+// Package sequoia reimplements the slice of the Sequoia database
+// clustering middleware the paper builds on (§5.3): controllers that
+// expose a virtual database over their own wire protocol, replicate
+// writes across every backend of every controller in a group, load-
+// balance reads, support backend disable/enable with journal-based
+// resynchronization, and optionally embed a Drivolution server
+// replicated across controllers (Figure 6).
+//
+// Simplifications relative to the real Sequoia (documented in
+// DESIGN.md): total ordering of writes uses an in-process group
+// sequencer rather than a group communication stack, and cross-
+// controller replication applies statements in autocommit.
+package sequoia
+
+import (
+	"fmt"
+
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// Frame types of the Sequoia controller protocol. Deliberately distinct
+// from the DBMS protocol: Sequoia has its own driver with its own
+// compatibility axis ("Sequoia uses its own wire protocol between
+// drivers and controllers", §5.3.1).
+const (
+	msgHello   uint16 = 0x0301
+	msgHelloOK uint16 = 0x0302
+	msgExec    uint16 = 0x0303
+	msgResult  uint16 = 0x0304
+	msgPing    uint16 = 0x0305
+	msgPong    uint16 = 0x0306
+	msgError   uint16 = 0x03FF
+)
+
+// Error codes.
+const (
+	codeProtocolMismatch uint16 = iota + 1
+	codeAuthFailed
+	codeNoDatabase
+	codeQueryError
+	codeNoBackends
+)
+
+type helloMsg struct {
+	ProtocolVersion uint16
+	Database        string
+	User            string
+	Password        string
+	ClientInfo      string
+}
+
+func (h helloMsg) encode() []byte {
+	e := wire.NewEncoder(128)
+	e.Uint16(h.ProtocolVersion)
+	e.String(h.Database)
+	e.String(h.User)
+	e.String(h.Password)
+	e.String(h.ClientInfo)
+	return e.Bytes()
+}
+
+func decodeHello(b []byte) (helloMsg, error) {
+	d := wire.NewDecoder(b)
+	h := helloMsg{
+		ProtocolVersion: d.Uint16(),
+		Database:        d.String(),
+		User:            d.String(),
+		Password:        d.String(),
+		ClientInfo:      d.String(),
+	}
+	return h, d.Err()
+}
+
+type execMsg struct {
+	SQL        string
+	Named      map[string]sqlmini.Value
+	Positional []sqlmini.Value
+}
+
+func (m execMsg) encode() []byte {
+	e := wire.NewEncoder(256)
+	e.String(m.SQL)
+	e.Uint32(uint32(len(m.Named)))
+	for k, v := range m.Named {
+		e.String(k)
+		sqlmini.EncodeValue(e, v)
+	}
+	e.Uint32(uint32(len(m.Positional)))
+	for _, v := range m.Positional {
+		sqlmini.EncodeValue(e, v)
+	}
+	return e.Bytes()
+}
+
+func decodeExec(b []byte) (execMsg, error) {
+	d := wire.NewDecoder(b)
+	m := execMsg{SQL: d.String()}
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return m, err
+	}
+	if n > 0 {
+		m.Named = make(map[string]sqlmini.Value, n)
+		for i := uint32(0); i < n; i++ {
+			k := d.String()
+			v, err := sqlmini.DecodeValue(d)
+			if err != nil {
+				return m, err
+			}
+			m.Named[k] = v
+		}
+	}
+	np := d.Uint32()
+	if err := d.Err(); err != nil {
+		return m, err
+	}
+	for i := uint32(0); i < np; i++ {
+		v, err := sqlmini.DecodeValue(d)
+		if err != nil {
+			return m, err
+		}
+		m.Positional = append(m.Positional, v)
+	}
+	return m, d.Err()
+}
+
+func encodeResult(cols []string, rows [][]sqlmini.Value, affected int) []byte {
+	e := wire.NewEncoder(256)
+	e.StringSlice(cols)
+	e.Uint32(uint32(len(rows)))
+	for _, row := range rows {
+		e.Uint32(uint32(len(row)))
+		for _, v := range row {
+			sqlmini.EncodeValue(e, v)
+		}
+	}
+	e.Int64(int64(affected))
+	return e.Bytes()
+}
+
+func decodeResult(b []byte) (cols []string, rows [][]sqlmini.Value, affected int, err error) {
+	d := wire.NewDecoder(b)
+	cols = d.StringSlice()
+	n := d.Uint32()
+	if e := d.Err(); e != nil {
+		return nil, nil, 0, e
+	}
+	for i := uint32(0); i < n; i++ {
+		nc := d.Uint32()
+		if e := d.Err(); e != nil {
+			return nil, nil, 0, e
+		}
+		row := make([]sqlmini.Value, 0, nc)
+		for j := uint32(0); j < nc; j++ {
+			v, e := sqlmini.DecodeValue(d)
+			if e != nil {
+				return nil, nil, 0, e
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	affected = int(d.Int64())
+	return cols, rows, affected, d.Err()
+}
+
+func encodeError(code uint16, msg string) []byte {
+	e := wire.NewEncoder(len(msg) + 8)
+	e.Uint16(code)
+	e.String(msg)
+	return e.Bytes()
+}
+
+func decodeError(b []byte) (uint16, string, error) {
+	d := wire.NewDecoder(b)
+	c := d.Uint16()
+	m := d.String()
+	return c, m, d.Err()
+}
+
+func fmtCode(code uint16, msg string) string {
+	return fmt.Sprintf("sequoia: [%d] %s", code, msg)
+}

@@ -1,0 +1,87 @@
+package sequoia
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlmini"
+)
+
+func TestHelloRoundTripProperty(t *testing.T) {
+	prop := func(proto uint16, db, user, pw, info string) bool {
+		in := helloMsg{ProtocolVersion: proto, Database: db, User: user, Password: pw, ClientInfo: info}
+		out, err := decodeHello(in.encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecRoundTrip(t *testing.T) {
+	in := execMsg{
+		SQL: "INSERT INTO kv (k, v) VALUES ($k, $v)",
+		Named: map[string]sqlmini.Value{
+			"k": sqlmini.NewString("key"),
+			"v": sqlmini.NewInt(42),
+		},
+	}
+	out, err := decodeExec(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SQL != in.SQL || len(out.Named) != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Named["k"].Str() != "key" || out.Named["v"].Int() != 42 {
+		t.Fatalf("named = %v", out.Named)
+	}
+
+	in2 := execMsg{SQL: "SELECT 1", Positional: []sqlmini.Value{sqlmini.NewBool(true), sqlmini.Null}}
+	out2, err := decodeExec(in2.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Positional) != 2 || !out2.Positional[0].Bool() || !out2.Positional[1].IsNull() {
+		t.Fatalf("positional = %v", out2.Positional)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	cols := []string{"a", "b"}
+	rows := [][]sqlmini.Value{
+		{sqlmini.NewInt(1), sqlmini.NewString("x")},
+		{sqlmini.Null, sqlmini.NewFloat(2.5)},
+	}
+	gc, gr, aff, err := decodeResult(encodeResult(cols, rows, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gc) != 2 || gc[0] != "a" || aff != 7 || len(gr) != 2 {
+		t.Fatalf("cols=%v aff=%d rows=%d", gc, aff, len(gr))
+	}
+	if gr[0][0].Int() != 1 || gr[1][1].Float() != 2.5 || !gr[1][0].IsNull() {
+		t.Fatalf("rows = %v", gr)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	code, msg, err := decodeError(encodeError(codeNoBackends, "none left"))
+	if err != nil || code != codeNoBackends || msg != "none left" {
+		t.Fatalf("code=%d msg=%q err=%v", code, msg, err)
+	}
+	if fmtCode(codeQueryError, "boom") == "" {
+		t.Fatal("fmtCode empty")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := helloMsg{ProtocolVersion: 1, Database: "db"}.encode()
+	if _, err := decodeHello(full[:3]); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+	e := execMsg{SQL: "SELECT 1"}.encode()
+	if _, err := decodeExec(e[:2]); err == nil {
+		t.Fatal("truncated exec accepted")
+	}
+}

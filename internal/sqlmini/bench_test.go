@@ -1,0 +1,98 @@
+package sqlmini
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, name VARCHAR, score INTEGER)")
+	for i := 0; i < rows; i++ {
+		db.MustExec("INSERT INTO t (id, name, score) VALUES (?, ?, ?)", i, fmt.Sprintf("row-%d", i), i%100)
+	}
+	return db
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = `SELECT binary_format, binary_code FROM information_schema.drivers
+		WHERE api_name LIKE $a AND (platform IS NULL OR platform LIKE $p)
+		ORDER BY driver_version_major DESC`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectPoint(b *testing.B) {
+	db := benchDB(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT name FROM t WHERE id = ?", i%1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectScanFilter(b *testing.B) {
+	db := benchDB(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT id FROM t WHERE score > 50 AND name LIKE 'row-%'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER, v VARCHAR)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("INSERT INTO t (id, v) VALUES (?, ?)", i, "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateWhere(b *testing.B) {
+	db := benchDB(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("UPDATE t SET score = score + 1 WHERE id = ?", i%1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	db := benchDB(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT count(*), max(score), avg(score) FROM t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	db := benchDB(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := db.Snapshot()
+		db2 := NewDB()
+		if err := db2.Restore(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLike(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Like("linux-x86_64", "linux-%")
+		Like("JDBC", "%DB%")
+		Like("windows-i586", "linux-%")
+	}
+}

@@ -1,0 +1,672 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Engine-level errors.
+var (
+	// ErrNoSuchTable reports a reference to an undefined table.
+	ErrNoSuchTable = errors.New("sqlmini: no such table")
+	// ErrNoSuchColumn reports a reference to an undefined column.
+	ErrNoSuchColumn = errors.New("sqlmini: no such column")
+	// ErrDuplicateKey reports a primary-key violation.
+	ErrDuplicateKey = errors.New("sqlmini: duplicate primary key")
+	// ErrNotNull reports a NOT NULL violation.
+	ErrNotNull = errors.New("sqlmini: NOT NULL constraint violated")
+	// ErrForeignKey reports a REFERENCES violation.
+	ErrForeignKey = errors.New("sqlmini: foreign key constraint violated")
+	// ErrNoTransaction reports COMMIT/ROLLBACK without BEGIN.
+	ErrNoTransaction = errors.New("sqlmini: no transaction in progress")
+	// ErrTxInProgress reports BEGIN inside an open transaction.
+	ErrTxInProgress = errors.New("sqlmini: transaction already in progress")
+	// ErrMissingParam reports an unbound statement parameter.
+	ErrMissingParam = errors.New("sqlmini: missing parameter")
+)
+
+// Args supplies named parameter bindings ($name) for a statement.
+type Args map[string]any
+
+// Result is the outcome of a statement.
+type Result struct {
+	// Cols names the result columns (SELECT only).
+	Cols []string
+	// Rows holds the result set (SELECT only).
+	Rows [][]Value
+	// Affected counts rows touched by INSERT/UPDATE/DELETE.
+	Affected int
+}
+
+// Row is a stored row. Identity (the pointer) is stable for the row's
+// lifetime, which the undo log relies on.
+type Row struct {
+	Vals []Value
+}
+
+// Table holds column definitions and rows.
+type Table struct {
+	Name   string
+	Cols   []ColumnDef
+	colIdx map[string]int
+	Rows   []*Row
+
+	// pk is the PRIMARY KEY column index (-1 if none); pkIdx maps the
+	// canonical key string to its row for O(1) uniqueness checks.
+	pk    int
+	pkIdx map[string]*Row
+}
+
+func (t *Table) columnIndex(name string) (int, bool) {
+	i, ok := t.colIdx[name]
+	return i, ok
+}
+
+// DB is an embedded database instance. The zero value is not usable; call
+// NewDB.
+type DB struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+
+	clock func() time.Time
+
+	cacheMu sync.RWMutex
+	cache   map[string]Statement
+
+	// changeSeq increments on every mutation; used by replication layers
+	// to cheaply detect divergence.
+	changeSeq uint64
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithClock overrides the time source used by now(); tests use this to
+// make lease expiry deterministic.
+func WithClock(clock func() time.Time) Option {
+	return func(db *DB) { db.clock = clock }
+}
+
+// NewDB creates an empty database.
+func NewDB(opts ...Option) *DB {
+	db := &DB{
+		tables: make(map[string]*Table),
+		clock:  time.Now,
+		cache:  make(map[string]Statement),
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// ChangeSeq returns a counter that increments on every successful
+// mutation. Equal counters on two replicas fed the same statement stream
+// imply equal state.
+func (db *DB) ChangeSeq() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.changeSeq
+}
+
+// TableNames returns the defined table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseCached parses src, memoizing the AST. Statements are immutable
+// after parsing (positional parameter indices are assigned at parse
+// time), so sharing is safe.
+func (db *DB) parseCached(src string) (Statement, error) {
+	db.cacheMu.RLock()
+	st, ok := db.cache[src]
+	db.cacheMu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	db.cacheMu.Lock()
+	if len(db.cache) > 4096 { // crude bound; workloads reuse few shapes
+		db.cache = make(map[string]Statement)
+	}
+	db.cache[src] = st
+	db.cacheMu.Unlock()
+	return st, nil
+}
+
+// Exec runs a statement in autocommit mode. If args is a single Args map,
+// parameters bind by name ($name); otherwise they bind positionally (?).
+func (db *DB) Exec(src string, args ...any) (*Result, error) {
+	s := db.NewSession()
+	defer s.Close()
+	return s.Exec(src, args...)
+}
+
+// Query is Exec for statements expected to return rows.
+func (db *DB) Query(src string, args ...any) (*Result, error) {
+	return db.Exec(src, args...)
+}
+
+// MustExec runs Exec and panics on error; for tests and fixtures only.
+func (db *DB) MustExec(src string, args ...any) *Result {
+	r, err := db.Exec(src, args...)
+	if err != nil {
+		panic(fmt.Sprintf("sqlmini: MustExec(%q): %v", src, err))
+	}
+	return r
+}
+
+// Session is a connection-scoped execution context owning at most one
+// open transaction. Sessions are not safe for concurrent use; each
+// network session in the DBMS gets its own.
+type Session struct {
+	db *DB
+	tx *undoLog
+}
+
+// NewSession creates an execution context.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// InTx reports whether an explicit transaction is open.
+func (s *Session) InTx() bool { return s.tx != nil }
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.rollback()
+	}
+}
+
+func bindArgs(args []any) (named map[string]Value, positional []Value, err error) {
+	if len(args) == 1 {
+		if m, ok := args[0].(Args); ok {
+			named = make(map[string]Value, len(m))
+			for k, v := range m {
+				val, err := FromGo(v)
+				if err != nil {
+					return nil, nil, fmt.Errorf("parameter $%s: %w", k, err)
+				}
+				named[strings.ToLower(k)] = val
+			}
+			return named, nil, nil
+		}
+	}
+	positional = make([]Value, 0, len(args))
+	for i, a := range args {
+		v, err := FromGo(a)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parameter %d: %w", i+1, err)
+		}
+		positional = append(positional, v)
+	}
+	return nil, positional, nil
+}
+
+// Exec executes one statement within this session.
+func (s *Session) Exec(src string, args ...any) (*Result, error) {
+	st, err := s.db.parseCached(src)
+	if err != nil {
+		return nil, err
+	}
+	named, positional, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	env := &evalEnv{clock: s.db.clock, named: named, positional: positional}
+
+	switch st := st.(type) {
+	case *BeginStmt:
+		if s.tx != nil {
+			return nil, ErrTxInProgress
+		}
+		s.tx = &undoLog{}
+		return &Result{}, nil
+	case *CommitStmt:
+		if s.tx == nil {
+			return nil, ErrNoTransaction
+		}
+		s.tx = nil
+		return &Result{}, nil
+	case *RollbackStmt:
+		if s.tx == nil {
+			return nil, ErrNoTransaction
+		}
+		s.rollback()
+		return &Result{}, nil
+	default:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.db.execLocked(st, env, s.tx)
+	}
+}
+
+// Query is Exec for row-returning statements.
+func (s *Session) Query(src string, args ...any) (*Result, error) {
+	return s.Exec(src, args...)
+}
+
+func (s *Session) rollback() {
+	s.db.mu.Lock()
+	s.tx.revert(s.db)
+	s.db.mu.Unlock()
+	s.tx = nil
+}
+
+func (db *DB) execLocked(st Statement, env *evalEnv, tx *undoLog) (*Result, error) {
+	switch st := st.(type) {
+	case *CreateTableStmt:
+		return db.execCreate(st)
+	case *DropTableStmt:
+		return db.execDrop(st)
+	case *InsertStmt:
+		return db.execInsert(st, env, tx)
+	case *SelectStmt:
+		return db.execSelect(st, env)
+	case *UpdateStmt:
+		return db.execUpdate(st, env, tx)
+	case *DeleteStmt:
+		return db.execDelete(st, env, tx)
+	default:
+		return nil, fmt.Errorf("sqlmini: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) execCreate(st *CreateTableStmt) (*Result, error) {
+	if _, exists := db.tables[st.Table]; exists {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqlmini: table %q already exists", st.Table)
+	}
+	t := &Table{Name: st.Table, Cols: st.Cols, colIdx: make(map[string]int, len(st.Cols))}
+	for i, c := range st.Cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("sqlmini: duplicate column %q in table %q", c.Name, st.Table)
+		}
+		t.colIdx[c.Name] = i
+	}
+	t.initIndex()
+	db.tables[st.Table] = t
+	db.changeSeq++
+	return &Result{}, nil
+}
+
+func (db *DB) execDrop(st *DropTableStmt) (*Result, error) {
+	if _, exists := db.tables[st.Table]; !exists {
+		if st.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+	delete(db.tables, st.Table)
+	db.changeSeq++
+	return &Result{}, nil
+}
+
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+func (db *DB) execInsert(st *InsertStmt, env *evalEnv, tx *undoLog) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := st.Cols
+	if len(cols) == 0 {
+		cols = make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = c.Name
+		}
+	}
+	colPos := make([]int, len(cols))
+	for i, c := range cols {
+		idx, ok := t.columnIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, c, st.Table)
+		}
+		colPos[i] = idx
+	}
+	inserted := 0
+	for _, exprRow := range st.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("sqlmini: INSERT into %q: %d values for %d columns", st.Table, len(exprRow), len(cols))
+		}
+		vals := make([]Value, len(t.Cols)) // unset columns default to NULL
+		for i, e := range exprRow {
+			v, err := env.eval(e, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := Coerce(v, t.Cols[colPos[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", cols[i], err)
+			}
+			vals[colPos[i]] = cv
+		}
+		if err := db.checkConstraints(t, vals, nil); err != nil {
+			return nil, err
+		}
+		row := &Row{Vals: vals}
+		t.Rows = append(t.Rows, row)
+		t.indexInsert(row)
+		if tx != nil {
+			tx.recordInsert(t, row)
+		}
+		inserted++
+	}
+	db.changeSeq++
+	return &Result{Affected: inserted}, nil
+}
+
+// checkConstraints validates NOT NULL, PRIMARY KEY uniqueness, and
+// REFERENCES existence for a candidate row. skip, when non-nil, is a row
+// excluded from uniqueness checks (the row being updated).
+func (db *DB) checkConstraints(t *Table, vals []Value, skip *Row) error {
+	for i, c := range t.Cols {
+		v := vals[i]
+		if c.NotNull && v.IsNull() {
+			return fmt.Errorf("%w: column %q of table %q", ErrNotNull, c.Name, t.Name)
+		}
+		if c.PrimaryKey && !v.IsNull() {
+			if r, ok := t.lookupPK(v); ok && r != skip {
+				return fmt.Errorf("%w: %s=%s in table %q", ErrDuplicateKey, c.Name, v, t.Name)
+			}
+		}
+		if c.RefTable != "" && !v.IsNull() {
+			ref, ok := db.tables[c.RefTable]
+			if !ok {
+				return fmt.Errorf("%w: referenced table %q missing", ErrForeignKey, c.RefTable)
+			}
+			ri, ok := ref.columnIndex(c.RefColumn)
+			if !ok {
+				return fmt.Errorf("%w: referenced column %q missing in %q", ErrForeignKey, c.RefColumn, c.RefTable)
+			}
+			found := false
+			if ref.pk == ri {
+				_, found = ref.lookupPK(v)
+			} else {
+				for _, r := range ref.Rows {
+					if Equal(r.Vals[ri], v) {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				return fmt.Errorf("%w: %s=%s not present in %s(%s)", ErrForeignKey, c.Name, v, c.RefTable, c.RefColumn)
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) execSelect(st *SelectStmt, env *evalEnv) (*Result, error) {
+	// SELECT without FROM: evaluate once against an empty row.
+	if st.Table == "" {
+		res := &Result{}
+		for _, item := range st.Items {
+			res.Cols = append(res.Cols, selectColName(item))
+		}
+		row := make([]Value, 0, len(st.Items))
+		for _, item := range st.Items {
+			v, err := env.eval(item.Expr, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		res.Rows = [][]Value{row}
+		return res, nil
+	}
+
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	// Filter.
+	var matched []*Row
+	for _, r := range t.Rows {
+		if st.Where != nil {
+			v, err := env.eval(st.Where, t, r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		matched = append(matched, r)
+	}
+
+	// Aggregate query? (no GROUP BY support; all-aggregate select lists
+	// collapse to a single row, which covers COUNT/MIN/MAX/SUM/AVG usage.)
+	if !st.Star && allAggregates(st.Items) {
+		res := &Result{}
+		row := make([]Value, 0, len(st.Items))
+		for _, item := range st.Items {
+			res.Cols = append(res.Cols, selectColName(item))
+			v, err := env.evalAggregate(item.Expr.(*CallExpr), t, matched)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		res.Rows = [][]Value{row}
+		return res, nil
+	}
+
+	// ORDER BY.
+	if len(st.Order) > 0 {
+		var sortErr error
+		sort.SliceStable(matched, func(i, j int) bool {
+			for _, key := range st.Order {
+				vi, err := env.eval(key.Expr, t, matched[i])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				vj, err := env.eval(key.Expr, t, matched[j])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				// NULLs sort first ascending.
+				switch {
+				case vi.IsNull() && vj.IsNull():
+					continue
+				case vi.IsNull():
+					return !key.Desc
+				case vj.IsNull():
+					return key.Desc
+				}
+				c, _ := Compare(vi, vj)
+				if c == 0 {
+					continue
+				}
+				if key.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	if st.Limit >= 0 && len(matched) > st.Limit {
+		matched = matched[:st.Limit]
+	}
+
+	res := &Result{}
+	if st.Star {
+		for _, c := range t.Cols {
+			res.Cols = append(res.Cols, c.Name)
+		}
+		for _, r := range matched {
+			out := make([]Value, len(r.Vals))
+			copy(out, r.Vals)
+			res.Rows = append(res.Rows, out)
+		}
+		return res, nil
+	}
+	for _, item := range st.Items {
+		res.Cols = append(res.Cols, selectColName(item))
+	}
+	for _, r := range matched {
+		out := make([]Value, 0, len(st.Items))
+		for _, item := range st.Items {
+			v, err := env.eval(item.Expr, t, r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func selectColName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *ColumnExpr:
+		return e.Name
+	case *CallExpr:
+		return strings.ToLower(e.Fn)
+	default:
+		return "?column?"
+	}
+}
+
+var aggregateFns = map[string]bool{
+	"COUNT": true, "MIN": true, "MAX": true, "SUM": true, "AVG": true,
+}
+
+func allAggregates(items []SelectItem) bool {
+	if len(items) == 0 {
+		return false
+	}
+	for _, it := range items {
+		c, ok := it.Expr.(*CallExpr)
+		if !ok || !aggregateFns[c.Fn] {
+			return false
+		}
+	}
+	return true
+}
+
+func (db *DB) execUpdate(st *UpdateStmt, env *evalEnv, tx *undoLog) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	setPos := make([]int, len(st.Set))
+	for i, a := range st.Set {
+		idx, ok := t.columnIndex(a.Col)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, a.Col, st.Table)
+		}
+		setPos[i] = idx
+	}
+	affected := 0
+	for _, r := range t.Rows {
+		if st.Where != nil {
+			v, err := env.eval(st.Where, t, r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		newVals := make([]Value, len(r.Vals))
+		copy(newVals, r.Vals)
+		for i, a := range st.Set {
+			v, err := env.eval(a.Expr, t, r)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := Coerce(v, t.Cols[setPos[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", a.Col, err)
+			}
+			newVals[setPos[i]] = cv
+		}
+		if err := db.checkConstraints(t, newVals, r); err != nil {
+			return nil, err
+		}
+		if tx != nil {
+			tx.recordUpdate(t, r, r.Vals)
+		}
+		old := r.Vals
+		r.Vals = newVals
+		t.indexUpdate(r, old)
+		affected++
+	}
+	if affected > 0 {
+		db.changeSeq++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execDelete(st *DeleteStmt, env *evalEnv, tx *undoLog) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate the full scan before mutating so a mid-scan evaluation
+	// error leaves the table untouched.
+	kept := make([]*Row, 0, len(t.Rows))
+	var deleted []*Row
+	for _, r := range t.Rows {
+		del := true
+		if st.Where != nil {
+			v, err := env.eval(st.Where, t, r)
+			if err != nil {
+				return nil, err
+			}
+			del = !v.IsNull() && v.Bool()
+		}
+		if del {
+			deleted = append(deleted, r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	affected := len(deleted)
+	for _, r := range deleted {
+		t.indexRemove(r)
+		if tx != nil {
+			tx.recordDelete(t, r)
+		}
+	}
+	t.Rows = kept
+	if affected > 0 {
+		db.changeSeq++
+	}
+	return &Result{Affected: affected}, nil
+}

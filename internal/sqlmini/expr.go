@@ -1,0 +1,381 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// evalEnv carries per-statement evaluation context: the clock, and
+// parameter bindings.
+type evalEnv struct {
+	clock      func() time.Time
+	named      map[string]Value
+	positional []Value
+}
+
+// eval evaluates e against row r of table t (both may be nil for
+// row-free contexts such as INSERT values).
+func (env *evalEnv) eval(e Expr, t *Table, r *Row) (Value, error) {
+	switch e := e.(type) {
+	case *LiteralExpr:
+		return e.Val, nil
+	case *ColumnExpr:
+		if t == nil || r == nil {
+			return Null, fmt.Errorf("%w: %q (no row context)", ErrNoSuchColumn, e.Name)
+		}
+		i, ok := t.columnIndex(e.Name)
+		if !ok {
+			return Null, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, e.Name, t.Name)
+		}
+		return r.Vals[i], nil
+	case *ParamExpr:
+		if e.Name != "" {
+			v, ok := env.named[e.Name]
+			if !ok {
+				return Null, fmt.Errorf("%w: $%s", ErrMissingParam, e.Name)
+			}
+			return v, nil
+		}
+		if e.Index >= len(env.positional) {
+			return Null, fmt.Errorf("%w: positional #%d", ErrMissingParam, e.Index+1)
+		}
+		return env.positional[e.Index], nil
+	case *UnaryExpr:
+		v, err := env.eval(e.E, t, r)
+		if err != nil {
+			return Null, err
+		}
+		switch e.Op {
+		case "NOT":
+			if v.IsNull() {
+				return Null, nil
+			}
+			return NewBool(!v.Bool()), nil
+		case "-":
+			if v.IsNull() {
+				return Null, nil
+			}
+			if v.Type() == TypeDouble {
+				return NewFloat(-v.Float()), nil
+			}
+			return NewInt(-v.Int()), nil
+		default:
+			return Null, fmt.Errorf("sqlmini: unknown unary operator %q", e.Op)
+		}
+	case *IsNullExpr:
+		v, err := env.eval(e.E, t, r)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(v.IsNull() != e.Not), nil
+	case *BetweenExpr:
+		v, err := env.eval(e.E, t, r)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := env.eval(e.Lo, t, r)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := env.eval(e.Hi, t, r)
+		if err != nil {
+			return Null, err
+		}
+		cLo, ok1 := Compare(v, lo)
+		cHi, ok2 := Compare(v, hi)
+		if !ok1 || !ok2 {
+			return Null, nil
+		}
+		in := cLo >= 0 && cHi <= 0
+		return NewBool(in != e.Not), nil
+	case *InExpr:
+		v, err := env.eval(e.E, t, r)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		sawNull := false
+		for _, le := range e.List {
+			lv, err := env.eval(le, t, r)
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if Equal(v, lv) {
+				return NewBool(!e.Not), nil
+			}
+		}
+		if sawNull {
+			return Null, nil
+		}
+		return NewBool(e.Not), nil
+	case *BinaryExpr:
+		return env.evalBinary(e, t, r)
+	case *CallExpr:
+		return env.evalCall(e, t, r)
+	default:
+		return Null, fmt.Errorf("sqlmini: unsupported expression %T", e)
+	}
+}
+
+func (env *evalEnv) evalBinary(e *BinaryExpr, t *Table, r *Row) (Value, error) {
+	// Short-circuit Kleene logic for AND/OR.
+	switch e.Op {
+	case "AND":
+		l, err := env.eval(e.L, t, r)
+		if err != nil {
+			return Null, err
+		}
+		if !l.IsNull() && !l.Bool() {
+			return NewBool(false), nil
+		}
+		rv, err := env.eval(e.R, t, r)
+		if err != nil {
+			return Null, err
+		}
+		if !rv.IsNull() && !rv.Bool() {
+			return NewBool(false), nil
+		}
+		if l.IsNull() || rv.IsNull() {
+			return Null, nil
+		}
+		return NewBool(true), nil
+	case "OR":
+		l, err := env.eval(e.L, t, r)
+		if err != nil {
+			return Null, err
+		}
+		if !l.IsNull() && l.Bool() {
+			return NewBool(true), nil
+		}
+		rv, err := env.eval(e.R, t, r)
+		if err != nil {
+			return Null, err
+		}
+		if !rv.IsNull() && rv.Bool() {
+			return NewBool(true), nil
+		}
+		if l.IsNull() || rv.IsNull() {
+			return Null, nil
+		}
+		return NewBool(false), nil
+	}
+
+	l, err := env.eval(e.L, t, r)
+	if err != nil {
+		return Null, err
+	}
+	rv, err := env.eval(e.R, t, r)
+	if err != nil {
+		return Null, err
+	}
+
+	switch e.Op {
+	case "LIKE":
+		if l.IsNull() || rv.IsNull() {
+			return Null, nil
+		}
+		m := Like(l.Str(), rv.Str())
+		return NewBool(m != e.NotOp), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, ok := Compare(l, rv)
+		if !ok {
+			return Null, nil
+		}
+		var b bool
+		switch e.Op {
+		case "=":
+			b = c == 0
+		case "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return NewBool(b), nil
+	case "+", "-", "*", "/":
+		if l.IsNull() || rv.IsNull() {
+			return Null, nil
+		}
+		if l.Type() == TypeDouble || rv.Type() == TypeDouble {
+			a, b := l.Float(), rv.Float()
+			switch e.Op {
+			case "+":
+				return NewFloat(a + b), nil
+			case "-":
+				return NewFloat(a - b), nil
+			case "*":
+				return NewFloat(a * b), nil
+			case "/":
+				if b == 0 {
+					return Null, fmt.Errorf("sqlmini: division by zero")
+				}
+				return NewFloat(a / b), nil
+			}
+		}
+		a, b := l.Int(), rv.Int()
+		switch e.Op {
+		case "+":
+			return NewInt(a + b), nil
+		case "-":
+			return NewInt(a - b), nil
+		case "*":
+			return NewInt(a * b), nil
+		case "/":
+			if b == 0 {
+				return Null, fmt.Errorf("sqlmini: division by zero")
+			}
+			return NewInt(a / b), nil
+		}
+	}
+	return Null, fmt.Errorf("sqlmini: unknown operator %q", e.Op)
+}
+
+func (env *evalEnv) evalCall(e *CallExpr, t *Table, r *Row) (Value, error) {
+	switch e.Fn {
+	case "NOW", "CURRENT_TIMESTAMP":
+		return NewTime(env.clock()), nil
+	case "LOWER", "UPPER", "LENGTH", "TRIM":
+		if len(e.Args) != 1 {
+			return Null, fmt.Errorf("sqlmini: %s expects 1 argument", e.Fn)
+		}
+		v, err := env.eval(e.Args[0], t, r)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		switch e.Fn {
+		case "LOWER":
+			return NewString(strings.ToLower(v.Str())), nil
+		case "UPPER":
+			return NewString(strings.ToUpper(v.Str())), nil
+		case "TRIM":
+			return NewString(strings.TrimSpace(v.Str())), nil
+		default: // LENGTH
+			return NewInt(int64(len(v.Str()))), nil
+		}
+	case "COALESCE":
+		for _, a := range e.Args {
+			v, err := env.eval(a, t, r)
+			if err != nil {
+				return Null, err
+			}
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null, nil
+	case "ABS":
+		if len(e.Args) != 1 {
+			return Null, fmt.Errorf("sqlmini: ABS expects 1 argument")
+		}
+		v, err := env.eval(e.Args[0], t, r)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		if v.Type() == TypeDouble {
+			f := v.Float()
+			if f < 0 {
+				f = -f
+			}
+			return NewFloat(f), nil
+		}
+		n := v.Int()
+		if n < 0 {
+			n = -n
+		}
+		return NewInt(n), nil
+	case "COUNT", "MIN", "MAX", "SUM", "AVG":
+		return Null, fmt.Errorf("sqlmini: aggregate %s not allowed here", e.Fn)
+	default:
+		return Null, fmt.Errorf("sqlmini: unknown function %q", e.Fn)
+	}
+}
+
+// evalAggregate computes one aggregate over the matched rows.
+func (env *evalEnv) evalAggregate(e *CallExpr, t *Table, rows []*Row) (Value, error) {
+	if e.Fn == "COUNT" && e.Star {
+		return NewInt(int64(len(rows))), nil
+	}
+	if len(e.Args) != 1 {
+		return Null, fmt.Errorf("sqlmini: %s expects 1 argument", e.Fn)
+	}
+	var (
+		count int64
+		sum   float64
+		isInt = true
+		sumI  int64
+		best  Value
+	)
+	for _, r := range rows {
+		v, err := env.eval(e.Args[0], t, r)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		switch e.Fn {
+		case "SUM", "AVG":
+			if v.Type() == TypeDouble {
+				isInt = false
+			}
+			sum += v.Float()
+			sumI += v.Int()
+		case "MIN":
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			if c, ok := Compare(v, best); ok && c < 0 {
+				best = v
+			}
+		case "MAX":
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			if c, ok := Compare(v, best); ok && c > 0 {
+				best = v
+			}
+		}
+	}
+	switch e.Fn {
+	case "COUNT":
+		return NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null, nil
+		}
+		if isInt {
+			return NewInt(sumI), nil
+		}
+		return NewFloat(sum), nil
+	case "AVG":
+		if count == 0 {
+			return Null, nil
+		}
+		return NewFloat(sum / float64(count)), nil
+	case "MIN", "MAX":
+		return best, nil
+	default:
+		return Null, fmt.Errorf("sqlmini: unknown aggregate %q", e.Fn)
+	}
+}

@@ -1,0 +1,102 @@
+package sqlmini
+
+// Primary-key hash index. Every table with a PRIMARY KEY column keeps a
+// map from the key's canonical string to its row, so uniqueness checks
+// and equality point-lookups are O(1) instead of a full scan. The index
+// is maintained by every mutation path, including transaction rollback
+// and snapshot restore; `go test ./internal/sqlmini -run TestPK` and the
+// property suite cover the invariants.
+
+// pkCol returns the index of the table's PRIMARY KEY column, or -1.
+func (t *Table) pkCol() int {
+	for i, c := range t.Cols {
+		if c.PrimaryKey {
+			return i
+		}
+	}
+	return -1
+}
+
+// initIndex prepares the PK index structures; call after Cols are set.
+func (t *Table) initIndex() {
+	t.pk = t.pkCol()
+	if t.pk >= 0 {
+		t.pkIdx = make(map[string]*Row)
+	}
+}
+
+// pkKey canonicalizes a PK value for indexing. Values are stored
+// post-coercion, so one column holds one type and Str() is injective
+// within it.
+func pkKey(v Value) string { return v.Str() }
+
+// indexInsert registers a row; caller has already checked uniqueness.
+func (t *Table) indexInsert(r *Row) {
+	if t.pk < 0 {
+		return
+	}
+	v := r.Vals[t.pk]
+	if v.IsNull() {
+		return
+	}
+	t.pkIdx[pkKey(v)] = r
+}
+
+// indexRemove unregisters a row.
+func (t *Table) indexRemove(r *Row) {
+	if t.pk < 0 {
+		return
+	}
+	v := r.Vals[t.pk]
+	if v.IsNull() {
+		return
+	}
+	key := pkKey(v)
+	// Only remove if the slot still points at this row (a concurrent
+	// re-insert of the same key after a delete must not be clobbered by
+	// a late undo).
+	if t.pkIdx[key] == r {
+		delete(t.pkIdx, key)
+	}
+}
+
+// indexUpdate moves a row's registration when its key changed.
+func (t *Table) indexUpdate(r *Row, oldVals []Value) {
+	if t.pk < 0 {
+		return
+	}
+	oldV, newV := oldVals[t.pk], r.Vals[t.pk]
+	if Equal(oldV, newV) || (oldV.IsNull() && newV.IsNull()) {
+		return
+	}
+	if !oldV.IsNull() {
+		key := pkKey(oldV)
+		if t.pkIdx[key] == r {
+			delete(t.pkIdx, key)
+		}
+	}
+	if !newV.IsNull() {
+		t.pkIdx[pkKey(newV)] = r
+	}
+}
+
+// lookupPK finds the row holding the given PK value, if any.
+func (t *Table) lookupPK(v Value) (*Row, bool) {
+	if t.pk < 0 || v.IsNull() {
+		return nil, false
+	}
+	r, ok := t.pkIdx[pkKey(v)]
+	return r, ok
+}
+
+// rebuildIndex reconstructs the PK index from the rows (snapshot
+// restore).
+func (t *Table) rebuildIndex() {
+	t.initIndex()
+	if t.pk < 0 {
+		return
+	}
+	for _, r := range t.Rows {
+		t.indexInsert(r)
+	}
+}

@@ -1,0 +1,177 @@
+package sqlmini
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// indexConsistent verifies the PK index agrees with a full scan.
+func indexConsistent(t *testing.T, db *DB, table string) {
+	t.Helper()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.tables[table]
+	if tbl.pk < 0 {
+		return
+	}
+	// Every row is indexed under its key.
+	seen := map[string]bool{}
+	for _, r := range tbl.Rows {
+		v := r.Vals[tbl.pk]
+		if v.IsNull() {
+			continue
+		}
+		key := pkKey(v)
+		if tbl.pkIdx[key] != r {
+			t.Fatalf("row with key %q not indexed (or indexed to another row)", key)
+		}
+		seen[key] = true
+	}
+	// No stale entries.
+	for key := range tbl.pkIdx {
+		if !seen[key] {
+			t.Fatalf("stale index entry %q", key)
+		}
+	}
+}
+
+func TestPKIndexMutationSequence(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)")
+	db.MustExec("INSERT INTO t (id, v) VALUES (1, 10), (2, 20), (3, 30)")
+	indexConsistent(t, db, "t")
+
+	// Key-changing update.
+	db.MustExec("UPDATE t SET id = 4 WHERE id = 2")
+	indexConsistent(t, db, "t")
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (2, 22)"); err != nil {
+		t.Fatalf("freed key must be reusable: %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (4, 44)"); err == nil {
+		t.Fatal("moved-to key must conflict")
+	}
+	indexConsistent(t, db, "t")
+
+	// Delete frees keys.
+	db.MustExec("DELETE FROM t WHERE id = 4")
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (4, 40)"); err != nil {
+		t.Fatalf("deleted key must be reusable: %v", err)
+	}
+	indexConsistent(t, db, "t")
+}
+
+func TestPKIndexRollback(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)")
+	db.MustExec("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+
+	s := db.NewSession()
+	defer s.Close()
+	s.Exec("BEGIN")                                //nolint:errcheck
+	s.Exec("INSERT INTO t (id, v) VALUES (3, 30)") //nolint:errcheck
+	s.Exec("UPDATE t SET id = 9 WHERE id = 1")     //nolint:errcheck
+	s.Exec("DELETE FROM t WHERE id = 2")           //nolint:errcheck
+	s.Exec("ROLLBACK")                             //nolint:errcheck
+	indexConsistent(t, db, "t")
+
+	// Original keys are live again, transaction keys are free.
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (1, 0)"); err == nil {
+		t.Fatal("key 1 must exist again after rollback")
+	}
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (3, 0)"); err != nil {
+		t.Fatalf("key 3 must be free after rollback: %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO t (id, v) VALUES (9, 0)"); err != nil {
+		t.Fatalf("key 9 must be free after rollback: %v", err)
+	}
+	indexConsistent(t, db, "t")
+}
+
+func TestPKIndexSurvivesRestore(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY)")
+	db.MustExec("INSERT INTO t (id) VALUES (1), (2), (3)")
+	db2 := NewDB()
+	if err := db2.Restore(db.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	indexConsistent(t, db2, "t")
+	if _, err := db2.Exec("INSERT INTO t (id) VALUES (2)"); err == nil {
+		t.Fatal("restored index must enforce uniqueness")
+	}
+}
+
+// TestPKIndexRandomizedProperty drives a random mutation sequence
+// (inserts, deletes, key-moving updates, rollbacks) and checks the index
+// against a full scan after every step.
+func TestPKIndexRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)")
+	live := map[int]bool{}
+	nextFree := func() int {
+		for {
+			k := rng.Intn(200)
+			if !live[k] {
+				return k
+			}
+		}
+	}
+	anyLive := func() (int, bool) {
+		for k := range live {
+			return k, true
+		}
+		return 0, false
+	}
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(4); op {
+		case 0: // insert
+			k := nextFree()
+			db.MustExec("INSERT INTO t (id, v) VALUES (?, ?)", k, step)
+			live[k] = true
+		case 1: // delete
+			if k, ok := anyLive(); ok {
+				db.MustExec("DELETE FROM t WHERE id = ?", k)
+				delete(live, k)
+			}
+		case 2: // key-moving update
+			if k, ok := anyLive(); ok {
+				nk := nextFree()
+				db.MustExec("UPDATE t SET id = ? WHERE id = ?", nk, k)
+				delete(live, k)
+				live[nk] = true
+			}
+		case 3: // transaction that rolls back
+			s := db.NewSession()
+			s.Exec("BEGIN") //nolint:errcheck
+			k := nextFree()
+			s.Exec("INSERT INTO t (id, v) VALUES (?, 0)", k) //nolint:errcheck
+			if lk, ok := anyLive(); ok {
+				s.Exec("DELETE FROM t WHERE id = ?", lk) //nolint:errcheck
+			}
+			s.Exec("ROLLBACK") //nolint:errcheck
+			s.Close()
+		}
+		indexConsistent(t, db, "t")
+	}
+	// Final cross-check: count matches the model.
+	res, _ := db.Query("SELECT count(*) FROM t")
+	if int(res.Rows[0][0].Int()) != len(live) {
+		t.Fatalf("row count %d != model %d", res.Rows[0][0].Int(), len(live))
+	}
+}
+
+func BenchmarkInsertWithPKAt10k(b *testing.B) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY)")
+	for i := 0; i < 10000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t (id) VALUES (%d)", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("INSERT INTO t (id) VALUES (?)", 10000+i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

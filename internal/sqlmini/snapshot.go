@@ -1,0 +1,163 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// snapshotVersion guards the snapshot wire format.
+const snapshotVersion = 1
+
+// Snapshot serializes the entire database (schema + rows) into a
+// self-describing byte blob. Replication layers use it for backend
+// resynchronization around a checkpoint (Sequoia, §5.3.1 of the paper)
+// and for master/slave initial sync.
+func (db *DB) Snapshot() []byte {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	e := wire.NewEncoder(4096)
+	e.Uint8(snapshotVersion)
+	e.Uint64(db.changeSeq)
+	e.Uint32(uint32(len(names)))
+	for _, n := range names {
+		t := db.tables[n]
+		e.String(t.Name)
+		e.Uint32(uint32(len(t.Cols)))
+		for _, c := range t.Cols {
+			e.String(c.Name)
+			e.Uint8(uint8(c.Type))
+			e.Bool(c.NotNull)
+			e.Bool(c.PrimaryKey)
+			e.String(c.RefTable)
+			e.String(c.RefColumn)
+		}
+		e.Uint32(uint32(len(t.Rows)))
+		for _, r := range t.Rows {
+			for _, v := range r.Vals {
+				encodeValue(e, v)
+			}
+		}
+	}
+	return e.Bytes()
+}
+
+// Restore replaces the database contents with a snapshot produced by
+// Snapshot.
+func (db *DB) Restore(blob []byte) error {
+	d := wire.NewDecoder(blob)
+	if v := d.Uint8(); v != snapshotVersion {
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("sqlmini: restore: %w", err)
+		}
+		return fmt.Errorf("sqlmini: restore: unsupported snapshot version %d", v)
+	}
+	seq := d.Uint64()
+	nTables := d.Uint32()
+	tables := make(map[string]*Table, nTables)
+	for i := uint32(0); i < nTables; i++ {
+		t := &Table{Name: d.String()}
+		nCols := d.Uint32()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("sqlmini: restore: %w", err)
+		}
+		t.Cols = make([]ColumnDef, nCols)
+		t.colIdx = make(map[string]int, nCols)
+		for j := uint32(0); j < nCols; j++ {
+			c := ColumnDef{
+				Name:       d.String(),
+				Type:       Type(d.Uint8()),
+				NotNull:    d.Bool(),
+				PrimaryKey: d.Bool(),
+				RefTable:   d.String(),
+				RefColumn:  d.String(),
+			}
+			t.Cols[j] = c
+			t.colIdx[c.Name] = int(j)
+		}
+		nRows := d.Uint32()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("sqlmini: restore: %w", err)
+		}
+		t.Rows = make([]*Row, 0, nRows)
+		for j := uint32(0); j < nRows; j++ {
+			vals := make([]Value, len(t.Cols))
+			for k := range vals {
+				v, err := decodeValue(d)
+				if err != nil {
+					return fmt.Errorf("sqlmini: restore: table %s: %w", t.Name, err)
+				}
+				vals[k] = v
+			}
+			t.Rows = append(t.Rows, &Row{Vals: vals})
+		}
+		t.rebuildIndex()
+		tables[t.Name] = t
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("sqlmini: restore: %w", err)
+	}
+
+	db.mu.Lock()
+	db.tables = tables
+	db.changeSeq = seq
+	db.mu.Unlock()
+	return nil
+}
+
+// EncodeValue appends v to e in the snapshot value format; network
+// protocols reuse it for statement arguments and result rows.
+func EncodeValue(e *wire.Encoder, v Value) { encodeValue(e, v) }
+
+// DecodeValue reads one value in the snapshot value format.
+func DecodeValue(d *wire.Decoder) (Value, error) { return decodeValue(d) }
+
+func encodeValue(e *wire.Encoder, v Value) {
+	e.Uint8(uint8(v.Type()))
+	switch v.Type() {
+	case TypeNull:
+	case TypeInteger, TypeBigint, TypeBoolean:
+		e.Int64(v.Int())
+	case TypeDouble:
+		e.Float64(v.Float())
+	case TypeVarchar:
+		e.String(v.Str())
+	case TypeBlob:
+		e.Bytes32(v.Bytes())
+	case TypeTimestamp:
+		e.Time(v.Time())
+	}
+}
+
+func decodeValue(d *wire.Decoder) (Value, error) {
+	t := Type(d.Uint8())
+	if err := d.Err(); err != nil {
+		return Null, err
+	}
+	switch t {
+	case TypeNull:
+		return Null, nil
+	case TypeInteger, TypeBigint:
+		return Coerce(NewInt(d.Int64()), t)
+	case TypeBoolean:
+		return NewBool(d.Int64() != 0), nil
+	case TypeDouble:
+		return NewFloat(d.Float64()), nil
+	case TypeVarchar:
+		return NewString(d.String()), nil
+	case TypeBlob:
+		return NewBytes(d.Bytes32()), nil
+	case TypeTimestamp:
+		return NewTime(d.Time()), nil
+	default:
+		return Null, fmt.Errorf("unknown value type %d", t)
+	}
+}

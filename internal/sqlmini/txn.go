@@ -1,0 +1,67 @@
+package sqlmini
+
+// undoLog records inverse operations for an open transaction. Rollback
+// applies them in reverse order. Entries address rows by pointer
+// identity, which stays valid regardless of how other sessions reorder
+// the containing slice.
+type undoLog struct {
+	entries []undoEntry
+}
+
+type undoKind int
+
+const (
+	undoInsert undoKind = iota + 1 // remove the row
+	undoUpdate                     // restore old values
+	undoDelete                     // re-append the row
+)
+
+type undoEntry struct {
+	kind    undoKind
+	table   *Table
+	row     *Row
+	oldVals []Value
+}
+
+func (u *undoLog) recordInsert(t *Table, r *Row) {
+	u.entries = append(u.entries, undoEntry{kind: undoInsert, table: t, row: r})
+}
+
+func (u *undoLog) recordUpdate(t *Table, r *Row, old []Value) {
+	saved := make([]Value, len(old))
+	copy(saved, old)
+	u.entries = append(u.entries, undoEntry{kind: undoUpdate, table: t, row: r, oldVals: saved})
+}
+
+func (u *undoLog) recordDelete(t *Table, r *Row) {
+	u.entries = append(u.entries, undoEntry{kind: undoDelete, table: t, row: r})
+}
+
+// revert applies the undo log in reverse. Caller holds db.mu.
+func (u *undoLog) revert(db *DB) {
+	for i := len(u.entries) - 1; i >= 0; i-- {
+		e := u.entries[i]
+		switch e.kind {
+		case undoInsert:
+			rows := e.table.Rows
+			for j, r := range rows {
+				if r == e.row {
+					e.table.Rows = append(rows[:j], rows[j+1:]...)
+					break
+				}
+			}
+			e.table.indexRemove(e.row)
+		case undoUpdate:
+			cur := e.row.Vals
+			e.row.Vals = e.oldVals
+			e.table.indexUpdate(e.row, cur)
+		case undoDelete:
+			e.table.Rows = append(e.table.Rows, e.row)
+			e.table.indexInsert(e.row)
+		}
+	}
+	if len(u.entries) > 0 {
+		db.changeSeq++
+	}
+	u.entries = nil
+}

@@ -1,0 +1,401 @@
+// Package sqlmini is a small embedded relational engine: typed tables, a
+// SQL-subset parser and executor, expression evaluation, and undo-log
+// transactions. It exists to give the reproduction a real SQL substrate —
+// the Drivolution paper stores drivers in regular database tables and its
+// server logic is literally SQL (Sample code 1 and 2), so the server in
+// internal/core executes those statements against this engine.
+//
+// The dialect covers what the paper needs plus the usual administrative
+// surface: CREATE/DROP TABLE, INSERT, SELECT (with WHERE, ORDER BY,
+// LIMIT, aggregates), UPDATE, DELETE, BEGIN/COMMIT/ROLLBACK, LIKE,
+// IS [NOT] NULL, BETWEEN, IN, now(), and named ($name) plus positional
+// (?) parameters. Concurrency model: statements are atomic under an
+// engine-wide mutex; multi-statement transactions use an undo log and are
+// read-uncommitted (sufficient for the substrate; documented trade-off).
+package sqlmini
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates column/value types. The set mirrors the ANSI SQL types
+// used by the paper's Table 1 and 2 definitions.
+type Type int
+
+// Supported SQL types.
+const (
+	TypeNull Type = iota + 1
+	TypeInteger
+	TypeBigint
+	TypeDouble
+	TypeVarchar
+	TypeBlob
+	TypeTimestamp
+	TypeBoolean
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInteger:
+		return "INTEGER"
+	case TypeBigint:
+		return "BIGINT"
+	case TypeDouble:
+		return "DOUBLE"
+	case TypeVarchar:
+		return "VARCHAR"
+	case TypeBlob:
+		return "BLOB"
+	case TypeTimestamp:
+		return "TIMESTAMP"
+	case TypeBoolean:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero Value is SQL NULL.
+type Value struct {
+	typ   Type
+	i     int64
+	f     float64
+	s     string
+	b     []byte
+	t     time.Time
+	isSet bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INTEGER/BIGINT value.
+func NewInt(v int64) Value { return Value{typ: TypeBigint, i: v, isSet: true} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(v float64) Value { return Value{typ: TypeDouble, f: v, isSet: true} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{typ: TypeVarchar, s: v, isSet: true} }
+
+// NewBytes returns a BLOB value. The slice is retained, not copied.
+func NewBytes(v []byte) Value { return Value{typ: TypeBlob, b: v, isSet: true} }
+
+// NewTime returns a TIMESTAMP value.
+func NewTime(v time.Time) Value { return Value{typ: TypeTimestamp, t: v, isSet: true} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return Value{typ: TypeBoolean, i: i, isSet: true}
+}
+
+// FromGo converts a native Go value into a Value. Supported kinds:
+// nil, bool, integers, float64, string, []byte, time.Time, time.Duration
+// (as nanoseconds), and Value itself.
+func FromGo(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null, nil
+	case Value:
+		return x, nil
+	case bool:
+		return NewBool(x), nil
+	case int:
+		return NewInt(int64(x)), nil
+	case int32:
+		return NewInt(int64(x)), nil
+	case int64:
+		return NewInt(x), nil
+	case uint32:
+		return NewInt(int64(x)), nil
+	case float64:
+		return NewFloat(x), nil
+	case string:
+		return NewString(x), nil
+	case []byte:
+		return NewBytes(x), nil
+	case time.Time:
+		return NewTime(x), nil
+	case time.Duration:
+		return NewInt(int64(x)), nil
+	default:
+		return Null, fmt.Errorf("sqlmini: unsupported Go type %T", v)
+	}
+}
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return !v.isSet }
+
+// Type returns the value's type; NULL values report TypeNull.
+func (v Value) Type() Type {
+	if !v.isSet {
+		return TypeNull
+	}
+	return v.typ
+}
+
+// Int returns the value as int64 (0 for NULL). Floats truncate; strings
+// parse best-effort.
+func (v Value) Int() int64 {
+	switch v.Type() {
+	case TypeInteger, TypeBigint, TypeBoolean:
+		return v.i
+	case TypeDouble:
+		return int64(v.f)
+	case TypeVarchar:
+		n, _ := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		return n
+	case TypeTimestamp:
+		return v.t.UnixNano()
+	default:
+		return 0
+	}
+}
+
+// Float returns the value as float64 (0 for NULL).
+func (v Value) Float() float64 {
+	switch v.Type() {
+	case TypeInteger, TypeBigint, TypeBoolean:
+		return float64(v.i)
+	case TypeDouble:
+		return v.f
+	case TypeVarchar:
+		f, _ := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// Str returns the value as a string ("" for NULL).
+func (v Value) Str() string {
+	switch v.Type() {
+	case TypeVarchar:
+		return v.s
+	case TypeInteger, TypeBigint:
+		return strconv.FormatInt(v.i, 10)
+	case TypeBoolean:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case TypeDouble:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeBlob:
+		return string(v.b)
+	case TypeTimestamp:
+		return v.t.UTC().Format(time.RFC3339Nano)
+	default:
+		return ""
+	}
+}
+
+// Bytes returns the value as a byte slice (nil for NULL).
+func (v Value) Bytes() []byte {
+	switch v.Type() {
+	case TypeBlob:
+		return v.b
+	case TypeVarchar:
+		return []byte(v.s)
+	default:
+		return nil
+	}
+}
+
+// Time returns the value as a time.Time (zero for NULL). Integer values
+// are interpreted as Unix nanoseconds.
+func (v Value) Time() time.Time {
+	switch v.Type() {
+	case TypeTimestamp:
+		return v.t
+	case TypeInteger, TypeBigint:
+		return time.Unix(0, v.i).UTC()
+	case TypeVarchar:
+		if t, err := time.Parse(time.RFC3339Nano, v.s); err == nil {
+			return t
+		}
+		return time.Time{}
+	default:
+		return time.Time{}
+	}
+}
+
+// Bool returns the value as a boolean. NULL is false.
+func (v Value) Bool() bool {
+	switch v.Type() {
+	case TypeBoolean, TypeInteger, TypeBigint:
+		return v.i != 0
+	case TypeDouble:
+		return v.f != 0
+	case TypeVarchar:
+		return strings.EqualFold(v.s, "true")
+	default:
+		return false
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.typ {
+	case TypeVarchar:
+		return "'" + v.s + "'"
+	case TypeBlob:
+		return fmt.Sprintf("x'%d bytes'", len(v.b))
+	default:
+		return v.Str()
+	}
+}
+
+// numericType reports whether t participates in numeric comparison.
+func numericType(t Type) bool {
+	switch t {
+	case TypeInteger, TypeBigint, TypeDouble, TypeBoolean:
+		return true
+	default:
+		return false
+	}
+}
+
+// Compare orders two non-NULL values: -1, 0, +1. Comparing NULL with
+// anything returns unknown=false via the (cmp, ok) second result.
+func Compare(a, b Value) (int, bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	at, bt := a.Type(), b.Type()
+	switch {
+	case numericType(at) && numericType(bt):
+		if at == TypeDouble || bt == TypeDouble {
+			return cmpFloat(a.Float(), b.Float()), true
+		}
+		return cmpInt(a.Int(), b.Int()), true
+	case at == TypeTimestamp || bt == TypeTimestamp:
+		ta, tb := a.Time(), b.Time()
+		switch {
+		case ta.Before(tb):
+			return -1, true
+		case ta.After(tb):
+			return 1, true
+		default:
+			return 0, true
+		}
+	case at == TypeBlob && bt == TypeBlob:
+		return strings.Compare(string(a.b), string(b.b)), true
+	default:
+		// String-ish comparison, with numeric coercion when one side is a
+		// number literal stored as text.
+		if numericType(at) || numericType(bt) {
+			return cmpFloat(a.Float(), b.Float()), true
+		}
+		return strings.Compare(a.Str(), b.Str()), true
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b || (math.IsNaN(a) && !math.IsNaN(b)):
+		return -1
+	case a > b || (!math.IsNaN(a) && math.IsNaN(b)):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports SQL equality; NULL = anything is false.
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Like evaluates the SQL LIKE predicate with % (any run) and _ (any one
+// rune) wildcards. Matching is case-insensitive, which matches how the
+// paper uses LIKE for api/platform names ("JDBC" should match "jdbc").
+func Like(s, pattern string) bool {
+	return likeMatch(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative two-pointer matcher with backtracking on the last '%'.
+	var si, pi int
+	star, sBack := -1, 0
+	rs, rp := []rune(s), []rune(p)
+	for si < len(rs) {
+		switch {
+		case pi < len(rp) && (rp[pi] == '_' || rp[pi] == rs[si]):
+			si++
+			pi++
+		case pi < len(rp) && rp[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star != -1:
+			pi = star + 1
+			sBack++
+			si = sBack
+		default:
+			return false
+		}
+	}
+	for pi < len(rp) && rp[pi] == '%' {
+		pi++
+	}
+	return pi == len(rp)
+}
+
+// Coerce converts v to column type t, used on INSERT/UPDATE so stored
+// rows are uniformly typed. NULL passes through.
+func Coerce(v Value, t Type) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	switch t {
+	case TypeInteger, TypeBigint:
+		return Value{typ: t, i: v.Int(), isSet: true}, nil
+	case TypeDouble:
+		return NewFloat(v.Float()), nil
+	case TypeVarchar:
+		return NewString(v.Str()), nil
+	case TypeBlob:
+		b := v.Bytes()
+		if b == nil {
+			return Null, fmt.Errorf("sqlmini: cannot coerce %s to BLOB", v.Type())
+		}
+		return NewBytes(b), nil
+	case TypeTimestamp:
+		ts := v.Time()
+		if ts.IsZero() && v.Type() == TypeVarchar {
+			return Null, fmt.Errorf("sqlmini: cannot parse %q as TIMESTAMP", v.Str())
+		}
+		return NewTime(ts), nil
+	case TypeBoolean:
+		return NewBool(v.Bool()), nil
+	default:
+		return Null, fmt.Errorf("sqlmini: unknown column type %v", t)
+	}
+}

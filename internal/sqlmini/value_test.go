@@ -1,0 +1,177 @@
+package sqlmini
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLike(t *testing.T) {
+	tests := []struct {
+		s, p string
+		want bool
+	}{
+		{"JDBC", "JDBC", true},
+		{"jdbc", "JDBC", true}, // case-insensitive, per package doc
+		{"JDBC", "J%", true},
+		{"JDBC", "%C", true},
+		{"JDBC", "%DB%", true},
+		{"JDBC", "J_BC", true},
+		{"JDBC", "J__C", true},
+		{"JDBC", "J_C", false},
+		{"JDBC", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"", "_", false},
+		{"linux-x86_64", "linux-%", true},
+		{"linux-x86_64", "%x86%", true},
+		{"windows-i586", "linux-%", false},
+		{"JRE 1.5", "JRE 1._", true},
+		{"abc", "a%b%c", true},
+		{"aXbYc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+		{"JDBC3", "JDBC", false},
+		{"ODBC", "%DBC", true},
+	}
+	for _, tt := range tests {
+		if got := Like(tt.s, tt.p); got != tt.want {
+			t.Errorf("Like(%q, %q) = %v, want %v", tt.s, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestLikePercentMatchesEverythingProperty(t *testing.T) {
+	prop := func(s string) bool { return Like(s, "%") }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLikeSelfMatchProperty(t *testing.T) {
+	// Any string without wildcards matches itself.
+	prop := func(s string) bool {
+		for _, r := range s {
+			if r == '%' || r == '_' {
+				return true // skip wildcard-bearing inputs
+			}
+		}
+		return Like(s, s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("10"), NewInt(9), 1}, // numeric coercion
+		{NewBool(true), NewBool(false), 1},
+		{NewBool(true), NewInt(1), 0},
+		{NewTime(time.Unix(1, 0)), NewTime(time.Unix(2, 0)), -1},
+		{NewBytes([]byte("aa")), NewBytes([]byte("ab")), -1},
+	}
+	for _, tt := range tests {
+		got, ok := Compare(tt.a, tt.b)
+		if !ok {
+			t.Errorf("Compare(%s, %s) not ok", tt.a, tt.b)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareNullUnknown(t *testing.T) {
+	if _, ok := Compare(Null, NewInt(1)); ok {
+		t.Error("NULL comparison should be unknown")
+	}
+	if _, ok := Compare(NewInt(1), Null); ok {
+		t.Error("NULL comparison should be unknown")
+	}
+	if Equal(Null, Null) {
+		t.Error("NULL = NULL must be false in SQL")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	prop := func(a, b int64) bool {
+		c1, ok1 := Compare(NewInt(a), NewInt(b))
+		c2, ok2 := Compare(NewInt(b), NewInt(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Coerce(NewString("42"), TypeInteger)
+	if err != nil || v.Int() != 42 {
+		t.Errorf("string->int: %v %v", v, err)
+	}
+	v, err = Coerce(NewInt(7), TypeVarchar)
+	if err != nil || v.Str() != "7" {
+		t.Errorf("int->varchar: %v %v", v, err)
+	}
+	v, err = Coerce(Null, TypeBlob)
+	if err != nil || !v.IsNull() {
+		t.Errorf("null passthrough: %v %v", v, err)
+	}
+	if _, err = Coerce(NewInt(7), TypeBlob); err == nil {
+		t.Error("int->blob should fail")
+	}
+	v, err = Coerce(NewInt(1), TypeBoolean)
+	if err != nil || !v.Bool() {
+		t.Errorf("int->bool: %v %v", v, err)
+	}
+}
+
+func TestFromGo(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{nil, "NULL"},
+		{42, "42"},
+		{int64(-7), "-7"},
+		{3.5, "3.5"},
+		{"hi", "'hi'"},
+		{true, "TRUE"},
+	}
+	for _, c := range cases {
+		v, err := FromGo(c.in)
+		if err != nil {
+			t.Fatalf("FromGo(%v): %v", c.in, err)
+		}
+		if v.String() != c.want {
+			t.Errorf("FromGo(%v) = %s, want %s", c.in, v, c.want)
+		}
+	}
+	v, err := FromGo(now)
+	if err != nil || !v.Time().Equal(now) {
+		t.Errorf("FromGo(time) = %v, %v", v, err)
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("FromGo(struct{}{}) should fail")
+	}
+}
+
+func TestValueAccessorsOnNull(t *testing.T) {
+	if Null.Int() != 0 || Null.Str() != "" || Null.Bytes() != nil || Null.Bool() || !Null.Time().IsZero() {
+		t.Error("NULL accessors should return zero values")
+	}
+	if Null.Type() != TypeNull {
+		t.Errorf("Null.Type() = %v", Null.Type())
+	}
+}

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 1024)
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, Frame{Type: 7, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncoderTypicalMessage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(256)
+		e.String("prod")
+		e.String("app")
+		e.String("secret")
+		e.String("JDBC")
+		e.Int32(3)
+		e.Int32(0)
+		e.String("linux-x86_64")
+		e.Uint64(uint64(i))
+		_ = e.Bytes()
+	}
+}
+
+func BenchmarkDecoderTypicalMessage(b *testing.B) {
+	e := NewEncoder(256)
+	e.String("prod")
+	e.String("app")
+	e.String("secret")
+	e.String("JDBC")
+	e.Int32(3)
+	e.Int32(0)
+	e.String("linux-x86_64")
+	e.Uint64(42)
+	payload := e.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(payload)
+		_ = d.String()
+		_ = d.String()
+		_ = d.String()
+		_ = d.String()
+		_ = d.Int32()
+		_ = d.Int32()
+		_ = d.String()
+		_ = d.Uint64()
+		if d.Err() != nil {
+			b.Fatal(d.Err())
+		}
+	}
+}

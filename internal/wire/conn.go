@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bufio"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with buffered, mutex-serialized frame I/O. Writes
+// from multiple goroutines are safe; reads must come from a single
+// goroutine (the usual pattern: one reader loop per connection).
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// NewConn wraps nc for frame I/O.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 32<<10),
+		bw: bufio.NewWriterSize(nc, 32<<10),
+	}
+}
+
+// Send writes and flushes one frame.
+func (c *Conn) Send(typ uint16, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteFrame(c.bw, Frame{Type: typ, Payload: payload}); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (Frame, error) {
+	return ReadFrame(c.br)
+}
+
+// RecvTimeout reads one frame, failing if none arrives within d. A zero
+// duration means no deadline.
+func (c *Conn) RecvTimeout(d time.Duration) (Frame, error) {
+	if d > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return Frame{}, fmt.Errorf("wire: set read deadline: %w", err)
+		}
+		defer c.nc.SetReadDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	return c.Recv()
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// IsTLS reports whether the connection runs over TLS; protocol layers
+// use it to enforce secure-transfer policies.
+func (c *Conn) IsTLS() bool {
+	_, ok := c.nc.(*tls.Conn)
+	return ok
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// LocalAddr returns the local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// Dial connects to addr over TCP and wraps the connection. timeout bounds
+// connection establishment; zero means the OS default.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}

@@ -1,0 +1,205 @@
+// Package workload drives simulated client applications against a
+// database through any client.Driver (a legacy driver or a Drivolution
+// bootloader) and records per-request outcomes, so the paper's
+// operational claims — driver upgrades are disruptive today, transparent
+// under Drivolution — become measurable error windows and latencies.
+package workload
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+)
+
+// Outcome is one recorded request.
+type Outcome struct {
+	Start   time.Time
+	Latency time.Duration
+	Err     error
+}
+
+// Recorder accumulates outcomes from concurrent workers.
+type Recorder struct {
+	mu       sync.Mutex
+	outcomes []Outcome
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one outcome.
+func (r *Recorder) Record(o Outcome) {
+	r.mu.Lock()
+	r.outcomes = append(r.outcomes, o)
+	r.mu.Unlock()
+}
+
+// Outcomes snapshots the recorded outcomes in start order.
+func (r *Recorder) Outcomes() []Outcome {
+	r.mu.Lock()
+	out := append([]Outcome(nil), r.outcomes...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Total  int
+	Errors int
+	// ErrorWindow is the wall-clock span during which failures occurred:
+	// the time between the first and the last failed request completion.
+	// Concurrent workers make gap-to-recovery measures ambiguous; this
+	// span is robust and still zero-ish for a one-off hiccup versus
+	// ~outage-length for a real outage.
+	ErrorWindow time.Duration
+	// P50, P95, Max are latencies of successful requests.
+	P50, P95, Max time.Duration
+}
+
+// Stats computes the summary.
+func (r *Recorder) Stats() Stats {
+	outs := r.Outcomes()
+	s := Stats{Total: len(outs)}
+	var okLat []time.Duration
+	var firstFail, lastFail time.Time
+	for _, o := range outs {
+		if o.Err != nil {
+			s.Errors++
+			end := o.Start.Add(o.Latency)
+			if firstFail.IsZero() || end.Before(firstFail) {
+				firstFail = end
+			}
+			if end.After(lastFail) {
+				lastFail = end
+			}
+			continue
+		}
+		okLat = append(okLat, o.Latency)
+	}
+	if !firstFail.IsZero() {
+		s.ErrorWindow = lastFail.Sub(firstFail)
+	}
+	if len(okLat) > 0 {
+		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+		s.P50 = okLat[len(okLat)/2]
+		s.P95 = okLat[(len(okLat)*95)/100]
+		s.Max = okLat[len(okLat)-1]
+	}
+	return s
+}
+
+// Runner is a closed-loop client application: Workers goroutines, each
+// holding one connection, issuing Op every Think interval, reconnecting
+// after failures (what a real application's retry loop does).
+type Runner struct {
+	// Driver opens connections; a legacy driver or a bootloader.
+	Driver client.Driver
+	// URL is the application's connection URL.
+	URL string
+	// Props are connection properties.
+	Props client.Props
+	// Op issues one request on a connection. Default: SELECT 1.
+	Op func(c client.Conn, worker, iter int) error
+	// Workers is the number of concurrent clients (default 1).
+	Workers int
+	// Think is the inter-request delay per worker (default 1ms).
+	Think time.Duration
+
+	rec    *Recorder
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewRunner builds a runner with defaults applied.
+func NewRunner(drv client.Driver, url string, props client.Props) *Runner {
+	return &Runner{
+		Driver:  drv,
+		URL:     url,
+		Props:   props,
+		Workers: 1,
+		Think:   time.Millisecond,
+		rec:     NewRecorder(),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+// Recorder exposes the run's outcomes.
+func (r *Runner) Recorder() *Recorder { return r.rec }
+
+// Start launches the workers.
+func (r *Runner) Start() {
+	if r.Op == nil {
+		r.Op = func(c client.Conn, _, _ int) error {
+			_, err := c.Query("SELECT 1")
+			return err
+		}
+	}
+	for w := 0; w < r.Workers; w++ {
+		r.wg.Add(1)
+		go r.worker(w)
+	}
+}
+
+// Stop halts the workers and waits for them.
+func (r *Runner) Stop() {
+	r.once.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+}
+
+// RunFor starts the workload, lets it run for d, then stops it and
+// returns the stats.
+func (r *Runner) RunFor(d time.Duration) Stats {
+	r.Start()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	<-timer.C
+	r.Stop()
+	return r.rec.Stats()
+}
+
+func (r *Runner) worker(id int) {
+	defer r.wg.Done()
+	var conn client.Conn
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for iter := 0; ; iter++ {
+		select {
+		case <-r.stopCh:
+			return
+		default:
+		}
+		start := time.Now()
+		var err error
+		if conn == nil {
+			conn, err = r.Driver.Connect(r.URL, r.Props)
+		}
+		if err == nil {
+			err = r.Op(conn, id, iter)
+		}
+		r.rec.Record(Outcome{Start: start, Latency: time.Since(start), Err: err})
+		if err != nil && conn != nil {
+			_ = conn.Close()
+			conn = nil // reconnect next loop
+		}
+		if err != nil && conn == nil {
+			// Connect failed: brief backoff so a dead server doesn't spin.
+			select {
+			case <-r.stopCh:
+				return
+			case <-time.After(r.Think):
+			}
+		}
+		select {
+		case <-r.stopCh:
+			return
+		case <-time.After(r.Think):
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dbms"
+	"repro/internal/dbver"
+	"repro/internal/sqlmini"
+)
+
+func startTarget(t *testing.T) *dbms.Server {
+	t.Helper()
+	db := sqlmini.NewDB()
+	db.MustExec("CREATE TABLE t (x INTEGER)")
+	db.MustExec("INSERT INTO t (x) VALUES (1)")
+	s := dbms.NewServer("wl", dbms.WithUser("u", "p"))
+	s.AddDatabase("d", db)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestRunnerHappyPath(t *testing.T) {
+	s := startTarget(t)
+	r := NewRunner(dbms.NewNativeDriver(dbver.V(1, 0, 0), 1),
+		"dbms://"+s.Addr()+"/d", client.Props{"user": "u", "password": "p"})
+	r.Workers = 4
+	r.Think = 100 * time.Microsecond
+	stats := r.RunFor(300 * time.Millisecond)
+	if stats.Total == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("errors = %d", stats.Errors)
+	}
+	if stats.ErrorWindow != 0 {
+		t.Fatalf("error window = %v, want 0", stats.ErrorWindow)
+	}
+	if stats.P50 <= 0 || stats.Max < stats.P95 || stats.P95 < stats.P50 {
+		t.Fatalf("latency stats inconsistent: %+v", stats)
+	}
+}
+
+func TestRunnerMeasuresOutageWindow(t *testing.T) {
+	s := startTarget(t)
+	addr := s.Addr()
+	r := NewRunner(dbms.NewNativeDriver(dbver.V(1, 0, 0), 1),
+		"dbms://"+addr+"/d", client.Props{"user": "u", "password": "p"})
+	r.Workers = 2
+	r.Think = time.Millisecond
+	r.Start()
+	time.Sleep(50 * time.Millisecond)
+
+	// Hard outage: restart-based upgrade.
+	s.Stop()
+	time.Sleep(100 * time.Millisecond)
+	if err := s.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	r.Stop()
+
+	stats := r.rec.Stats()
+	if stats.Errors == 0 {
+		t.Fatal("outage produced no errors — measurement is broken")
+	}
+	if stats.ErrorWindow < 50*time.Millisecond {
+		t.Fatalf("error window = %v, want >= ~100ms outage", stats.ErrorWindow)
+	}
+	// Recovery happened: last outcomes are successes.
+	outs := r.rec.Outcomes()
+	if outs[len(outs)-1].Err != nil {
+		t.Fatal("workload did not recover after restart")
+	}
+}
+
+func TestRecorderStatsEdgeCases(t *testing.T) {
+	r := NewRecorder()
+	if s := r.Stats(); s.Total != 0 || s.ErrorWindow != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	base := time.Now()
+	boom := errors.New("x")
+	// Window spans first to last failure completion.
+	r.Record(Outcome{Start: base, Err: boom})
+	r.Record(Outcome{Start: base.Add(10 * time.Millisecond), Err: boom})
+	s := r.Stats()
+	if s.Errors != 2 || s.ErrorWindow != 10*time.Millisecond {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Successes don't widen the failure window.
+	r.Record(Outcome{Start: base.Add(30 * time.Millisecond), Latency: time.Millisecond})
+	s = r.Stats()
+	if s.ErrorWindow != 10*time.Millisecond {
+		t.Fatalf("window = %v, want 10ms", s.ErrorWindow)
+	}
+	// A later failure (including its latency) extends it.
+	r.Record(Outcome{Start: base.Add(40 * time.Millisecond), Latency: 5 * time.Millisecond, Err: boom})
+	s = r.Stats()
+	if s.ErrorWindow != 45*time.Millisecond {
+		t.Fatalf("window = %v, want 45ms", s.ErrorWindow)
+	}
+	// A single failure is a zero-width window.
+	r2 := NewRecorder()
+	r2.Record(Outcome{Start: base, Err: boom})
+	if s := r2.Stats(); s.ErrorWindow != 0 {
+		t.Fatalf("single-failure window = %v", s.ErrorWindow)
+	}
+}
+
+func TestRunnerCustomOp(t *testing.T) {
+	s := startTarget(t)
+	r := NewRunner(dbms.NewNativeDriver(dbver.V(1, 0, 0), 1),
+		"dbms://"+s.Addr()+"/d", client.Props{"user": "u", "password": "p"})
+	r.Op = func(c client.Conn, worker, iter int) error {
+		_, err := c.Exec("INSERT INTO t (x) VALUES (?)", worker*1000+iter)
+		return err
+	}
+	r.Think = 200 * time.Microsecond
+	stats := r.RunFor(100 * time.Millisecond)
+	if stats.Errors != 0 || stats.Total == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	res, err := s.Database("d").Query("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got < int64(stats.Total) {
+		t.Fatalf("rows = %d, recorded = %d", got, stats.Total)
+	}
+}
