@@ -1,0 +1,29 @@
+# Drivolution reproduction — build/test/bench entry points.
+#
+#   make tier1           # the repo gate: go build ./... && go test ./...
+#   make race            # grant-path packages under the race detector
+#   make bench           # run the perf-tracked benchmark set
+#   make bench-baseline  # tier1 + benches, refresh BENCH_baseline.json
+#   make bench-compare   # tier1 + benches, diff against BENCH_baseline.json
+#
+# Benchmark knobs (see scripts/bench.sh): BENCH_COUNT, BENCH_TIME,
+# BENCH_FILTER ('.'' = full suite, includes slow lease-traffic sweeps),
+# BENCH_PKGS.
+
+.PHONY: tier1 race bench bench-baseline bench-compare
+
+tier1:
+	go build ./...
+	go test ./...
+
+race:
+	go test -race ./internal/core/ ./internal/wire/ ./internal/sqlmini/ ./internal/driverimg/
+
+bench:
+	scripts/bench.sh run
+
+bench-baseline:
+	scripts/bench.sh baseline
+
+bench-compare:
+	scripts/bench.sh compare

@@ -126,6 +126,29 @@ func BenchmarkMatchmaking(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentBootstrap hammers one server with parallel fresh
+// bootstraps (the cluster-restart stampede after an outage). It
+// exercises the grant path's concurrency: catalog reads are lock-free,
+// and pending-transfer staging, lease-id allocation, and subscriber
+// bookkeeping sit behind separate locks.
+func BenchmarkConcurrentBootstrap(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	addDriverB(b, s, dbver.V(1, 0, 0), 1, 32<<10)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			bl := s.Bootloader()
+			c, err := bl.Connect(s.AppURL(), nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			c.Close()
+			bl.Close()
+		}
+	})
+}
+
 // BenchmarkTransferSize sweeps driver binary sizes through the chunked
 // FILE transfer (Figure 1's distribution path).
 func BenchmarkTransferSize(b *testing.B) {

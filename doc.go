@@ -30,6 +30,27 @@
 // (Figure 3), Sequoia clusters with standalone and embedded Drivolution
 // servers (Figures 5 and 6), and the per-user license server (§5.4.2).
 //
+// # Grant fast path
+//
+// The server keeps a versioned in-memory catalog of driver metadata and
+// permission rows. Stores that can report a generation counter over the
+// two schema tables (LocalStore does; the counter lives on the embedded
+// database, so servers sharing one database invalidate each other)
+// serve steady-state grants entirely from the catalog: no SQL, no image
+// decoding, no blob materialization. Any admin mutation bumps the
+// generation and is visible to the very next grant. Driver binaries are
+// fetched lazily, only when a transfer will actually happen — DISCOVER
+// probes and renewal-no-change round trips are blob-free — and §5.4.1
+// on-demand assembly is memoized per (driver content, package set,
+// options) shape. Bootloaders keep a persistent connection to their
+// server, so the §3.2 steady-state lease traffic costs one framed round
+// trip per renewal. ConnStore deployments (the external server, §4.1.3)
+// cannot observe remote schema writes and transparently keep the
+// per-request SQL path.
+//
+// Benchmarks track this path: see Makefile bench targets and
+// BENCH_baseline.json (scripts/bench.sh compares runs against it).
+//
 // The substrates (the simulated DBMS, the embedded SQL engine, the
 // Sequoia middleware, the driver-image runtime) live under internal/ and
 // are documented in DESIGN.md.

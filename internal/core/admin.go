@@ -22,14 +22,14 @@ func (s *Server) AddDriver(img *driverimg.Image, format dbver.BinaryFormat) (int
 	}
 	m := img.Manifest
 	for attempt := 0; attempt < 16; attempt++ {
-		s.mu.Lock()
+		s.idMu.Lock()
 		if err := s.loadIDsLocked(); err != nil {
-			s.mu.Unlock()
+			s.idMu.Unlock()
 			return 0, err
 		}
 		s.nextDrvID++
 		id := s.nextDrvID
-		s.mu.Unlock()
+		s.idMu.Unlock()
 
 		rec := DriverRecord{
 			DriverID:   id,
@@ -49,9 +49,9 @@ func (s *Server) AddDriver(img *driverimg.Image, format dbver.BinaryFormat) (int
 		if !isDuplicateKey(err) {
 			return 0, fmt.Errorf("core: add driver: %w", err)
 		}
-		s.mu.Lock()
+		s.idMu.Lock()
 		s.idsLoaded = false // shared store: another server took the id
-		s.mu.Unlock()
+		s.idMu.Unlock()
 	}
 	return 0, fmt.Errorf("core: driver id allocation kept colliding")
 }
@@ -85,14 +85,14 @@ func (s *Server) SetPermission(p Permission) (int64, error) {
 			p.RenewPolicy, p.ExpirationPolicy)
 	}
 	for attempt := 0; attempt < 16; attempt++ {
-		s.mu.Lock()
+		s.idMu.Lock()
 		if err := s.loadIDsLocked(); err != nil {
-			s.mu.Unlock()
+			s.idMu.Unlock()
 			return 0, err
 		}
 		s.nextPermID++
 		p.PermissionID = s.nextPermID
-		s.mu.Unlock()
+		s.idMu.Unlock()
 		err := insertPermission(s.store, p)
 		if err == nil {
 			s.NotifyUpdate(p.Database, "")
@@ -101,9 +101,9 @@ func (s *Server) SetPermission(p Permission) (int64, error) {
 		if !isDuplicateKey(err) {
 			return 0, fmt.Errorf("core: set permission: %w", err)
 		}
-		s.mu.Lock()
+		s.idMu.Lock()
 		s.idsLoaded = false
-		s.mu.Unlock()
+		s.idMu.Unlock()
 	}
 	return 0, fmt.Errorf("core: permission id allocation kept colliding")
 }
@@ -179,23 +179,5 @@ func (s *Server) Permissions() ([]Permission, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := colIndex(res.Cols)
-	out := make([]Permission, 0, len(res.Rows))
-	for _, row := range res.Rows {
-		out = append(out, Permission{
-			PermissionID:     row[idx["permission_id"]].Int(),
-			User:             row[idx["user"]].Str(),
-			ClientIP:         row[idx["client_ip"]].Str(),
-			Database:         row[idx["database"]].Str(),
-			DriverID:         row[idx["driver_id"]].Int(),
-			DriverOptions:    row[idx["driver_options"]].Str(),
-			StartDate:        row[idx["start_date"]].Time(),
-			EndDate:          row[idx["end_date"]].Time(),
-			LeaseTime:        millis(row[idx["lease_time_in_ms"]].Int()),
-			RenewPolicy:      RenewPolicy(row[idx["renew_policy"]].Int()),
-			ExpirationPolicy: ExpirationPolicy(row[idx["expiration_policy"]].Int()),
-			TransferMethod:   TransferMethod(row[idx["transfer_method"]].Int()),
-		})
-	}
-	return out, nil
+	return scanPermissionRows(res), nil
 }

@@ -76,6 +76,14 @@ type Bootloader struct {
 	wakeCh    chan struct{}
 	wg        sync.WaitGroup
 
+	// Cached protocol connection to the current server, reused across
+	// renewals so the steady-state lease traffic (§3.2) costs one round
+	// trip, not a dial + round trip. Guarded by connMu for the whole
+	// exchange; dropped on any transport error or dirty stream.
+	connMu      sync.Mutex
+	srvConn     *wire.Conn
+	srvConnAddr string
+
 	metMu sync.Mutex
 	met   Metrics
 }
@@ -400,64 +408,118 @@ func (b *Bootloader) discover(database string) (string, error) {
 
 // fetch performs REQUEST → OFFER → FILE_REQUEST → FILE_DATA* against one
 // server and returns the offer plus the (possibly empty) driver blob.
+// It reuses a cached connection to addr when one is healthy; a cached
+// connection that fails mid-exchange (server restarted, idle drop) is
+// replaced by one fresh dial before the error is reported.
 func (b *Bootloader) fetch(addr, database string, leaseID uint64, checksum string) (Offer, []byte, error) {
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
+
+	if b.srvConn != nil && b.srvConnAddr == addr {
+		offer, blob, err, clean, received := b.fetchOn(b.srvConn, database, leaseID, checksum)
+		if clean {
+			return offer, blob, err
+		}
+		b.dropServerConnLocked()
+		// Retry on a fresh dial ONLY when the cached connection was
+		// dead on arrival (send failed, or the very first read hit
+		// EOF/reset without a timeout) — then the server cannot have
+		// processed the request, so re-sending is safe. A timeout or a
+		// mid-exchange failure may mean the REQUEST was applied
+		// (lease created, license seat taken); re-sending would apply
+		// it twice, so surface the error and let the renewal layer's
+		// keep-driver/retry-later policy handle it.
+		var nerr net.Error
+		timedOut := errors.As(err, &nerr) && nerr.Timeout()
+		if received || timedOut {
+			return offer, blob, err
+		}
+	} else if b.srvConn != nil {
+		b.dropServerConnLocked() // failover: talking to a different server now
+	}
+
 	conn, err := b.dialServer(addr)
 	if err != nil {
 		return Offer{}, nil, err
 	}
-	defer conn.Close()
+	offer, blob, ferr, clean, _ := b.fetchOn(conn, database, leaseID, checksum)
+	if clean {
+		b.srvConn, b.srvConnAddr = conn, addr
+	} else {
+		conn.Close()
+	}
+	return offer, blob, ferr
+}
 
+// dropServerConnLocked closes the cached server connection; caller
+// holds connMu.
+func (b *Bootloader) dropServerConnLocked() {
+	if b.srvConn != nil {
+		b.srvConn.Close()
+		b.srvConn = nil
+		b.srvConnAddr = ""
+	}
+}
+
+// fetchOn runs one REQUEST exchange over conn. clean reports whether
+// the stream is positioned on a frame boundary afterwards (a protocol
+// error from the server is a clean, complete exchange; a transport or
+// framing failure is not), i.e. whether conn is safe to reuse.
+// received reports whether any response frame arrived — once true, the
+// server definitely processed the request, so the caller must not
+// retry it elsewhere.
+func (b *Bootloader) fetchOn(conn *wire.Conn, database string, leaseID uint64, checksum string) (_ Offer, _ []byte, _ error, clean, received bool) {
 	if err := conn.Send(msgRequest, b.request(database, leaseID, checksum).encode()); err != nil {
-		return Offer{}, nil, err
+		return Offer{}, nil, err, false, false
 	}
 	f, err := conn.RecvTimeout(b.dialTimeout)
 	if err != nil {
-		return Offer{}, nil, err
+		return Offer{}, nil, err, false, false
 	}
 	switch f.Type {
 	case msgError:
 		pe, derr := decodeProtocolError(f.Payload)
 		if derr != nil {
-			return Offer{}, nil, derr
+			return Offer{}, nil, derr, false, true
 		}
-		return Offer{}, nil, pe
+		return Offer{}, nil, pe, true, true
 	case msgOffer:
 	default:
-		return Offer{}, nil, fmt.Errorf("drivolution: unexpected frame 0x%04x", f.Type)
+		return Offer{}, nil, fmt.Errorf("drivolution: unexpected frame 0x%04x", f.Type), false, true
 	}
 	offer, err := decodeOffer(f.Payload)
 	if err != nil {
-		return Offer{}, nil, err
+		return Offer{}, nil, err, false, true
 	}
 	if !offer.HasDriver {
-		return offer, nil, nil
+		return offer, nil, nil, true, true
 	}
 
 	if err := conn.Send(msgFileRequest, fileRequest{LeaseID: offer.LeaseID}.encode()); err != nil {
-		return Offer{}, nil, err
+		return Offer{}, nil, err, false, true
 	}
 	blob := make([]byte, 0, offer.Size)
 	for {
 		f, err := conn.RecvTimeout(b.dialTimeout)
 		if err != nil {
-			return Offer{}, nil, fmt.Errorf("drivolution: transfer: %w", err)
+			return Offer{}, nil, fmt.Errorf("drivolution: transfer: %w", err), false, true
 		}
 		if f.Type == msgError {
 			pe, derr := decodeProtocolError(f.Payload)
 			if derr != nil {
-				return Offer{}, nil, derr
+				return Offer{}, nil, derr, false, true
 			}
-			return Offer{}, nil, pe
+			return Offer{}, nil, pe, true, true
 		}
 		if f.Type != msgFileData {
-			return Offer{}, nil, fmt.Errorf("drivolution: unexpected frame 0x%04x during transfer", f.Type)
+			return Offer{}, nil, fmt.Errorf("drivolution: unexpected frame 0x%04x during transfer", f.Type), false, true
 		}
 		chunk, err := decodeFileChunk(f.Payload)
 		if err != nil {
-			return Offer{}, nil, err
+			return Offer{}, nil, err, false, true
 		}
 		if int(chunk.Offset) != len(blob) {
-			return Offer{}, nil, fmt.Errorf("drivolution: transfer gap at offset %d", chunk.Offset)
+			return Offer{}, nil, fmt.Errorf("drivolution: transfer gap at offset %d", chunk.Offset), false, true
 		}
 		blob = append(blob, chunk.Data...)
 		if chunk.Last {
@@ -465,10 +527,10 @@ func (b *Bootloader) fetch(addr, database string, leaseID uint64, checksum strin
 		}
 	}
 	if uint32(len(blob)) != offer.Size {
-		return Offer{}, nil, fmt.Errorf("drivolution: transfer size mismatch: got %d, offered %d", len(blob), offer.Size)
+		return Offer{}, nil, fmt.Errorf("drivolution: transfer size mismatch: got %d, offered %d", len(blob), offer.Size), false, true
 	}
 	b.addMetric(func(m *Metrics) { m.BytesFetched += int64(len(blob)) })
-	return offer, blob, nil
+	return offer, blob, nil, true, true
 }
 
 // install decodes, verifies, and loads a driver blob (the paper's
@@ -483,9 +545,10 @@ func (b *Bootloader) install(offer Offer, blob []byte, addr string) (*loadedDriv
 			return nil, fmt.Errorf("drivolution: reject driver: %w", err)
 		}
 	}
-	if img.Checksum() != offer.DriverChecksum {
+	sum := img.Checksum() // canonical encoding hashed once, not per use
+	if sum != offer.DriverChecksum {
 		return nil, fmt.Errorf("drivolution: driver checksum mismatch (offered %s, got %s)",
-			offer.DriverChecksum, img.Checksum())
+			offer.DriverChecksum, sum)
 	}
 	drv, err := b.runtime.Load(img)
 	if err != nil {
@@ -494,7 +557,7 @@ func (b *Bootloader) install(offer Offer, blob []byte, addr string) (*loadedDriv
 	return &loadedDriver{
 		drv:        drv,
 		img:        img,
-		checksum:   img.Checksum(),
+		checksum:   sum,
 		leaseID:    offer.LeaseID,
 		leaseTime:  offer.LeaseTime,
 		expiresAt:  time.Now().Add(offer.LeaseTime),
@@ -537,6 +600,9 @@ func (b *Bootloader) Close() {
 		close(b.stopCh)
 	}
 	b.mu.Unlock()
+	b.connMu.Lock()
+	b.dropServerConnLocked()
+	b.connMu.Unlock()
 	if cur != nil {
 		cur.closeAll(b, false)
 	}

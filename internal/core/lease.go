@@ -27,6 +27,11 @@ func (s *Server) grant(req Request, isTLS bool) (Offer, *ProtocolError) {
 		return Offer{}, perr
 	}
 
+	// A fresh lease always transfers: load the blob now (no-op when
+	// matchmaking already materialized an assembled image).
+	if perr := s.materializeBlob(g); perr != nil {
+		return Offer{}, perr
+	}
 	leaseID, err := s.newLease(req, g)
 	if err != nil {
 		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
@@ -41,15 +46,55 @@ func (s *Server) grant(req Request, isTLS bool) (Offer, *ProtocolError) {
 		HasDriver:        true,
 		DriverChecksum:   g.checksum,
 		Format:           g.format,
-		Size:             uint32(len(g.blob)),
+		Size:             uint32(g.size),
 		ServerName:       s.name,
 	}, nil
 }
+
+// renewNoChangeSQL extends a live lease in one guarded statement; the
+// released = FALSE predicate doubles as the existence check, so the
+// no-change renewal path runs a single store statement.
+const renewNoChangeSQL = `UPDATE ` + LeasesTable + `
+	SET expires_at = $exp, renewals = renewals + 1, driver_id = $drv
+	WHERE lease_id = $id AND released = FALSE`
 
 // renewLease handles the Table 4 server side: "if (driver still valid)
 // send OFFER; else if (new driver available) send OFFER + FILE_DATA;
 // else send DRIVOLUTION_ERROR".
 func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) (Offer, *ProtocolError) {
+	// Fast path: the renewal-no-change branch. The client proved (by
+	// checksum) that it runs exactly the matched content, so no lease
+	// fields need to be read back — one guarded UPDATE extends the
+	// lease or reports it unknown/released.
+	if matchErr == nil && g.renew != RenewRevoke &&
+		req.CurrentChecksum != "" && req.CurrentChecksum == g.checksum {
+		res, err := s.store.Exec(renewNoChangeSQL, sqlmini.Args{
+			"exp": s.clock().Add(g.leaseTime),
+			"drv": g.driverID,
+			"id":  int64(req.LeaseID),
+		})
+		if err != nil {
+			return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+		}
+		if res.Affected == 0 {
+			return Offer{}, &ProtocolError{Code: ErrCodeNoLease,
+				Message: fmt.Sprintf("lease %d unknown or released", req.LeaseID)}
+		}
+		// The client's checksum acknowledges any staged transfer.
+		s.dropPending(req.LeaseID)
+		return Offer{
+			LeaseID:          req.LeaseID,
+			LeaseTime:        g.leaseTime,
+			RenewPolicy:      g.renew,
+			ExpirationPolicy: g.expiration,
+			TransferMethod:   g.transfer,
+			HasDriver:        false,
+			DriverChecksum:   g.checksum,
+			Format:           g.format,
+			ServerName:       s.name,
+		}, nil
+	}
+
 	lease, ok, err := s.leaseByID(req.LeaseID)
 	if err != nil {
 		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
@@ -81,6 +126,15 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 	sameContent := req.CurrentChecksum != "" && req.CurrentChecksum == g.checksum
 	keep := sameContent || (g.renew == RenewKeep && lease.DriverID == g.driverID)
 
+	if !keep {
+		// An upgrade transfer is coming: load the new driver's blob
+		// before touching the lease row, so a failure leaves the lease
+		// (and the client's working driver) untouched.
+		if perr := s.materializeBlob(g); perr != nil {
+			return Offer{}, perr
+		}
+	}
+
 	now := s.clock()
 	_, err = s.store.Exec(`UPDATE `+LeasesTable+`
 		SET expires_at = $exp, renewals = renewals + 1, driver_id = $drv
@@ -106,16 +160,29 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 		ServerName:       s.name,
 	}
 	if !keep {
-		offer.Size = uint32(len(g.blob))
+		offer.Size = uint32(g.size)
 		s.stageTransfer(lease.LeaseID, g.blob)
+	} else {
+		// The renewal acknowledges the client runs the matched content:
+		// any staged blob from the original transfer (or an earlier
+		// upgrade) is no longer needed, so stop pinning it in memory.
+		// A renewal that still needs the file re-REQUESTs and is
+		// re-staged above.
+		s.dropPending(lease.LeaseID)
 	}
 	return offer, nil
 }
 
 func (s *Server) stageTransfer(leaseID uint64, blob []byte) {
-	s.mu.Lock()
+	s.pendingMu.Lock()
 	s.pending[leaseID] = blob
-	s.mu.Unlock()
+	s.pendingMu.Unlock()
+}
+
+func (s *Server) dropPending(leaseID uint64) {
+	s.pendingMu.Lock()
+	delete(s.pending, leaseID)
+	s.pendingMu.Unlock()
 }
 
 // newLease inserts a lease row and returns its id. When several servers
@@ -125,14 +192,14 @@ func (s *Server) stageTransfer(leaseID uint64, blob []byte) {
 func (s *Server) newLease(req Request, g *grantInfo) (uint64, error) {
 	now := s.clock()
 	for attempt := 0; attempt < 16; attempt++ {
-		s.mu.Lock()
+		s.idMu.Lock()
 		if err := s.loadIDsLocked(); err != nil {
-			s.mu.Unlock()
+			s.idMu.Unlock()
 			return 0, err
 		}
 		s.nextLease++
 		id := s.nextLease
-		s.mu.Unlock()
+		s.idMu.Unlock()
 
 		_, err := s.store.Exec(`INSERT INTO `+LeasesTable+`
 			(lease_id, driver_id, database, user, client_id, granted_at,
@@ -153,9 +220,9 @@ func (s *Server) newLease(req Request, g *grantInfo) (uint64, error) {
 		if !isDuplicateKey(err) {
 			return 0, err
 		}
-		s.mu.Lock()
+		s.idMu.Lock()
 		s.idsLoaded = false // another server advanced the sequence
-		s.mu.Unlock()
+		s.idMu.Unlock()
 	}
 	return 0, fmt.Errorf("core: lease id allocation kept colliding")
 }
@@ -172,9 +239,7 @@ func isDuplicateKey(err error) bool {
 func (s *Server) expireLease(id uint64) {
 	_, _ = s.store.Exec(`UPDATE `+LeasesTable+` SET released = TRUE WHERE lease_id = $id`,
 		sqlmini.Args{"id": int64(id)})
-	s.mu.Lock()
-	delete(s.pending, id)
-	s.mu.Unlock()
+	s.dropPending(id)
 }
 
 // ReleaseLeaseByID marks a lease released server-side — the admin /
@@ -190,9 +255,7 @@ func (s *Server) ReleaseLeaseByID(id uint64) error {
 	if res.Affected == 0 {
 		return fmt.Errorf("core: no lease %d", id)
 	}
-	s.mu.Lock()
-	delete(s.pending, id)
-	s.mu.Unlock()
+	s.dropPending(id)
 	return nil
 }
 
@@ -251,7 +314,7 @@ func (s *Server) Leases() ([]Lease, error) {
 }
 
 // loadIDsLocked initializes id allocators from the store; caller holds
-// s.mu.
+// s.idMu.
 func (s *Server) loadIDsLocked() error {
 	if s.idsLoaded {
 		return nil

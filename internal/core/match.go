@@ -9,12 +9,16 @@ import (
 )
 
 // grantInfo is the resolved outcome of matchmaking: which driver, under
-// which lease terms.
+// which lease terms. The driver's binary is NOT necessarily loaded:
+// blob is nil until materializeBlob fetches it, which the grant flow
+// does only when a transfer will actually happen. DISCOVER probes and
+// the Table-4 renewal-no-change branch never touch the blob.
 type grantInfo struct {
 	driverID   int64
-	blob       []byte
+	blob       []byte // nil = not yet materialized
 	checksum   string
 	format     string
+	size       int // encoded blob length, known without the blob
 	leaseTime  time.Duration
 	renew      RenewPolicy
 	expiration ExpirationPolicy
@@ -76,11 +80,33 @@ const driverByIDSQL = `SELECT driver_id, api_name, api_version_major,
 	driver_version_minor, driver_version_micro, binary_code, binary_format
 FROM ` + DriversTable + ` WHERE driver_id = $id`
 
+// driverBlobSQL fetches just the binary for a transfer; the metadata
+// comes from the catalog.
+const driverBlobSQL = `SELECT binary_code FROM ` + DriversTable + `
+	WHERE driver_id = $id`
+
 // match resolves a request to a driver + lease terms, implementing the
 // paper's server logic (§4.1.1): consult the permission/distribution
 // table first; otherwise match by client preference with a no-preference
 // fallback. License mode additionally skips drivers whose lease is held.
+//
+// When the store can report a generation (GenerationStore), matching
+// runs against the in-memory catalog and performs no SQL at all; the
+// SQL path below remains for external stores.
 func (s *Server) match(req Request) (*grantInfo, *ProtocolError) {
+	cat, perr := s.catalogSnapshot()
+	if perr != nil {
+		return nil, perr
+	}
+	if cat != nil {
+		return s.matchCatalog(cat, req)
+	}
+	return s.matchSQL(req)
+}
+
+// matchSQL is the per-request Sample-code-1/2 path for stores without
+// generation support.
+func (s *Server) matchSQL(req Request) (*grantInfo, *ProtocolError) {
 	// 1. Permission table (Sample code 2).
 	res, err := s.store.Exec(permissionSQL, sqlmini.Args{
 		"user_database":    req.Database,
@@ -90,8 +116,9 @@ func (s *Server) match(req Request) (*grantInfo, *ProtocolError) {
 	if err != nil {
 		return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 	}
+	idx := colIndex(res.Cols) // one map per result set, not per row
 	for _, row := range res.Rows {
-		g, ok, perr := s.grantFromPermissionRow(req, res.Cols, row)
+		g, ok, perr := s.grantFromPermissionRow(req, idx, row)
 		if perr != nil {
 			return nil, perr
 		}
@@ -116,8 +143,7 @@ func colIndex(cols []string) map[string]int {
 	return idx
 }
 
-func (s *Server) grantFromPermissionRow(req Request, cols []string, row []sqlmini.Value) (*grantInfo, bool, *ProtocolError) {
-	idx := colIndex(cols)
+func (s *Server) grantFromPermissionRow(req Request, idx map[string]int, row []sqlmini.Value) (*grantInfo, bool, *ProtocolError) {
 	driverID := row[idx["driver_id"]].Int()
 	rec, ok, err := s.driverByID(driverID)
 	if err != nil {
@@ -136,6 +162,7 @@ func (s *Server) grantFromPermissionRow(req Request, cols []string, row []sqlmin
 	g := &grantInfo{
 		driverID:   driverID,
 		blob:       rec.BinaryCode,
+		size:       len(rec.BinaryCode),
 		format:     rec.Format,
 		renew:      renew,
 		expiration: ExpirationPolicy(row[idx["expiration_policy"]].Int()),
@@ -184,8 +211,9 @@ func (s *Server) matchByPreference(req Request) (*grantInfo, *ProtocolError) {
 			return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 		}
 	}
+	idx := colIndex(res.Cols)
 	for _, row := range res.Rows {
-		rec, err := scanDriverRecord(res.Cols, row)
+		rec, err := scanDriverRecordIdx(idx, row)
 		if err != nil {
 			return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 		}
@@ -201,6 +229,7 @@ func (s *Server) matchByPreference(req Request) (*grantInfo, *ProtocolError) {
 		g := &grantInfo{
 			driverID:   rec.DriverID,
 			blob:       rec.BinaryCode,
+			size:       len(rec.BinaryCode),
 			format:     rec.Format,
 			leaseTime:  s.defaultLease,
 			renew:      s.defaultRenew,
@@ -212,7 +241,11 @@ func (s *Server) matchByPreference(req Request) (*grantInfo, *ProtocolError) {
 		}
 		return g, nil
 	}
-	return nil, &ProtocolError{Code: ErrCodeNoDriver, Message: fmt.Sprintf(
+	return nil, noDriverError(req)
+}
+
+func noDriverError(req Request) *ProtocolError {
+	return &ProtocolError{Code: ErrCodeNoDriver, Message: fmt.Sprintf(
 		"no driver for database %q, API %s, platform %q", req.Database, req.API, req.ClientPlatform)}
 }
 
@@ -220,27 +253,43 @@ func (s *Server) matchByPreference(req Request) (*grantInfo, *ProtocolError) {
 // pre-configuration (§3.1.1: "Connection options can also be configured
 // and enforced on the Drivolution server, which then sends a
 // pre-configured driver to the client"), then computes the checksum.
+// The common no-rewrite case checksums the encoded blob directly
+// without decoding it.
 func (s *Server) finishGrant(g *grantInfo, req Request, options string) *ProtocolError {
-	needsRewrite := len(req.RequiredPackages) > 0 || options != ""
-	if !needsRewrite {
-		img, err := driverimg.Decode(g.blob)
+	if len(req.RequiredPackages) == 0 && options == "" {
+		sum, err := driverimg.EncodedChecksum(g.blob)
 		if err != nil {
-			return &ProtocolError{Code: ErrCodeInternal, Message: fmt.Sprintf("stored driver %d is corrupt: %v", g.driverID, err)}
+			return corruptDriverError(g.driverID, err)
 		}
-		g.checksum = img.Checksum()
+		g.checksum = sum
 		return nil
 	}
 	img, err := driverimg.Decode(g.blob)
 	if err != nil {
-		return &ProtocolError{Code: ErrCodeInternal, Message: fmt.Sprintf("stored driver %d is corrupt: %v", g.driverID, err)}
+		return corruptDriverError(g.driverID, err)
 	}
+	img, perr := s.rewriteImage(img, req, options)
+	if perr != nil {
+		return perr
+	}
+	g.blob = img.Encode()
+	g.size = len(g.blob)
+	g.checksum = img.Checksum()
+	return nil
+}
+
+// rewriteImage applies on-demand assembly and option pre-configuration
+// to a decoded base image, re-signing the result when the server has a
+// key. Shared by the SQL grant path and the catalog's assembly cache.
+func (s *Server) rewriteImage(img *driverimg.Image, req Request, options string) (*driverimg.Image, *ProtocolError) {
 	if len(req.RequiredPackages) > 0 {
 		if s.packages == nil {
-			return &ProtocolError{Code: ErrCodeNoDriver, Message: "server has no package store for on-demand assembly"}
+			return nil, &ProtocolError{Code: ErrCodeNoDriver, Message: "server has no package store for on-demand assembly"}
 		}
+		var err error
 		img, err = s.packages.Assemble(img, req.RequiredPackages...)
 		if err != nil {
-			return &ProtocolError{Code: ErrCodeNoDriver, Message: err.Error()}
+			return nil, &ProtocolError{Code: ErrCodeNoDriver, Message: err.Error()}
 		}
 	}
 	if options != "" {
@@ -255,8 +304,32 @@ func (s *Server) finishGrant(g *grantInfo, req Request, options string) *Protoco
 	if s.signKey != nil {
 		img.Sign(s.signKey)
 	}
-	g.blob = img.Encode()
-	g.checksum = img.Checksum()
+	return img, nil
+}
+
+func corruptDriverError(driverID int64, err error) *ProtocolError {
+	return &ProtocolError{Code: ErrCodeInternal,
+		Message: fmt.Sprintf("stored driver %d is corrupt: %v", driverID, err)}
+}
+
+// materializeBlob loads the driver binary for a grant resolved through
+// the catalog; called only when a transfer will actually happen. The
+// error is INTERNAL (not NO_DRIVER) so a renewal racing a DeleteDriver
+// keeps its working driver instead of revoking it.
+func (s *Server) materializeBlob(g *grantInfo) *ProtocolError {
+	if g.blob != nil {
+		return nil
+	}
+	res, err := s.store.Exec(driverBlobSQL, sqlmini.Args{"id": g.driverID})
+	if err != nil {
+		return &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+	if len(res.Rows) == 0 {
+		return &ProtocolError{Code: ErrCodeInternal,
+			Message: fmt.Sprintf("driver %d disappeared before transfer", g.driverID)}
+	}
+	g.blob = res.Rows[0][0].Bytes()
+	g.size = len(g.blob)
 	return nil
 }
 

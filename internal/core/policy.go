@@ -13,6 +13,8 @@
 //   - store.go     — schema access, local (in-database/standalone) or via
 //     a legacy driver connection (external server, Figure 2)
 //   - server.go    — the Drivolution Server: matchmaking, leases, transfer
+//   - catalog.go   — versioned in-memory driver catalog + assembly cache
+//     (the zero-SQL steady-state grant path)
 //   - admin.go     — DBA operations: add/revoke drivers, permissions
 //   - bootloader.go— the client bootloader: intercept connect, download,
 //     verify, load, renew, transition connections

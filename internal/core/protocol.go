@@ -174,6 +174,13 @@ type Offer struct {
 
 func (o Offer) encode() []byte {
 	e := wire.NewEncoder(128)
+	o.encodeTo(e)
+	return e.Bytes()
+}
+
+// encodeTo writes the offer into a caller-owned (typically pooled)
+// encoder.
+func (o Offer) encodeTo(e *wire.Encoder) {
 	e.Uint64(o.LeaseID)
 	e.Duration(o.LeaseTime)
 	e.Int32(int32(o.RenewPolicy))
@@ -184,7 +191,6 @@ func (o Offer) encode() []byte {
 	e.String(o.Format)
 	e.Uint32(o.Size)
 	e.String(o.ServerName)
-	return e.Bytes()
 }
 
 func decodeOffer(b []byte) (Offer, error) {
@@ -248,11 +254,18 @@ type fileChunk struct {
 
 func (c fileChunk) encode() []byte {
 	e := wire.NewEncoder(16 + len(c.Data))
+	c.encodeTo(e)
+	return e.Bytes()
+}
+
+// encodeTo writes the chunk into a caller-owned (typically pooled)
+// encoder; the transfer loop reuses one buffer for every frame of a
+// stream.
+func (c fileChunk) encodeTo(e *wire.Encoder) {
 	e.Uint32(c.Offset)
 	e.Uint32(c.Total)
 	e.Bool(c.Last)
 	e.Bytes32(c.Data)
-	return e.Bytes()
 }
 
 func decodeFileChunk(b []byte) (fileChunk, error) {

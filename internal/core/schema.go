@@ -237,12 +237,14 @@ func intOrNeg(v sqlmini.Value) int {
 }
 
 func scanDriverRecord(cols []string, row []sqlmini.Value) (DriverRecord, error) {
+	return scanDriverRecordIdx(colIndex(cols), row)
+}
+
+// scanDriverRecordIdx scans one driver row with a caller-provided
+// column index, so result-set loops build the index once, not per row.
+func scanDriverRecordIdx(idx map[string]int, row []sqlmini.Value) (DriverRecord, error) {
 	if len(row) < 10 {
 		return DriverRecord{}, fmt.Errorf("core: driver row has %d columns", len(row))
-	}
-	idx := map[string]int{}
-	for i, c := range cols {
-		idx[c] = i
 	}
 	get := func(name string) sqlmini.Value { return row[idx[name]] }
 	rec := DriverRecord{
@@ -260,4 +262,28 @@ func scanDriverRecord(cols []string, row []sqlmini.Value) (DriverRecord, error) 
 		Format:     get("binary_format").Str(),
 	}
 	return rec, nil
+}
+
+// scanPermissionRows scans a full driver_permission result set; shared
+// by the admin listing and the catalog loader.
+func scanPermissionRows(res *sqlmini.Result) []Permission {
+	idx := colIndex(res.Cols)
+	out := make([]Permission, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, Permission{
+			PermissionID:     row[idx["permission_id"]].Int(),
+			User:             row[idx["user"]].Str(),
+			ClientIP:         row[idx["client_ip"]].Str(),
+			Database:         row[idx["database"]].Str(),
+			DriverID:         row[idx["driver_id"]].Int(),
+			DriverOptions:    row[idx["driver_options"]].Str(),
+			StartDate:        row[idx["start_date"]].Time(),
+			EndDate:          row[idx["end_date"]].Time(),
+			LeaseTime:        millis(row[idx["lease_time_in_ms"]].Int()),
+			RenewPolicy:      RenewPolicy(row[idx["renew_policy"]].Int()),
+			ExpirationPolicy: ExpirationPolicy(row[idx["expiration_policy"]].Int()),
+			TransferMethod:   TransferMethod(row[idx["transfer_method"]].Int()),
+		})
+	}
+	return out
 }

@@ -41,14 +41,36 @@ type Server struct {
 	defaultExpiration ExpirationPolicy
 	defaultTransfer   TransferMethod
 
-	mu          sync.Mutex
-	ln          net.Listener
-	nextLease   uint64
-	nextPermID  int64
-	nextDrvID   int64
-	pending     map[uint64][]byte // leaseID → driver blob awaiting FILE_REQUEST
+	// Independent locks for independent state, so concurrent bootstraps
+	// don't serialize: lease-id allocation, pending transfers, and the
+	// subscriber set contend only with themselves.
+	mu sync.Mutex // listener lifecycle only
+	ln net.Listener
+
+	idMu       sync.Mutex // id allocators
+	nextLease  uint64
+	nextPermID int64
+	nextDrvID  int64
+	idsLoaded  bool
+
+	pendingMu sync.Mutex
+	pending   map[uint64][]byte // leaseID → driver blob awaiting FILE_REQUEST
+
+	subMu       sync.Mutex
 	subscribers map[*wire.Conn]subscribeMsg
-	idsLoaded   bool
+
+	connsMu  sync.Mutex
+	conns    map[*wire.Conn]struct{} // every live protocol connection, closed by Stop
+	stopping bool                    // set by Stop; late-arriving conns are refused
+
+	// Versioned driver catalog (catalog.go): an immutable snapshot of
+	// driver metadata + permissions, swapped atomically on store
+	// generation change. catMu serializes reloads only; readers never
+	// block.
+	cat        atomic.Pointer[catalog]
+	catMu      sync.Mutex
+	assemblies assemblyCache
+	signGen    uint64 // bumped when the signing key changes
 
 	wg sync.WaitGroup
 
@@ -77,7 +99,10 @@ func WithAuth(fn AuthFunc) ServerOption {
 // WithSigningKey makes the server sign driver images it assembles on
 // demand (base images are signed at insert time by the admin API).
 func WithSigningKey(key ed25519.PrivateKey) ServerOption {
-	return func(s *Server) { s.signKey = key }
+	return func(s *Server) {
+		s.signKey = key
+		atomic.AddUint64(&s.signGen, 1) // invalidate cached assemblies
+	}
 }
 
 // WithPackages enables on-demand driver assembly (§5.4.1).
@@ -118,6 +143,7 @@ func NewServer(name string, store Store, opts ...ServerOption) (*Server, error) 
 		defaultTransfer:   TransferAny,
 		pending:           make(map[uint64][]byte),
 		subscribers:       make(map[*wire.Conn]subscribeMsg),
+		conns:             make(map[*wire.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -173,6 +199,9 @@ func (s *Server) serveListener(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.connsMu.Lock()
+	s.stopping = false
+	s.connsMu.Unlock()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -210,21 +239,40 @@ func (s *Server) Stop() {
 		_ = s.ln.Close()
 		s.ln = nil
 	}
-	for c := range s.subscribers {
+	s.mu.Unlock()
+	s.subMu.Lock()
+	s.subscribers = make(map[*wire.Conn]subscribeMsg)
+	s.subMu.Unlock()
+	// Close every live connection (bootloaders keep a persistent one for
+	// renewals) so connection goroutines unblock and wg.Wait returns.
+	// stopping also refuses connections accepted just before the
+	// listener closed but not yet registered — without it such a conn
+	// would be missed by this sweep and hang wg.Wait forever.
+	s.connsMu.Lock()
+	s.stopping = true
+	for c := range s.conns {
 		_ = c.Close()
 	}
-	s.subscribers = make(map[*wire.Conn]subscribeMsg)
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 	s.wg.Wait()
 }
 
 func (s *Server) serveConn(nc net.Conn) {
 	conn := wire.NewConn(nc)
+	s.connsMu.Lock()
+	if s.stopping {
+		s.connsMu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.connsMu.Unlock()
 	subscribed := false
 	defer func() {
-		if !subscribed {
-			conn.Close()
-		}
+		s.connsMu.Lock()
+		delete(s.conns, conn)
+		s.connsMu.Unlock()
+		conn.Close()
 	}()
 	for {
 		f, err := conn.Recv()
@@ -235,7 +283,6 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			if subscribed {
 				s.dropSubscriber(conn)
-				conn.Close()
 			}
 			return
 		}
@@ -285,7 +332,7 @@ func (s *Server) handleDiscover(conn *wire.Conn, payload []byte) {
 		return
 	}
 	s.offers.Add(1)
-	_ = conn.Send(msgOffer, Offer{
+	s.sendOffer(conn, Offer{
 		LeaseTime:        g.leaseTime,
 		RenewPolicy:      g.renew,
 		ExpirationPolicy: g.expiration,
@@ -293,9 +340,18 @@ func (s *Server) handleDiscover(conn *wire.Conn, payload []byte) {
 		HasDriver:        true,
 		DriverChecksum:   g.checksum,
 		Format:           g.format,
-		Size:             uint32(len(g.blob)),
+		Size:             uint32(g.size),
 		ServerName:       s.name,
-	}.encode())
+	})
+}
+
+// sendOffer encodes through a pooled encoder; offers are the per-grant
+// hot path.
+func (s *Server) sendOffer(conn *wire.Conn, o Offer) {
+	e := wire.GetEncoder(128)
+	o.encodeTo(e)
+	_ = conn.Send(msgOffer, e.Bytes())
+	wire.PutEncoder(e)
 }
 
 func (s *Server) handleRequest(conn *wire.Conn, payload []byte) {
@@ -317,7 +373,7 @@ func (s *Server) handleRequest(conn *wire.Conn, payload []byte) {
 		return
 	}
 	s.offers.Add(1)
-	_ = conn.Send(msgOffer, offer.encode())
+	s.sendOffer(conn, offer)
 }
 
 func (s *Server) handleFileRequest(conn *wire.Conn, payload []byte) {
@@ -326,21 +382,25 @@ func (s *Server) handleFileRequest(conn *wire.Conn, payload []byte) {
 		s.sendError(conn, ErrCodeInternal, "malformed file request")
 		return
 	}
-	s.mu.Lock()
+	s.pendingMu.Lock()
 	blob, ok := s.pending[fr.LeaseID]
-	s.mu.Unlock()
+	s.pendingMu.Unlock()
 	if !ok {
 		s.sendError(conn, ErrCodeNoLease, fmt.Sprintf("no pending transfer for lease %d", fr.LeaseID))
 		return
 	}
 	total := uint32(len(blob))
+	e := wire.GetEncoder(16 + transferChunkSize) // one framing buffer for the whole stream
+	defer wire.PutEncoder(e)
 	for off := uint32(0); ; {
 		end := off + transferChunkSize
 		if end > total {
 			end = total
 		}
 		chunk := fileChunk{Offset: off, Total: total, Last: end == total, Data: blob[off:end]}
-		if err := conn.Send(msgFileData, chunk.encode()); err != nil {
+		e.Reset()
+		chunk.encodeTo(e)
+		if err := conn.Send(msgFileData, e.Bytes()); err != nil {
 			return
 		}
 		s.bytesOut.Add(int64(end - off))
@@ -358,16 +418,16 @@ func (s *Server) handleSubscribe(conn *wire.Conn, payload []byte) bool {
 		s.sendError(conn, ErrCodeInternal, "malformed subscribe")
 		return false
 	}
-	s.mu.Lock()
+	s.subMu.Lock()
 	s.subscribers[conn] = sub
-	s.mu.Unlock()
+	s.subMu.Unlock()
 	return true
 }
 
 func (s *Server) dropSubscriber(conn *wire.Conn) {
-	s.mu.Lock()
+	s.subMu.Lock()
 	delete(s.subscribers, conn)
-	s.mu.Unlock()
+	s.subMu.Unlock()
 }
 
 func (s *Server) handleRelease(conn *wire.Conn, payload []byte) {
@@ -383,9 +443,7 @@ func (s *Server) handleRelease(conn *wire.Conn, payload []byte) {
 		s.sendError(conn, ErrCodeInternal, execErr.Error())
 		return
 	}
-	s.mu.Lock()
-	delete(s.pending, rel.LeaseID)
-	s.mu.Unlock()
+	s.dropPending(rel.LeaseID)
 	_ = conn.Send(msgReleaseOK, nil)
 }
 
@@ -393,7 +451,7 @@ func (s *Server) handleRelease(conn *wire.Conn, payload []byte) {
 // subscribers whose (database, api) scope matches; empty strings match
 // everything. Admin operations call it automatically.
 func (s *Server) NotifyUpdate(database, api string) {
-	s.mu.Lock()
+	s.subMu.Lock()
 	conns := make([]*wire.Conn, 0, len(s.subscribers))
 	for c, sub := range s.subscribers {
 		if (sub.Database == "" || database == "" || sub.Database == database) &&
@@ -401,7 +459,7 @@ func (s *Server) NotifyUpdate(database, api string) {
 			conns = append(conns, c)
 		}
 	}
-	s.mu.Unlock()
+	s.subMu.Unlock()
 	payload := subscribeMsg{Database: database, API: api}.encode()
 	for _, c := range conns {
 		if err := c.Send(msgNotify, payload); err == nil {

@@ -23,6 +23,21 @@ type Store interface {
 	Exec(sql string, args ...any) (*sqlmini.Result, error)
 }
 
+// GenerationStore is implemented by stores that can report a cheap,
+// strictly monotonic counter covering mutations of the drivers and
+// driver_permission tables. The server's in-memory driver catalog is
+// valid exactly as long as the generation is unchanged, which makes
+// steady-state grants metadata-cache hits with zero SQL. Stores that
+// cannot observe remote mutations (ConnStore, where any peer may write
+// to the legacy database) simply don't implement it and the server
+// falls back to per-request SQL matchmaking.
+type GenerationStore interface {
+	Store
+	// Generation changes whenever the drivers or driver_permission
+	// tables change. Lease churn must NOT affect it.
+	Generation() uint64
+}
+
 // LocalStore serves the schema from an in-process sqlmini database.
 type LocalStore struct {
 	DB *sqlmini.DB
@@ -34,6 +49,15 @@ func NewLocalStore(db *sqlmini.DB) *LocalStore { return &LocalStore{DB: db} }
 // Exec implements Store.
 func (s *LocalStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
 	return s.DB.Exec(sql, args...)
+}
+
+// Generation implements GenerationStore over the embedded database's
+// per-table mutation counters. It lives on the DB, not this wrapper, so
+// several LocalStores over one shared DB (replicated embedded servers,
+// Figure 6; a TLS frontend sharing a plaintext server's schema) observe
+// each other's admin mutations.
+func (s *LocalStore) Generation() uint64 {
+	return s.DB.TableVersions(DriversTable, PermissionTable)
 }
 
 // ConnStore serves the schema through a legacy driver connection to a

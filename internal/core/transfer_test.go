@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/dbver"
+	"repro/internal/wire"
 )
 
 // TestTransferMethodEnforced: a permission demanding the TLS channel
@@ -186,6 +187,107 @@ func TestConcurrentFirstConnect(t *testing.T) {
 		// The race guard serializes after the first winner; losers adopt
 		// the winner's driver. Allow the winner only.
 		t.Fatalf("Bootstraps = %d, want 1", m.Bootstraps)
+	}
+}
+
+// TestPendingBlobReleasedAfterRenewalAck: a staged driver blob may be
+// re-requested any number of times before the client confirms it, but
+// the first renewal carrying the driver's checksum acknowledges the
+// transfer and must release the staged copy — completed transfers no
+// longer pin whole driver blobs in server memory for the lease's
+// lifetime.
+func TestPendingBlobReleasedAfterRenewalAck(t *testing.T) {
+	f := newFixture(t, 1)
+	f.addDriver(t, f.driverImage(dbver.V(1, 0, 0), 1, 8<<10))
+
+	conn, err := wire.Dial(f.drv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := Request{
+		Database: "prod", User: "app", Password: "app-pw",
+		API: dbver.APIOf("JDBC", 3, 0), ClientPlatform: dbver.PlatformLinuxAMD64,
+		ClientID: "pending-test",
+	}
+	if err := conn.Send(msgRequest, req.encode()); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := conn.RecvTimeout(2 * time.Second)
+	if err != nil || fr.Type != msgOffer {
+		t.Fatalf("frame=0x%04x err=%v", fr.Type, err)
+	}
+	offer, err := decodeOffer(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The staged blob survives repeated FILE_REQUESTs (a bootloader may
+	// retry a failed verify before renewing).
+	fetchFile := func() bool {
+		t.Helper()
+		if err := conn.Send(msgFileRequest, fileRequest{LeaseID: offer.LeaseID}.encode()); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			fr, err := conn.RecvTimeout(2 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Type == msgError {
+				return false
+			}
+			if fr.Type != msgFileData {
+				t.Fatalf("unexpected frame 0x%04x", fr.Type)
+			}
+			chunk, err := decodeFileChunk(fr.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chunk.Last {
+				return true
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if !fetchFile() {
+			t.Fatalf("re-request %d before renewal must succeed", i)
+		}
+	}
+	f.drv.pendingMu.Lock()
+	staged := len(f.drv.pending)
+	f.drv.pendingMu.Unlock()
+	if staged != 1 {
+		t.Fatalf("pending transfers = %d, want 1", staged)
+	}
+
+	// Renewal carrying the checksum acks the transfer.
+	renew := req
+	renew.LeaseID = offer.LeaseID
+	renew.CurrentChecksum = offer.DriverChecksum
+	if err := conn.Send(msgRequest, renew.encode()); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = conn.RecvTimeout(2 * time.Second)
+	if err != nil || fr.Type != msgOffer {
+		t.Fatalf("renewal frame=0x%04x err=%v", fr.Type, err)
+	}
+	ro, err := decodeOffer(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.HasDriver {
+		t.Fatal("no-change renewal must not re-offer the driver")
+	}
+
+	f.drv.pendingMu.Lock()
+	staged = len(f.drv.pending)
+	f.drv.pendingMu.Unlock()
+	if staged != 0 {
+		t.Fatalf("pending transfers after renewal ack = %d, want 0", staged)
+	}
+	if fetchFile() {
+		t.Fatal("FILE_REQUEST after the renewal ack must be refused")
 	}
 }
 

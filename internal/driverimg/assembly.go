@@ -13,6 +13,7 @@ import (
 // image containing exactly the features a client needs.
 type PackageStore struct {
 	mu   sync.RWMutex
+	gen  uint64
 	pkgs map[string]pkg
 }
 
@@ -36,6 +37,16 @@ func (ps *PackageStore) AddPackage(name string, payload []byte, options map[stri
 		opts[k] = v
 	}
 	ps.pkgs[name] = pkg{payload: append([]byte(nil), payload...), options: opts}
+	ps.gen++
+}
+
+// Generation returns a counter bumped on every package mutation; caches
+// of assembled images key on it so a re-registered package invalidates
+// previously assembled drivers.
+func (ps *PackageStore) Generation() uint64 {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return ps.gen
 }
 
 // Packages lists registered package names, sorted.

@@ -203,6 +203,109 @@ func (img *Image) Checksum() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// EncodedChecksum computes Checksum directly from an encoded image blob,
+// without decoding it into an Image. The canonical (signed) byte range
+// of an encoded image is everything between the version byte and the
+// signature, so the checksum is a bounds-checked walk over the field
+// length prefixes plus one hash — no manifest maps, no payload copy.
+// Grant-path caches use this to checksum stored binary_code BLOBs once
+// per catalog load. The walk also validates the framing, so a blob that
+// Decode would reject errors here too.
+func EncodedChecksum(blob []byte) (string, error) {
+	if len(blob) == 0 {
+		return "", fmt.Errorf("driverimg: encoded checksum: empty blob")
+	}
+	if blob[0] != imageVersion {
+		return "", fmt.Errorf("driverimg: unsupported image version %d", blob[0])
+	}
+	end, err := canonicalEnd(blob)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob[1:end])
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalEnd walks an encoded image and returns the offset just past
+// the payload (the end of the signature-covered range), validating that
+// exactly one signature field follows.
+func canonicalEnd(blob []byte) (int, error) {
+	w := fieldWalker{buf: blob, off: 1} // skip the version byte
+	w.skipPrefixed()                    // Kind
+	w.skipPrefixed()                    // API.Name
+	w.skip(8)                           // API major/minor
+	w.skipPrefixed()                    // Platform
+	w.skip(12)                          // Version major/minor/micro
+	w.skip(2)                           // ProtocolVersion
+	w.skipPrefixed()                    // PinnedURL
+	nOpts := w.count()
+	for i := uint32(0); i < nOpts && w.err == nil; i++ {
+		w.skipPrefixed() // option key
+		w.skipPrefixed() // option value
+	}
+	nPkgs := w.count()
+	for i := uint32(0); i < nPkgs && w.err == nil; i++ {
+		w.skipPrefixed() // package name
+	}
+	w.skipPrefixed() // Payload
+	end := w.off
+	w.skipPrefixed() // Signature
+	if w.err != nil {
+		return 0, fmt.Errorf("driverimg: encoded checksum: %w", w.err)
+	}
+	if w.off != len(blob) {
+		return 0, fmt.Errorf("driverimg: encoded checksum: %d trailing bytes", len(blob)-w.off)
+	}
+	return end, nil
+}
+
+// fieldWalker advances over wire-encoded fields without materializing
+// them; errors are sticky like wire.Decoder's.
+type fieldWalker struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (w *fieldWalker) skip(n int) {
+	if w.err != nil {
+		return
+	}
+	if w.off+n > len(w.buf) {
+		w.err = fmt.Errorf("short buffer at offset %d", w.off)
+		return
+	}
+	w.off += n
+}
+
+// count consumes a 4-byte element count.
+func (w *fieldWalker) count() uint32 {
+	if w.err != nil {
+		return 0
+	}
+	if w.off+4 > len(w.buf) {
+		w.err = fmt.Errorf("short buffer at offset %d", w.off)
+		return 0
+	}
+	n := uint32(w.buf[w.off])<<24 | uint32(w.buf[w.off+1])<<16 |
+		uint32(w.buf[w.off+2])<<8 | uint32(w.buf[w.off+3])
+	w.off += 4
+	return n
+}
+
+// skipPrefixed consumes one length-prefixed string/byte field. The
+// length is untrusted: reject anything beyond the buffer while still
+// in uint32 space, so int(n) can't go negative on 32-bit platforms and
+// slide the offset backwards.
+func (w *fieldWalker) skipPrefixed() {
+	n := w.count()
+	if w.err == nil && uint64(n) > uint64(len(w.buf)) {
+		w.err = fmt.Errorf("short buffer at offset %d", w.off)
+		return
+	}
+	w.skip(int(n))
+}
+
 // Sign signs the image with the given ed25519 private key, replacing any
 // existing signature.
 func (img *Image) Sign(key ed25519.PrivateKey) {

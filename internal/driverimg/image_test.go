@@ -279,3 +279,51 @@ func TestAssembly(t *testing.T) {
 		t.Error("re-adding an included package must not grow the payload")
 	}
 }
+
+// TestEncodedChecksumMatchesDecode: the blob-walking checksum must be
+// byte-identical to the decode-then-Checksum path for every image
+// shape, including signed images, empty payloads, and nil option maps.
+func TestEncodedChecksumMatchesDecode(t *testing.T) {
+	_, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := []*Image{
+		{Manifest: testManifest(), Payload: bytes.Repeat([]byte{0xCD}, 4096)},
+		{Manifest: Manifest{Kind: "dbms-native", API: dbver.AnyVersionAPI("ODBC")}},
+		{Manifest: Manifest{Kind: "sequoia", PinnedURL: "dbms://h1,h2/prod",
+			Packages: []string{"nls", "gis", "kerberos"}}},
+	}
+	images = append(images, &Image{Manifest: testManifest(), Payload: []byte("signed")})
+	images[len(images)-1].Sign(priv)
+
+	for i, img := range images {
+		blob := img.Encode()
+		got, err := EncodedChecksum(blob)
+		if err != nil {
+			t.Fatalf("image %d: %v", i, err)
+		}
+		if want := img.Checksum(); got != want {
+			t.Errorf("image %d: EncodedChecksum = %s, Checksum = %s", i, got, want)
+		}
+	}
+}
+
+// TestEncodedChecksumRejectsGarbage: the walk validates framing like
+// Decode does — corrupt blobs must error, not hash garbage.
+func TestEncodedChecksumRejectsGarbage(t *testing.T) {
+	if _, err := EncodedChecksum(nil); err == nil {
+		t.Error("nil blob must error")
+	}
+	if _, err := EncodedChecksum([]byte{99}); err == nil {
+		t.Error("bad version byte must error")
+	}
+	img := &Image{Manifest: testManifest(), Payload: []byte("body")}
+	blob := img.Encode()
+	if _, err := EncodedChecksum(blob[:len(blob)-3]); err == nil {
+		t.Error("truncated blob must error")
+	}
+	if _, err := EncodedChecksum(append(blob, 0)); err == nil {
+		t.Error("trailing bytes must error")
+	}
+}

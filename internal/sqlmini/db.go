@@ -80,6 +80,12 @@ type DB struct {
 	// changeSeq increments on every mutation; used by replication layers
 	// to cheaply detect divergence.
 	changeSeq uint64
+
+	// tableVers counts mutations per table name (keyed by name, not
+	// *Table, so the counter survives DROP + CREATE). Cache layers above
+	// the engine use it to invalidate snapshots of individual tables
+	// without being perturbed by churn elsewhere in the database.
+	tableVers map[string]uint64
 }
 
 // Option configures a DB.
@@ -94,9 +100,10 @@ func WithClock(clock func() time.Time) Option {
 // NewDB creates an empty database.
 func NewDB(opts ...Option) *DB {
 	db := &DB{
-		tables: make(map[string]*Table),
-		clock:  time.Now,
-		cache:  make(map[string]Statement),
+		tables:    make(map[string]*Table),
+		clock:     time.Now,
+		cache:     make(map[string]Statement),
+		tableVers: make(map[string]uint64),
 	}
 	for _, o := range opts {
 		o(db)
@@ -112,6 +119,33 @@ func (db *DB) ChangeSeq() uint64 {
 	defer db.mu.Unlock()
 	return db.changeSeq
 }
+
+// TableVersion returns a counter that increments on every successful
+// mutation of the named table (INSERT/UPDATE/DELETE touching rows,
+// CREATE, DROP, and transaction rollbacks that revert its rows). It is 0
+// for tables never mutated. Unlike ChangeSeq it is per-table, so caches
+// of one table are not invalidated by writes to another.
+func (db *DB) TableVersion(name string) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tableVers[name]
+}
+
+// TableVersions returns the sum of TableVersion over names, read under
+// one lock. Each mutation increments exactly one per-table counter, so
+// the sum is strictly monotonic and equal sums imply no mutation.
+func (db *DB) TableVersions(names ...string) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var sum uint64
+	for _, n := range names {
+		sum += db.tableVers[n]
+	}
+	return sum
+}
+
+// bumpTable advances a table's mutation counter; caller holds db.mu.
+func (db *DB) bumpTable(name string) { db.tableVers[name]++ }
 
 // TableNames returns the defined table names, sorted.
 func (db *DB) TableNames() []string {
@@ -302,6 +336,7 @@ func (db *DB) execCreate(st *CreateTableStmt) (*Result, error) {
 	t.initIndex()
 	db.tables[st.Table] = t
 	db.changeSeq++
+	db.bumpTable(st.Table)
 	return &Result{}, nil
 }
 
@@ -314,6 +349,7 @@ func (db *DB) execDrop(st *DropTableStmt) (*Result, error) {
 	}
 	delete(db.tables, st.Table)
 	db.changeSeq++
+	db.bumpTable(st.Table)
 	return &Result{}, nil
 }
 
@@ -346,6 +382,15 @@ func (db *DB) execInsert(st *InsertStmt, env *evalEnv, tx *undoLog) (*Result, er
 		colPos[i] = idx
 	}
 	inserted := 0
+	// In autocommit mode a later row's failure leaves earlier rows
+	// committed, so the version must bump on the error path too —
+	// otherwise caches keyed on TableVersion would stay marked fresh
+	// across a partially applied statement.
+	defer func() {
+		if inserted > 0 {
+			db.bumpTable(st.Table)
+		}
+	}()
 	for _, exprRow := range st.Rows {
 		if len(exprRow) != len(cols) {
 			return nil, fmt.Errorf("sqlmini: INSERT into %q: %d values for %d columns", st.Table, len(exprRow), len(cols))
@@ -593,6 +638,11 @@ func (db *DB) execUpdate(st *UpdateStmt, env *evalEnv, tx *undoLog) (*Result, er
 		setPos[i] = idx
 	}
 	affected := 0
+	defer func() { // see execInsert: partial statements must still bump
+		if affected > 0 {
+			db.bumpTable(st.Table)
+		}
+	}()
 	for _, r := range t.Rows {
 		if st.Where != nil {
 			v, err := env.eval(st.Where, t, r)
@@ -667,6 +717,7 @@ func (db *DB) execDelete(st *DeleteStmt, env *evalEnv, tx *undoLog) (*Result, er
 	t.Rows = kept
 	if affected > 0 {
 		db.changeSeq++
+		db.bumpTable(st.Table)
 	}
 	return &Result{Affected: affected}, nil
 }

@@ -492,3 +492,99 @@ func TestCoalesce(t *testing.T) {
 		t.Errorf("coalesce = %d", res.Rows[0][0].Int())
 	}
 }
+
+func TestTableVersionPerTableIsolation(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE a (id INTEGER NOT NULL PRIMARY KEY)")
+	db.MustExec("CREATE TABLE b (id INTEGER NOT NULL PRIMARY KEY)")
+	av, bv := db.TableVersion("a"), db.TableVersion("b")
+	if av == 0 || bv == 0 {
+		t.Fatalf("CREATE must bump: a=%d b=%d", av, bv)
+	}
+
+	db.MustExec("INSERT INTO a (id) VALUES (1)")
+	if db.TableVersion("a") != av+1 {
+		t.Errorf("INSERT a: version = %d, want %d", db.TableVersion("a"), av+1)
+	}
+	if db.TableVersion("b") != bv {
+		t.Errorf("writes to a must not bump b (got %d, want %d)", db.TableVersion("b"), bv)
+	}
+
+	// UPDATE/DELETE that touch no rows must not bump.
+	av = db.TableVersion("a")
+	db.MustExec("UPDATE a SET id = 2 WHERE id = 99")
+	db.MustExec("DELETE FROM a WHERE id = 99")
+	if db.TableVersion("a") != av {
+		t.Errorf("no-op mutations bumped the version to %d", db.TableVersion("a"))
+	}
+	db.MustExec("UPDATE a SET id = 2 WHERE id = 1")
+	db.MustExec("DELETE FROM a WHERE id = 2")
+	if db.TableVersion("a") != av+2 {
+		t.Errorf("UPDATE+DELETE: version = %d, want %d", db.TableVersion("a"), av+2)
+	}
+
+	// The counter survives DROP + re-CREATE (keyed by name).
+	av = db.TableVersion("a")
+	db.MustExec("DROP TABLE a")
+	db.MustExec("CREATE TABLE a (id INTEGER NOT NULL PRIMARY KEY)")
+	if got := db.TableVersion("a"); got != av+2 {
+		t.Errorf("DROP+CREATE: version = %d, want %d", got, av+2)
+	}
+
+	if sum := db.TableVersions("a", "b"); sum != db.TableVersion("a")+db.TableVersion("b") {
+		t.Errorf("TableVersions sum = %d", sum)
+	}
+}
+
+func TestTableVersionBumpsOnRollback(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE a (id INTEGER NOT NULL PRIMARY KEY)")
+	db.MustExec("INSERT INTO a (id) VALUES (1)")
+	before := db.TableVersion("a")
+
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE a SET id = 2 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	// Both the update and its revert count: a snapshot taken mid-tx must
+	// not stay marked fresh after the rollback restored old rows.
+	if got := db.TableVersion("a"); got <= before+1 {
+		t.Errorf("rollback must bump the version past the update's (got %d, before %d)", got, before)
+	}
+	r := db.MustExec("SELECT id FROM a")
+	if r.Rows[0][0].Int() != 1 {
+		t.Fatalf("rollback failed: %v", r.Rows[0][0])
+	}
+}
+
+// TestRestoreBumpsTableVersions: a snapshot resync mutates tables
+// without running statements, and caches keyed on TableVersion (the
+// drivolution driver catalog) must see it as a change — both for
+// tables the snapshot replaces and for tables it drops.
+func TestRestoreBumpsTableVersions(t *testing.T) {
+	src := NewDB()
+	src.MustExec("CREATE TABLE a (id INTEGER NOT NULL PRIMARY KEY)")
+	src.MustExec("INSERT INTO a (id) VALUES (1)")
+	snap := src.Snapshot()
+
+	dst := NewDB()
+	dst.MustExec("CREATE TABLE a (id INTEGER NOT NULL PRIMARY KEY)")
+	dst.MustExec("CREATE TABLE gone (id INTEGER NOT NULL PRIMARY KEY)")
+	va, vg := dst.TableVersion("a"), dst.TableVersion("gone")
+	if err := dst.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.TableVersion("a") <= va {
+		t.Errorf("restore must bump replaced table: %d -> %d", va, dst.TableVersion("a"))
+	}
+	if dst.TableVersion("gone") <= vg {
+		t.Errorf("restore must bump dropped table: %d -> %d", vg, dst.TableVersion("gone"))
+	}
+}

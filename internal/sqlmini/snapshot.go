@@ -107,6 +107,17 @@ func (db *DB) Restore(blob []byte) error {
 	}
 
 	db.mu.Lock()
+	// Every table that existed before or exists after counts as mutated:
+	// caches keyed on TableVersion must see a resync as a change (the
+	// GenerationStore contract in core/store.go rests on this).
+	for name := range db.tables {
+		db.bumpTable(name)
+	}
+	for name := range tables {
+		if _, existed := db.tables[name]; !existed {
+			db.bumpTable(name)
+		}
+	}
 	db.tables = tables
 	db.changeSeq = seq
 	db.mu.Unlock()

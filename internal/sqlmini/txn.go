@@ -62,6 +62,9 @@ func (u *undoLog) revert(db *DB) {
 	}
 	if len(u.entries) > 0 {
 		db.changeSeq++
+		for _, e := range u.entries {
+			db.bumpTable(e.table.Name)
+		}
 	}
 	u.entries = nil
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -33,6 +34,63 @@ func BenchmarkEncoderTypicalMessage(b *testing.B) {
 		e.Uint64(uint64(i))
 		_ = e.Bytes()
 	}
+}
+
+// BenchmarkEncoderPooledMessage is BenchmarkEncoderTypicalMessage
+// through the encoder pool; steady state must be allocation-free.
+func BenchmarkEncoderPooledMessage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder(256)
+		e.String("prod")
+		e.String("app")
+		e.String("secret")
+		e.String("JDBC")
+		e.Int32(3)
+		e.Int32(0)
+		e.String("linux-x86_64")
+		e.Uint64(uint64(i))
+		_ = e.Bytes()
+		PutEncoder(e)
+	}
+}
+
+// BenchmarkFileChunkFraming mimics the server's FILE_DATA streaming
+// loop: one 256 KiB chunk payload framed per iteration. The pooled
+// variant is what the Drivolution transfer path uses — it must not
+// allocate a fresh payload buffer per frame.
+func BenchmarkFileChunkFraming(b *testing.B) {
+	data := bytes.Repeat([]byte{0x5A}, 256<<10)
+	b.Run("fresh-encoder", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			e := NewEncoder(16 + len(data))
+			e.Uint32(0)
+			e.Uint32(uint32(len(data)))
+			e.Bool(true)
+			e.Bytes32(data)
+			if err := WriteFrame(io.Discard, Frame{Type: 7, Payload: e.Bytes()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled-encoder", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		e := GetEncoder(16 + len(data))
+		defer PutEncoder(e)
+		for i := 0; i < b.N; i++ {
+			e.Reset()
+			e.Uint32(0)
+			e.Uint32(uint32(len(data)))
+			e.Bool(true)
+			e.Bytes32(data)
+			if err := WriteFrame(io.Discard, Frame{Type: 7, Payload: e.Bytes()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkDecoderTypicalMessage(b *testing.B) {

@@ -20,12 +20,19 @@ type Conn struct {
 	bw  *bufio.Writer
 }
 
+// connBufSize sizes the per-connection bufio buffers. Frames larger
+// than the buffer bypass it in both directions (bufio reads/writes go
+// straight to the socket once the buffer is empty/flushed), so big
+// FILE_DATA chunks lose nothing while short-lived protocol connections
+// stop allocating 64 KiB each.
+const connBufSize = 8 << 10
+
 // NewConn wraps nc for frame I/O.
 func NewConn(nc net.Conn) *Conn {
 	return &Conn{
 		nc: nc,
-		br: bufio.NewReaderSize(nc, 32<<10),
-		bw: bufio.NewWriterSize(nc, 32<<10),
+		br: bufio.NewReaderSize(nc, connBufSize),
+		bw: bufio.NewWriterSize(nc, connBufSize),
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -110,6 +111,37 @@ type Encoder struct {
 // roughly n bytes.
 func NewEncoder(n int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, n)}
+}
+
+// encoderPool recycles encoder backing arrays between frames; chunked
+// file streaming sends thousands of frames per transfer and should not
+// allocate one payload buffer each.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// maxPooledEncoder bounds the backing array a returned encoder may keep,
+// so one oversized frame doesn't pin its buffer in the pool forever.
+const maxPooledEncoder = 1 << 20
+
+// GetEncoder returns a pooled encoder, empty, with capacity for roughly
+// n bytes. Pair with PutEncoder once the payload has been handed to
+// Conn.Send (Send flushes before returning, so the buffer is free for
+// reuse immediately after).
+func GetEncoder(n int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	if cap(e.buf) < n {
+		e.buf = make([]byte, 0, n)
+	}
+	return e
+}
+
+// PutEncoder recycles an encoder obtained from GetEncoder. The encoder
+// (and any []byte obtained from its Bytes) must not be used afterwards.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledEncoder {
+		return
+	}
+	e.Reset()
+	encoderPool.Put(e)
 }
 
 // Bytes returns the accumulated payload.

@@ -366,3 +366,29 @@ func TestConnConcurrentSends(t *testing.T) {
 		t.Fatalf("server received %d frames, want %d", got, n)
 	}
 }
+
+func TestEncoderPoolReuse(t *testing.T) {
+	e := GetEncoder(64)
+	e.String("hello")
+	if len(e.Bytes()) == 0 {
+		t.Fatal("encoder did not accumulate")
+	}
+	PutEncoder(e)
+	e2 := GetEncoder(64)
+	if len(e2.Bytes()) != 0 {
+		t.Fatal("pooled encoder returned non-empty")
+	}
+	e2.Uint32(42)
+	if len(e2.Bytes()) != 4 {
+		t.Fatalf("payload = %d bytes", len(e2.Bytes()))
+	}
+	PutEncoder(e2)
+
+	// Oversized buffers are dropped rather than pinned in the pool.
+	big := GetEncoder(2 << 20)
+	PutEncoder(big)
+	small := GetEncoder(16)
+	if cap(small.buf) > 1<<20 && &small.buf[:1][0] == &big.buf[:1][0] {
+		t.Fatal("oversized buffer was retained by the pool")
+	}
+}
