@@ -1,6 +1,7 @@
 # Drivolution reproduction — build/test/bench entry points.
 #
-#   make tier1           # the repo gate: go build ./... && go test ./...
+#   make check           # the tier-1 gate: build + vet + tests
+#   make tier1           # build + tests only (what scripts/bench.sh gates on)
 #   make race            # grant-path packages under the race detector
 #   make bench           # run the perf-tracked benchmark set
 #   make bench-baseline  # tier1 + benches, refresh BENCH_baseline.json
@@ -10,7 +11,14 @@
 # BENCH_FILTER ('.'' = full suite, includes slow lease-traffic sweeps),
 # BENCH_PKGS.
 
-.PHONY: tier1 race bench bench-baseline bench-compare
+.PHONY: check tier1 race bench bench-baseline bench-compare
+
+# check is the documented tier-1 entry point: everything CI (and the
+# next PR) must keep green.
+check:
+	go build ./...
+	go vet ./...
+	go test ./...
 
 tier1:
 	go build ./...

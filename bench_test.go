@@ -8,6 +8,7 @@ import (
 	"crypto/ed25519"
 	"crypto/tls"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbver"
 	"repro/internal/scenarios"
+	"repro/internal/sqlmini"
 )
 
 func addDriverB(b *testing.B, s *scenarios.Stack, ver dbver.Version, proto uint16, payload int) int64 {
@@ -72,6 +74,85 @@ func BenchmarkLeaseRenewalNoChange(b *testing.B) {
 	b.StopTimer()
 	if m := bl.Stats(); m.Renewals < int64(b.N) {
 		b.Fatalf("renewals = %d, want >= %d", m.Renewals, b.N)
+	}
+}
+
+// fillLeases bulk-inserts n synthetic lease rows so the per-request
+// lease statements run against a populated table. driverIDFor spreads
+// rows over driver ids (license-check benches) or pins them to one.
+func fillLeases(b *testing.B, s *scenarios.Stack, n int, driverIDFor func(i int) int64) {
+	b.Helper()
+	st := s.Drv.Store()
+	now := time.Now()
+	args := sqlmini.Args{"g": now, "e": now.Add(24 * time.Hour)}
+	const batch = 200
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		var sb strings.Builder
+		sb.WriteString(`INSERT INTO ` + core.LeasesTable + ` (lease_id, driver_id,
+			database, user, client_id, granted_at, expires_at, released, renewals) VALUES `)
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, %d, 'prod', 'app', 'filler-%d', $g, $e, FALSE, 0)",
+				1_000_000+i, driverIDFor(i), i)
+		}
+		if _, err := st.Exec(sb.String(), args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLeaseRenewalAtScale measures the Table 4 no-change renewal with
+// the leases table pre-filled to a given population. With the lease_id
+// PK driving the guarded UPDATE, ns/op must stay flat in the population
+// (the 10000-lease run within ~1.5× of the 100-lease run).
+func benchLeaseRenewalAtScale(b *testing.B, leases int) {
+	s := newStackB(b, scenarios.StackConfig{})
+	drvID := addDriverB(b, s, dbver.V(1, 0, 0), 1, 16<<10)
+	bl := s.Bootloader()
+	if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+		b.Fatal(err)
+	}
+	fillLeases(b, s, leases-1, func(int) int64 { return drvID })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bl.ForceRenew("prod"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeaseRenewalAt100Leases(b *testing.B)   { benchLeaseRenewalAtScale(b, 100) }
+func BenchmarkLeaseRenewalAt10000Leases(b *testing.B) { benchLeaseRenewalAtScale(b, 10000) }
+
+// BenchmarkLicenseCheckAt10000Leases measures the §5.4.2 license-mode
+// lease-free check (DISCOVER through the wire) with 10000 live leases
+// spread over 100 foreign drivers. The driver_id index reduces the
+// count(*) from a 10000-row scan to one (empty) bucket probe.
+func BenchmarkLicenseCheckAt10000Leases(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{
+		ServerOpts: []core.ServerOption{core.WithLicenseMode()},
+	})
+	addDriverB(b, s, dbver.V(1, 0, 0), 1, 4<<10)
+	fillLeases(b, s, 10000, func(i int) int64 { return 1000 + int64(i%100) })
+	req := core.Request{
+		Database:       "prod",
+		User:           "app",
+		Password:       "app-pw",
+		API:            dbver.APIOf("JDBC", 3, 0),
+		ClientPlatform: dbver.PlatformLinuxAMD64,
+		ClientID:       "bench",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Probe(s.Drv.Addr(), req, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -48,8 +48,30 @@
 // cannot observe remote schema writes and transparently keep the
 // per-request SQL path.
 //
-// Benchmarks track this path: see Makefile bench targets and
+// # Indexed lease paths
+//
+// The embedded SQL engine (internal/sqlmini) executes statements whose
+// WHERE clause carries a top-level equality conjunct on an indexed
+// column — the primary key, or a secondary hash index declared with
+// CREATE INDEX / DB.EnsureIndex — as an O(1) point lookup with the full
+// WHERE re-applied as a residual filter; `released = FALSE`-style bool
+// predicates ride along as residuals. The schema declares indexes on
+// leases(driver_id) and driver_permission(driver_id), and the lease_id
+// and driver_id primary keys now drive execution, so renewals, releases,
+// lease lookups, blob point-fetches, and the §5.4.2 license-mode
+// count(*) are flat in the lease population (BenchmarkLeaseRenewalAt*
+// Leases / BenchmarkLicenseCheckAt10000Leases track this at the 10k
+// scale). The planner is conservative: any WHERE shape it cannot prove
+// equivalent — OR at the top level, range-only predicates, expressions
+// that can fail row-dependently, lossy key coercions like id = 1.5 —
+// falls back to the unchanged scan path with identical results, and
+// DB.Explain reports which path a statement takes. Catalog reloads are
+// deltas: permission churn carries driver entries over untouched, and
+// driver churn re-hashes only blobs whose bytes actually changed.
+//
+// Benchmarks track these paths: see Makefile bench targets and
 // BENCH_baseline.json (scripts/bench.sh compares runs against it).
+// `make check` (build + vet + tests) is the tier-1 gate.
 //
 // The substrates (the simulated DBMS, the embedded SQL engine, the
 // Sequoia middleware, the driver-image runtime) live under internal/ and

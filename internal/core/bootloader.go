@@ -371,6 +371,18 @@ func (b *Bootloader) discover(database string) (string, error) {
 	req := b.request(database, 0, "").encode()
 	for _, addr := range b.servers {
 		go func(addr string) {
+			// A clean exchange over the cached renewal connection settles
+			// this server without a dial; a cached connection that turns
+			// out dead falls through to a fresh dial like any other server
+			// (DISCOVER is idempotent, so re-sending is safe).
+			if offered, used, err := b.probeCached(addr, req); used && err == nil {
+				if offered {
+					ch <- answer{addr: addr}
+				} else {
+					ch <- answer{err: fmt.Errorf("drivolution: %s declined discover", addr)}
+				}
+				return
+			}
 			conn, err := b.dialServer(addr)
 			if err != nil {
 				ch <- answer{err: err}
@@ -404,6 +416,58 @@ func (b *Bootloader) discover(database string) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("%w: %v", ErrNoServers, firstErr)
+}
+
+// probeCached runs one DISCOVER probe over the persistent renewal
+// connection when the bootloader still holds one to addr, instead of
+// dialing a second connection to a server it is already talking to.
+// used=false means no cached connection covered addr and the caller
+// should dial. The connection is detached for the duration of the round
+// trip so connMu is never held across network I/O: a concurrent fetch
+// simply sees no cached connection and dials, rather than blocking up
+// to dialTimeout behind a slow probe. A transport failure discards the
+// connection (the next renewal redials); a clean exchange re-caches it.
+func (b *Bootloader) probeCached(addr string, req []byte) (offered, used bool, err error) {
+	b.connMu.Lock()
+	if b.srvConn == nil || b.srvConnAddr != addr {
+		b.connMu.Unlock()
+		return false, false, nil
+	}
+	conn := b.srvConn
+	b.srvConn, b.srvConnAddr = nil, ""
+	b.connMu.Unlock()
+
+	healthy := false
+	defer func() {
+		b.connMu.Lock()
+		// The stop check must happen under connMu: Close() closes stopCh
+		// before sweeping srvConn, so a defer that re-caches without
+		// observing the close is guaranteed to do so before Close's sweep
+		// acquires the lock — the sweep then finds and closes the conn.
+		stopped := false
+		select {
+		case <-b.stopCh:
+			stopped = true // Close() ran mid-probe; it cannot see a detached conn
+		default:
+		}
+		if healthy && !stopped && b.srvConn == nil {
+			b.srvConn, b.srvConnAddr = conn, addr
+		} else {
+			// Broken stream, bootloader closed, or a concurrent fetch
+			// cached a fresh connection while we probed: ours is surplus.
+			conn.Close()
+		}
+		b.connMu.Unlock()
+	}()
+	if err := conn.Send(msgDiscover, req); err != nil {
+		return false, true, err
+	}
+	f, err := conn.RecvTimeout(b.dialTimeout)
+	if err != nil {
+		return false, true, err
+	}
+	healthy = true
+	return f.Type == msgOffer, true, nil
 }
 
 // fetch performs REQUEST → OFFER → FILE_REQUEST → FILE_DATA* against one

@@ -671,3 +671,69 @@ func TestProtocolMismatchSurfacesThroughBootloader(t *testing.T) {
 		t.Fatalf("connect after fix: %v", err)
 	}
 }
+
+// TestDiscoverReusesRenewalConn: a DISCOVER round must probe the server
+// the bootloader is already connected to over the persistent renewal
+// connection instead of dialing it a second time (ROADMAP lever a).
+func TestDiscoverReusesRenewalConn(t *testing.T) {
+	f := newFixture(t, 1)
+	f.addDriver(t, f.driverImage(dbver.V(1, 0, 0), 1, 256))
+	srv2, err := NewServer("drivolution-2", NewLocalStore(f.drv.store.(*LocalStore).DB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv2.Stop)
+
+	b := NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+		[]string{f.drv.Addr(), srv2.Addr()}, f.rt,
+		WithCredentials("app", "app-pw"),
+		WithDialTimeout(time.Second))
+	t.Cleanup(b.Close)
+	mustConnect(t, b, f.appURL())
+
+	b.connMu.Lock()
+	cachedAddr := b.srvConnAddr
+	b.connMu.Unlock()
+	if cachedAddr == "" {
+		t.Fatal("no cached renewal connection after bootstrap")
+	}
+	connected := f.drv
+	if cachedAddr == srv2.Addr() {
+		connected = srv2
+	}
+	connCount := func(s *Server) int {
+		s.connsMu.Lock()
+		defer s.connsMu.Unlock()
+		return len(s.conns)
+	}
+	before := connCount(connected)
+	if _, err := b.discover("prod"); err != nil {
+		t.Fatal(err)
+	}
+	if after := connCount(connected); after != before {
+		t.Fatalf("discover opened %d extra connection(s) to the already-connected server", after-before)
+	}
+	// discover returns on the first answer, possibly before the probe
+	// goroutine has re-cached the detached connection; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.connMu.Lock()
+		kept := b.srvConn != nil && b.srvConnAddr == cachedAddr
+		b.connMu.Unlock()
+		if kept {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("discover probe dropped the healthy renewal connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The shared connection is still positioned on a frame boundary:
+	// renewals keep working over it.
+	if err := b.ForceRenew("prod"); err != nil {
+		t.Fatal(err)
+	}
+}

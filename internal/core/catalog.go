@@ -37,15 +37,33 @@ type catalogEntry struct {
 	checksum string
 	size     int
 	corrupt  error // non-nil when binary_code fails structural validation
+	// blobHead identifies the stored blob (&binary_code[0]) so a delta
+	// reload can prove "same bytes as last time" by pointer identity and
+	// skip re-checksumming; a replaced blob — even one reusing a freed
+	// driver_id — necessarily has a different backing array. The pointer
+	// keeps the backing array reachable, which is free while the row
+	// lives (the row holds it anyway) and, for a deleted or replaced
+	// driver, retains its old blob only until the next reload — which the
+	// deletion itself scheduled by bumping the generation.
+	blobHead *byte
 }
 
 // catalog is an immutable snapshot; a new one replaces it wholesale on
 // generation change.
 type catalog struct {
-	gen   uint64
-	order []*catalogEntry // Sample-code-1 ORDER BY: version DESC (NULLs last), driver_id DESC
-	byID  map[int64]*catalogEntry
-	perms []Permission // permission_id DESC
+	gen    uint64
+	drvGen uint64          // drivers TableVersion at load (TableVersionStore only)
+	order  []*catalogEntry // Sample-code-1 ORDER BY: version DESC (NULLs last), driver_id DESC
+	byID   map[int64]*catalogEntry
+	perms  []Permission // permission_id DESC
+}
+
+// lookup returns the entry for a driver id; nil-safe for the first load.
+func (c *catalog) lookup(id int64) *catalogEntry {
+	if c == nil {
+		return nil
+	}
+	return c.byID[id]
 }
 
 // catalogSnapshot returns the current catalog, reloading it if the
@@ -67,10 +85,11 @@ func (s *Server) catalogSnapshot() (*catalog, *ProtocolError) {
 	// concurrent mutation mid-load labels the snapshot stale rather
 	// than fresh.
 	gen = gs.Generation()
-	if cat := s.cat.Load(); cat != nil && cat.gen == gen {
-		return cat, nil
+	old := s.cat.Load()
+	if old != nil && old.gen == gen {
+		return old, nil
 	}
-	cat, err := s.loadCatalog(gen)
+	cat, err := s.loadCatalog(gen, old)
 	if err != nil {
 		return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 	}
@@ -88,38 +107,60 @@ const catalogPermsSQL = `SELECT permission_id, user, client_ip,
 	lease_time_in_ms, renew_policy, expiration_policy, transfer_method
 	FROM ` + PermissionTable
 
-// loadCatalog scans both schema tables once. This is the only place
-// grant-path code reads every binary_code blob, and it immediately
-// reduces each to (checksum, size).
-func (s *Server) loadCatalog(gen uint64) (*catalog, error) {
-	drvRes, err := s.store.Exec(catalogDriversSQL)
-	if err != nil {
-		return nil, err
+// loadCatalog builds a fresh catalog snapshot, reusing as much of old
+// as it can prove unchanged. When the store attributes its generation
+// to individual tables (TableVersionStore) and only driver_permission
+// moved, the driver entries are carried over wholesale — permission
+// churn on a large driver table touches zero blobs. When the drivers
+// table did move, each rescanned row whose blob is pointer-identical to
+// the previous load keeps its (checksum, corrupt) verdict, so only new
+// or replaced drivers are hashed — the delta load ROADMAP lever (c).
+func (s *Server) loadCatalog(gen uint64, old *catalog) (*catalog, error) {
+	// Like gen, the drivers version is captured BEFORE the scans so a
+	// concurrent driver mutation mid-load labels this snapshot stale.
+	var drvGen uint64
+	tvs, hasTV := s.store.(TableVersionStore)
+	if hasTV {
+		drvGen = tvs.TableVersion(DriversTable)
+	}
+	cat := &catalog{gen: gen, drvGen: drvGen}
+	if hasTV && old != nil && old.drvGen == drvGen {
+		cat.order, cat.byID = old.order, old.byID
+	} else {
+		drvRes, err := s.store.Exec(catalogDriversSQL)
+		if err != nil {
+			return nil, err
+		}
+		cat.order = make([]*catalogEntry, 0, len(drvRes.Rows))
+		cat.byID = make(map[int64]*catalogEntry, len(drvRes.Rows))
+		idx := colIndex(drvRes.Cols)
+		for _, row := range drvRes.Rows {
+			rec, err := scanDriverRecordIdx(idx, row)
+			if err != nil {
+				return nil, err
+			}
+			ent := &catalogEntry{meta: rec, size: len(rec.BinaryCode)}
+			if ent.size > 0 {
+				ent.blobHead = &rec.BinaryCode[0]
+			}
+			if prev := old.lookup(rec.DriverID); prev != nil && prev.blobHead != nil &&
+				prev.blobHead == ent.blobHead && prev.size == ent.size {
+				ent.checksum, ent.corrupt = prev.checksum, prev.corrupt
+			} else {
+				ent.checksum, ent.corrupt = driverimg.EncodedChecksum(rec.BinaryCode)
+			}
+			ent.meta.BinaryCode = nil // the catalog is blob-free
+			cat.order = append(cat.order, ent)
+			cat.byID[ent.meta.DriverID] = ent
+		}
+		sort.SliceStable(cat.order, func(i, j int) bool {
+			return catalogBefore(cat.order[i], cat.order[j])
+		})
 	}
 	permRes, err := s.store.Exec(catalogPermsSQL)
 	if err != nil {
 		return nil, err
 	}
-	cat := &catalog{
-		gen:   gen,
-		order: make([]*catalogEntry, 0, len(drvRes.Rows)),
-		byID:  make(map[int64]*catalogEntry, len(drvRes.Rows)),
-	}
-	idx := colIndex(drvRes.Cols)
-	for _, row := range drvRes.Rows {
-		rec, err := scanDriverRecordIdx(idx, row)
-		if err != nil {
-			return nil, err
-		}
-		ent := &catalogEntry{meta: rec, size: len(rec.BinaryCode)}
-		ent.checksum, ent.corrupt = driverimg.EncodedChecksum(rec.BinaryCode)
-		ent.meta.BinaryCode = nil // the catalog is blob-free
-		cat.order = append(cat.order, ent)
-		cat.byID[ent.meta.DriverID] = ent
-	}
-	sort.SliceStable(cat.order, func(i, j int) bool {
-		return catalogBefore(cat.order[i], cat.order[j])
-	})
 	cat.perms = scanPermissionRows(permRes)
 	sort.SliceStable(cat.perms, func(i, j int) bool {
 		return cat.perms[i].PermissionID > cat.perms[j].PermissionID

@@ -370,3 +370,126 @@ func TestCatalogConcurrentGrantsDuringAdminChurn(t *testing.T) {
 		t.Fatalf("final state: g=%+v perr=%v", g, perr)
 	}
 }
+
+// TestCatalogDeltaPermissionChurn: permission-only admin churn must not
+// rebuild driver entries — they are carried over by pointer from the
+// previous catalog, so no blob is rescanned or re-hashed.
+func TestCatalogDeltaPermissionChurn(t *testing.T) {
+	srv, _ := newCatalogServer(t)
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		id, err := srv.AddDriver(catalogImage(dbver.V(1, i, 0)), dbver.FormatImage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	before, perr := srv.catalogSnapshot()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if _, err := srv.SetPermission(Permission{DriverID: ids[0], LeaseTime: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	after, perr := srv.catalogSnapshot()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if after == before {
+		t.Fatal("permission insert must produce a new catalog snapshot")
+	}
+	if len(after.perms) != len(before.perms)+1 {
+		t.Fatalf("perms = %d, want %d", len(after.perms), len(before.perms)+1)
+	}
+	for _, id := range ids {
+		if after.byID[id] != before.byID[id] {
+			t.Fatalf("driver %d entry was rebuilt on permission-only churn", id)
+		}
+	}
+}
+
+// TestCatalogDeltaDriverChurn: adding one driver re-hashes only the new
+// blob; surviving drivers keep their previous entries (same checksum,
+// proven by blob pointer identity).
+func TestCatalogDeltaDriverChurn(t *testing.T) {
+	srv, _ := newCatalogServer(t)
+	id1, err := srv.AddDriver(catalogImage(dbver.V(1, 0, 0)), dbver.FormatImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, perr := srv.catalogSnapshot()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	id2, err := srv.AddDriver(catalogImage(dbver.V(2, 0, 0)), dbver.FormatImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, perr := srv.catalogSnapshot()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if after.byID[id1] == nil || after.byID[id2] == nil {
+		t.Fatal("delta reload lost a driver")
+	}
+	if after.byID[id1].checksum != before.byID[id1].checksum {
+		t.Fatal("surviving driver changed checksum across delta reload")
+	}
+	// The cheap proof the entry was carried, not recomputed: the blob
+	// identity pointer is the same one the previous load captured.
+	if after.byID[id1].blobHead != before.byID[id1].blobHead {
+		t.Fatal("surviving driver was rescanned (blob identity changed)")
+	}
+}
+
+// TestCatalogDriverIDReuseRechecksums: a driver id freed and re-used
+// with different content (possible via raw SQL, or max-id reuse on a
+// shared store) must NOT inherit the stale checksum — pointer identity
+// of the blob is the guard.
+func TestCatalogDriverIDReuseRechecksums(t *testing.T) {
+	srv, st := newCatalogServer(t)
+	id, err := srv.AddDriver(catalogImage(dbver.V(1, 0, 0)), dbver.FormatImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, perr := srv.catalogSnapshot()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	oldSum := before.byID[id].checksum
+
+	// Replace the row in place: same driver_id, different image bytes.
+	if _, err := st.Exec(`DELETE FROM `+DriversTable+` WHERE driver_id = $id`,
+		sqlmini.Args{"id": id}); err != nil {
+		t.Fatal(err)
+	}
+	img := catalogImage(dbver.V(9, 9, 9))
+	img.Payload = []byte("completely different driver body")
+	if err := insertDriver(st, DriverRecord{
+		DriverID:   id,
+		APIName:    img.Manifest.API.Name,
+		APIMajor:   img.Manifest.API.Major,
+		APIMinor:   img.Manifest.API.Minor,
+		Version:    img.Manifest.Version,
+		BinaryCode: img.Encode(),
+		Format:     string(dbver.FormatImage),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	after, perr := srv.catalogSnapshot()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	wantSum, err := driverimg.EncodedChecksum(img.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := after.byID[id].checksum
+	if got == oldSum {
+		t.Fatal("reused driver id inherited the stale checksum")
+	}
+	if got != wantSum {
+		t.Fatalf("checksum = %s, want %s", got, wantSum)
+	}
+}

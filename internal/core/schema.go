@@ -62,6 +62,16 @@ var schemaDDL = []string{
 		released BOOLEAN NOT NULL,
 		renewals INTEGER NOT NULL
 	)`,
+	// Secondary indexes for the lease-scale hot paths. lease_id and
+	// driver_id/permission_id are PRIMARY KEYs, whose index now drives
+	// execution of renewals, releases, and blob point-fetches directly;
+	// the two driver_id indexes below make the §5.4.2 license-mode count
+	// and permission-by-driver lookups O(bucket) instead of O(table) at
+	// 10k+ leases.
+	`CREATE INDEX IF NOT EXISTS leases_driver_id_idx
+		ON ` + LeasesTable + ` (driver_id)`,
+	`CREATE INDEX IF NOT EXISTS driver_permission_driver_id_idx
+		ON ` + PermissionTable + ` (driver_id)`,
 }
 
 // EnsureSchema creates the Drivolution tables if missing.

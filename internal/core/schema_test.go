@@ -297,3 +297,49 @@ func testImageBlob(t *testing.T, api string, ver dbver.Version) []byte {
 	}
 	return img.Encode()
 }
+
+// TestHotStatementsPlanIndexed pins the server's per-request lease and
+// blob statements to index execution: if a schema or sqlmini change
+// silently demotes one of these to a full scan, lease traffic becomes
+// O(active leases) again and this test fails.
+func TestHotStatementsPlanIndexed(t *testing.T) {
+	db := sqlmini.NewDB()
+	if err := EnsureSchema(NewLocalStore(db)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		sql  string
+		args sqlmini.Args
+		want string
+	}{
+		{"renewal-no-change", renewNoChangeSQL,
+			sqlmini.Args{"exp": time.Unix(1, 0), "drv": int64(1), "id": int64(1)},
+			"point lookup on " + LeasesTable + "(lease_id) [primary key]"},
+		{"release", `UPDATE ` + LeasesTable + ` SET released = TRUE WHERE lease_id = $id`,
+			sqlmini.Args{"id": int64(1)},
+			"point lookup on " + LeasesTable + "(lease_id) [primary key]"},
+		{"lease-by-id", `SELECT lease_id FROM ` + LeasesTable + ` WHERE lease_id = $id`,
+			sqlmini.Args{"id": int64(1)},
+			"point lookup on " + LeasesTable + "(lease_id) [primary key]"},
+		{"license-count", `SELECT count(*) FROM ` + LeasesTable + `
+			WHERE driver_id = $id AND released = FALSE
+			AND expires_at > now() AND lease_id <> $own`,
+			sqlmini.Args{"id": int64(1), "own": int64(0)},
+			"index lookup on " + LeasesTable + "(driver_id) [leases_driver_id_idx]"},
+		{"driver-blob", driverBlobSQL,
+			sqlmini.Args{"id": int64(1)},
+			"point lookup on " + DriversTable + "(driver_id) [primary key]"},
+		{"permissions-by-driver", `SELECT permission_id FROM ` + PermissionTable + ` WHERE driver_id = $id`,
+			sqlmini.Args{"id": int64(1)},
+			"index lookup on " + PermissionTable + "(driver_id) [driver_permission_driver_id_idx]"},
+	} {
+		got, err := db.Explain(tc.sql, tc.args)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s plans as %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}

@@ -38,6 +38,16 @@ type GenerationStore interface {
 	Generation() uint64
 }
 
+// TableVersionStore is optionally implemented by generation stores
+// that can attribute the generation to individual tables. The catalog
+// loader uses it to reload deltas: when only driver_permission moved,
+// the (potentially blob-heavy) driver entries are carried over from
+// the previous catalog untouched.
+type TableVersionStore interface {
+	// TableVersion counts mutations of one named table.
+	TableVersion(name string) uint64
+}
+
 // LocalStore serves the schema from an in-process sqlmini database.
 type LocalStore struct {
 	DB *sqlmini.DB
@@ -60,15 +70,20 @@ func (s *LocalStore) Generation() uint64 {
 	return s.DB.TableVersions(DriversTable, PermissionTable)
 }
 
+// TableVersion implements TableVersionStore over the embedded
+// database's per-table counters.
+func (s *LocalStore) TableVersion(name string) uint64 {
+	return s.DB.TableVersion(name)
+}
+
 // ConnStore serves the schema through a legacy driver connection to a
 // remote database (Figure 2: "the server then connects to the database
 // using a legacy database driver"). Statements serialize on the single
 // connection; on connection failure it redials lazily.
 type ConnStore struct {
-	mu      sync.Mutex
-	dial    func() (client.Conn, error)
-	conn    client.Conn
-	dialErr error
+	mu   sync.Mutex
+	dial func() (client.Conn, error)
+	conn client.Conn
 }
 
 // NewConnStore creates a store that obtains connections from dial.

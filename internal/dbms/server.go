@@ -462,7 +462,7 @@ func isMutating(sql string) (bool, error) {
 	}
 	switch st.(type) {
 	case *sqlmini.InsertStmt, *sqlmini.UpdateStmt, *sqlmini.DeleteStmt,
-		*sqlmini.CreateTableStmt, *sqlmini.DropTableStmt:
+		*sqlmini.CreateTableStmt, *sqlmini.CreateIndexStmt, *sqlmini.DropTableStmt:
 		return true, nil
 	default:
 		return false, nil

@@ -550,7 +550,7 @@ func isMutating(sql string) (bool, error) {
 	}
 	switch st.(type) {
 	case *sqlmini.InsertStmt, *sqlmini.UpdateStmt, *sqlmini.DeleteStmt,
-		*sqlmini.CreateTableStmt, *sqlmini.DropTableStmt:
+		*sqlmini.CreateTableStmt, *sqlmini.CreateIndexStmt, *sqlmini.DropTableStmt:
 		return true, nil
 	case *sqlmini.BeginStmt, *sqlmini.CommitStmt, *sqlmini.RollbackStmt:
 		return false, errors.New("sequoia: explicit transactions are not supported through the controller")

@@ -28,6 +28,16 @@ type DropTableStmt struct {
 	IfExists bool
 }
 
+// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (col).
+// Indexes are single-column, non-unique hash indexes; the planner uses
+// them for equality point-lookups (plan.go).
+type CreateIndexStmt struct {
+	Name        string
+	Table       string
+	Col         string
+	IfNotExists bool
+}
+
 // InsertStmt is INSERT INTO t (cols) VALUES (...),(...).
 type InsertStmt struct {
 	Table string
@@ -88,6 +98,7 @@ type (
 )
 
 func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
 func (*InsertStmt) stmt()      {}
 func (*SelectStmt) stmt()      {}

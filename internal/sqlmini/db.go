@@ -59,6 +59,10 @@ type Table struct {
 	// canonical key string to its row for O(1) uniqueness checks.
 	pk    int
 	pkIdx map[string]*Row
+
+	// indexes are the secondary hash indexes (CREATE INDEX); the planner
+	// in plan.go drives equality lookups off them.
+	indexes []*secondaryIndex
 }
 
 func (t *Table) columnIndex(name string) (int, bool) {
@@ -304,6 +308,8 @@ func (db *DB) execLocked(st Statement, env *evalEnv, tx *undoLog) (*Result, erro
 	switch st := st.(type) {
 	case *CreateTableStmt:
 		return db.execCreate(st)
+	case *CreateIndexStmt:
+		return db.execCreateIndex(st)
 	case *DropTableStmt:
 		return db.execDrop(st)
 	case *InsertStmt:
@@ -338,6 +344,64 @@ func (db *DB) execCreate(st *CreateTableStmt) (*Result, error) {
 	db.changeSeq++
 	db.bumpTable(st.Table)
 	return &Result{}, nil
+}
+
+func (db *DB) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if t.indexNamed(st.Name) != nil {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqlmini: index %q already exists on table %q", st.Name, st.Table)
+	}
+	col, ok := t.columnIndex(st.Col)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, st.Col, st.Table)
+	}
+	// A column already served by an index — the PRIMARY KEY's, or an
+	// earlier CREATE INDEX under another name — gets no second one: it
+	// would double every mutation's maintenance and never be consulted
+	// (indexOn returns the first). The statement still succeeds, for
+	// DDL portability.
+	if col == t.pk || t.indexOn(col) != nil {
+		return &Result{}, nil
+	}
+	t.addIndex(st.Name, col)
+	// Index DDL does not change row data: ChangeSeq/TableVersion stay
+	// put, so replica divergence checks and catalog caches are unmoved.
+	return &Result{}, nil
+}
+
+// EnsureIndex declares a secondary hash index on table(col) from Go,
+// equivalent to CREATE INDEX IF NOT EXISTS table_col_idx ON table (col).
+// It is idempotent.
+func (db *DB) EnsureIndex(table, col string) error {
+	table, col = strings.ToLower(table), strings.ToLower(col)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	ci, ok := t.columnIndex(col)
+	if !ok {
+		return fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, col, table)
+	}
+	if ci == t.pk || t.indexOn(ci) != nil {
+		return nil
+	}
+	// The generated name must not collide with a user-declared index on
+	// another column; suffix until free.
+	base := strings.ReplaceAll(table, ".", "_") + "_" + col + "_idx"
+	name := base
+	for n := 2; t.indexNamed(name) != nil; n++ {
+		name = fmt.Sprintf("%s_%d", base, n)
+	}
+	t.addIndex(name, ci)
+	return nil
 }
 
 func (db *DB) execDrop(st *DropTableStmt) (*Result, error) {
@@ -488,9 +552,18 @@ func (db *DB) execSelect(st *SelectStmt, env *evalEnv) (*Result, error) {
 		return nil, err
 	}
 
-	// Filter.
+	// Filter. The planner supplies an index-backed candidate set when
+	// the WHERE qualifies (plan.go), the full row list otherwise; the
+	// WHERE is always re-applied, so index candidates only narrow the
+	// rows visited. LIMIT stays on the scan: bucket order can differ
+	// from table order, and the cut makes that ordering user-visible
+	// (even under ORDER BY, tied keys keep candidate order).
+	source := t.Rows
+	if selectPlannable(st) {
+		source, _ = db.planRows(t, st.Where, env)
+	}
 	var matched []*Row
-	for _, r := range t.Rows {
+	for _, r := range source {
 		if st.Where != nil {
 			v, err := env.eval(st.Where, t, r)
 			if err != nil {
@@ -643,7 +716,10 @@ func (db *DB) execUpdate(st *UpdateStmt, env *evalEnv, tx *undoLog) (*Result, er
 			db.bumpTable(st.Table)
 		}
 	}()
-	for _, r := range t.Rows {
+	// Index-planned candidates are a fresh slice, so SET clauses that
+	// move rows between index buckets can't disturb this iteration.
+	source, _ := db.planRows(t, st.Where, env)
+	for _, r := range source {
 		if st.Where != nil {
 			v, err := env.eval(st.Where, t, r)
 			if err != nil {
@@ -688,11 +764,11 @@ func (db *DB) execDelete(st *DeleteStmt, env *evalEnv, tx *undoLog) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	// Evaluate the full scan before mutating so a mid-scan evaluation
-	// error leaves the table untouched.
-	kept := make([]*Row, 0, len(t.Rows))
+	// Evaluate the candidate set before mutating so a mid-scan
+	// evaluation error leaves the table untouched.
+	source, _ := db.planRows(t, st.Where, env)
 	var deleted []*Row
-	for _, r := range t.Rows {
+	for _, r := range source {
 		del := true
 		if st.Where != nil {
 			v, err := env.eval(st.Where, t, r)
@@ -703,21 +779,28 @@ func (db *DB) execDelete(st *DeleteStmt, env *evalEnv, tx *undoLog) (*Result, er
 		}
 		if del {
 			deleted = append(deleted, r)
-			continue
 		}
-		kept = append(kept, r)
 	}
 	affected := len(deleted)
+	if affected == 0 {
+		return &Result{Affected: 0}, nil
+	}
+	isDel := make(map[*Row]bool, affected)
 	for _, r := range deleted {
+		isDel[r] = true
 		t.indexRemove(r)
 		if tx != nil {
 			tx.recordDelete(t, r)
 		}
 	}
-	t.Rows = kept
-	if affected > 0 {
-		db.changeSeq++
-		db.bumpTable(st.Table)
+	kept := make([]*Row, 0, len(t.Rows)-affected)
+	for _, r := range t.Rows {
+		if !isDel[r] {
+			kept = append(kept, r)
+		}
 	}
+	t.Rows = kept
+	db.changeSeq++
+	db.bumpTable(st.Table)
 	return &Result{Affected: affected}, nil
 }

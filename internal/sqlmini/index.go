@@ -1,11 +1,17 @@
 package sqlmini
 
-// Primary-key hash index. Every table with a PRIMARY KEY column keeps a
-// map from the key's canonical string to its row, so uniqueness checks
-// and equality point-lookups are O(1) instead of a full scan. The index
-// is maintained by every mutation path, including transaction rollback
-// and snapshot restore; `go test ./internal/sqlmini -run TestPK` and the
-// property suite cover the invariants.
+// Hash indexes. Every table with a PRIMARY KEY column keeps a map from
+// the key's canonical string to its row, so uniqueness checks and
+// equality point-lookups are O(1) instead of a full scan. Tables may
+// additionally carry secondary hash indexes (declared with CREATE INDEX
+// or DB.EnsureIndex) mapping a column's canonical key to the bucket of
+// rows holding that value, in insertion order. All indexes are
+// maintained by every mutation path — INSERT, UPDATE, DELETE,
+// transaction rollback, and snapshot restore; `go test
+// ./internal/sqlmini -run 'TestPK|TestSecondary'` and the property
+// suites cover the invariants. The query planner (plan.go) drives
+// SELECT/UPDATE/DELETE off these indexes when the WHERE clause has a
+// usable equality conjunct.
 
 // pkCol returns the index of the table's PRIMARY KEY column, or -1.
 func (t *Table) pkCol() int {
@@ -18,6 +24,8 @@ func (t *Table) pkCol() int {
 }
 
 // initIndex prepares the PK index structures; call after Cols are set.
+// Secondary indexes are added separately (addIndex) and survive this
+// call.
 func (t *Table) initIndex() {
 	t.pk = t.pkCol()
 	if t.pk >= 0 {
@@ -25,58 +33,150 @@ func (t *Table) initIndex() {
 	}
 }
 
-// pkKey canonicalizes a PK value for indexing. Values are stored
+// pkKey canonicalizes a key value for hashing. Values are stored
 // post-coercion, so one column holds one type and Str() is injective
-// within it.
-func pkKey(v Value) string { return v.Str() }
-
-// indexInsert registers a row; caller has already checked uniqueness.
-func (t *Table) indexInsert(r *Row) {
-	if t.pk < 0 {
-		return
+// within it — except the DOUBLE zeroes, which compare equal but format
+// differently, so negative zero is folded into "0".
+func pkKey(v Value) string {
+	if v.Type() == TypeDouble && v.f == 0 {
+		return "0"
 	}
-	v := r.Vals[t.pk]
-	if v.IsNull() {
-		return
-	}
-	t.pkIdx[pkKey(v)] = r
+	return v.Str()
 }
 
-// indexRemove unregisters a row.
-func (t *Table) indexRemove(r *Row) {
-	if t.pk < 0 {
-		return
+// secondaryIndex is one non-unique hash index over a single column.
+// Buckets keep rows in insertion order; removal preserves it.
+type secondaryIndex struct {
+	name    string
+	col     int
+	buckets map[string][]*Row
+}
+
+// indexOn returns the secondary index covering column col, if any.
+func (t *Table) indexOn(col int) *secondaryIndex {
+	for _, ix := range t.indexes {
+		if ix.col == col {
+			return ix
+		}
 	}
-	v := r.Vals[t.pk]
+	return nil
+}
+
+// indexNamed returns the secondary index with the given name, if any.
+func (t *Table) indexNamed(name string) *secondaryIndex {
+	for _, ix := range t.indexes {
+		if ix.name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// addIndex creates a secondary index over column col and backfills it
+// from the existing rows. Caller has validated name/column.
+func (t *Table) addIndex(name string, col int) {
+	ix := &secondaryIndex{name: name, col: col, buckets: make(map[string][]*Row)}
+	for _, r := range t.Rows {
+		ix.insert(r)
+	}
+	t.indexes = append(t.indexes, ix)
+}
+
+func (ix *secondaryIndex) insert(r *Row) {
+	v := r.Vals[ix.col]
+	if v.IsNull() {
+		return // NULLs are not indexed; col = NULL never matches anyway
+	}
+	key := pkKey(v)
+	ix.buckets[key] = append(ix.buckets[key], r)
+}
+
+func (ix *secondaryIndex) remove(r *Row, v Value) {
 	if v.IsNull() {
 		return
 	}
 	key := pkKey(v)
-	// Only remove if the slot still points at this row (a concurrent
-	// re-insert of the same key after a delete must not be clobbered by
-	// a late undo).
-	if t.pkIdx[key] == r {
-		delete(t.pkIdx, key)
+	bucket := ix.buckets[key]
+	for i, br := range bucket {
+		if br == r {
+			if len(bucket) == 1 {
+				delete(ix.buckets, key)
+				return
+			}
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = nil // drop the tail's row reference
+			ix.buckets[key] = bucket[:len(bucket)-1]
+			return
+		}
 	}
 }
 
-// indexUpdate moves a row's registration when its key changed.
-func (t *Table) indexUpdate(r *Row, oldVals []Value) {
-	if t.pk < 0 {
-		return
+// lookup returns the bucket for the canonical key, in insertion order.
+// The returned slice aliases the index; callers that mutate rows while
+// iterating must copy it first (plan.go does).
+func (ix *secondaryIndex) lookup(v Value) []*Row {
+	if v.IsNull() {
+		return nil
 	}
-	oldV, newV := oldVals[t.pk], r.Vals[t.pk]
-	if Equal(oldV, newV) || (oldV.IsNull() && newV.IsNull()) {
-		return
-	}
-	if !oldV.IsNull() {
-		key := pkKey(oldV)
-		if t.pkIdx[key] == r {
-			delete(t.pkIdx, key)
+	return ix.buckets[pkKey(v)]
+}
+
+// indexInsert registers a row in the PK and all secondary indexes;
+// caller has already checked uniqueness.
+func (t *Table) indexInsert(r *Row) {
+	if t.pk >= 0 {
+		if v := r.Vals[t.pk]; !v.IsNull() {
+			t.pkIdx[pkKey(v)] = r
 		}
 	}
-	if !newV.IsNull() {
-		t.pkIdx[pkKey(newV)] = r
+	for _, ix := range t.indexes {
+		ix.insert(r)
+	}
+}
+
+// indexRemove unregisters a row from all indexes.
+func (t *Table) indexRemove(r *Row) {
+	if t.pk >= 0 {
+		if v := r.Vals[t.pk]; !v.IsNull() {
+			key := pkKey(v)
+			// Only remove if the slot still points at this row (a
+			// concurrent re-insert of the same key after a delete must not
+			// be clobbered by a late undo).
+			if t.pkIdx[key] == r {
+				delete(t.pkIdx, key)
+			}
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.remove(r, r.Vals[ix.col])
+	}
+}
+
+// indexUpdate moves a row's registrations for keys that changed.
+func (t *Table) indexUpdate(r *Row, oldVals []Value) {
+	if t.pk >= 0 {
+		oldV, newV := oldVals[t.pk], r.Vals[t.pk]
+		if !Equal(oldV, newV) && !(oldV.IsNull() && newV.IsNull()) {
+			if !oldV.IsNull() {
+				key := pkKey(oldV)
+				if t.pkIdx[key] == r {
+					delete(t.pkIdx, key)
+				}
+			}
+			if !newV.IsNull() {
+				t.pkIdx[pkKey(newV)] = r
+			}
+		}
+	}
+	for _, ix := range t.indexes {
+		oldV, newV := oldVals[ix.col], r.Vals[ix.col]
+		switch {
+		case oldV.IsNull() && newV.IsNull():
+		case !oldV.IsNull() && !newV.IsNull() && pkKey(oldV) == pkKey(newV):
+		default:
+			ix.remove(r, oldV)
+			ix.insert(r)
+		}
 	}
 }
 
@@ -89,12 +189,12 @@ func (t *Table) lookupPK(v Value) (*Row, bool) {
 	return r, ok
 }
 
-// rebuildIndex reconstructs the PK index from the rows (snapshot
-// restore).
+// rebuildIndex reconstructs the PK index and every secondary index from
+// the rows (snapshot restore).
 func (t *Table) rebuildIndex() {
 	t.initIndex()
-	if t.pk < 0 {
-		return
+	for _, ix := range t.indexes {
+		ix.buckets = make(map[string][]*Row)
 	}
 	for _, r := range t.Rows {
 		t.indexInsert(r)

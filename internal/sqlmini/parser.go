@@ -169,6 +169,9 @@ func typeFromName(name string) (Type, bool) {
 
 func (p *parser) parseCreateTable() (Statement, error) {
 	p.next() // CREATE
+	if t := p.peek(); t.kind == tokIdent && t.text == "INDEX" {
+		return p.parseCreateIndex()
+	}
 	if err := p.expectKW("TABLE"); err != nil {
 		return nil, err
 	}
@@ -267,6 +270,47 @@ func (p *parser) parseColumnDef() (ColumnDef, error) {
 			return col, nil
 		}
 	}
+}
+
+// parseCreateIndex parses CREATE INDEX [IF NOT EXISTS] name ON t (col);
+// CREATE has already been consumed.
+func (p *parser) parseCreateIndex() (Statement, error) {
+	p.next() // INDEX
+	st := &CreateIndexStmt{}
+	if p.acceptKW("IF") {
+		if err := p.expectKW("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKW("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectKW("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Col = strings.ToLower(col)
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
 func (p *parser) parseDropTable() (Statement, error) {

@@ -1,0 +1,329 @@
+package sqlmini
+
+import "fmt"
+
+// Query planning: SELECT/UPDATE/DELETE statements whose WHERE clause
+// contains a top-level equality conjunct on an indexed column execute
+// as an index point-lookup over that column's bucket instead of a full
+// table scan, with the complete WHERE re-applied to the candidates as
+// a residual filter (so `lease_id = $id AND released = FALSE` probes
+// the lease_id index and filters the released flag on the way out).
+//
+// The planner is deliberately conservative: it claims a statement only
+// when the index path provably yields the same result SET and the same
+// error behavior as the scan. Everything else — OR at the top level,
+// range predicates only, expressions that can fail row-dependently
+// (division), unresolved parameters, lossy key coercions, any LIMIT —
+// falls back to the scan, which is the unchanged pre-planner code path.
+// Two ordering caveats remain inherent to bucket execution: without
+// ORDER BY, result rows may come back in bucket (insertion) order
+// rather than table order, which SQL leaves unspecified; and a
+// multi-row UPDATE that fails a constraint mid-statement applies its
+// partial prefix in candidate order, which may differ between paths.
+
+// selectPlannable reports whether a SELECT may take an index path at
+// all: LIMIT cuts rows in iteration order, and even under ORDER BY the
+// stable sort preserves candidate order for tied keys, so any LIMIT
+// keeps the statement on the scan, whose table order is the reference.
+func selectPlannable(st *SelectStmt) bool {
+	return st.Limit < 0
+}
+
+// indexPlan is a resolved index access path for one statement.
+type indexPlan struct {
+	col   int             // indexed column (position in Table.Cols)
+	pk    bool            // the PK index drives the lookup (unique)
+	ix    *secondaryIndex // non-nil when a secondary index drives it
+	key   Value           // canonical probe key (column type)
+	empty bool            // key was NULL: provably zero matching rows
+}
+
+// planRows returns the candidate row set for a statement filtered by
+// where. indexed=false means no index qualified and the caller got the
+// live t.Rows (the scan path). indexed=true candidates are freshly
+// allocated, so callers may mutate rows (and thereby the index buckets)
+// while iterating.
+func (db *DB) planRows(t *Table, where Expr, env *evalEnv) (rows []*Row, indexed bool) {
+	p := planIndex(t, where, env)
+	if p == nil {
+		return t.Rows, false
+	}
+	if p.empty {
+		return nil, true
+	}
+	if p.pk {
+		if r, ok := t.lookupPK(p.key); ok {
+			return []*Row{r}, true
+		}
+		return nil, true
+	}
+	bucket := p.ix.lookup(p.key)
+	if len(bucket) == 0 {
+		return nil, true
+	}
+	out := make([]*Row, len(bucket))
+	copy(out, bucket)
+	return out, true
+}
+
+// planIndex decides whether an index point-lookup can drive execution.
+// A non-nil plan is returned only when the bucket, filtered by the full
+// WHERE as a residual, provably equals the scan result. The PK index
+// wins over secondary indexes (unique beats bucket).
+func planIndex(t *Table, where Expr, env *evalEnv) *indexPlan {
+	if where == nil || (t.pk < 0 && len(t.indexes) == 0) {
+		return nil
+	}
+	// The index path evaluates the WHERE only over bucket rows; the scan
+	// evaluates it over every row. The two agree only if evaluation
+	// cannot fail on ANY row — otherwise a row outside the bucket could
+	// turn the scan into an error the index path never sees.
+	if !whereTotal(t, env, where) {
+		return nil
+	}
+	var conjuncts []Expr
+	collectConjuncts(where, &conjuncts)
+	var best *indexPlan
+	for _, c := range conjuncts {
+		col, keyExpr := eqConjunct(t, c)
+		if col < 0 {
+			continue
+		}
+		isPK := col == t.pk
+		ix := t.indexOn(col)
+		if !isPK && ix == nil {
+			continue
+		}
+		kv, err := env.eval(keyExpr, nil, nil)
+		if err != nil {
+			return nil // unreachable after whereTotal; fail safe to scan
+		}
+		if kv.IsNull() {
+			// col = NULL is never true: the whole conjunction is
+			// unsatisfiable, no matter which index we would have used.
+			return &indexPlan{col: col, pk: isPK, ix: ix, empty: true}
+		}
+		ck, ok := indexLookupKey(t.Cols[col].Type, kv)
+		if !ok {
+			continue // lossy key (id = 1.5): another conjunct may still do
+		}
+		p := &indexPlan{col: col, pk: isPK, ix: ix, key: ck}
+		if isPK {
+			return p
+		}
+		if best == nil {
+			best = p
+		}
+	}
+	return best
+}
+
+// collectConjuncts flattens the top-level AND tree of e into out.
+func collectConjuncts(e Expr, out *[]Expr) {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		collectConjuncts(be.L, out)
+		collectConjuncts(be.R, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// eqConjunct matches `col = key` / `key = col` where col is a column of
+// t and key is row-free (literal or parameter). Returns col = -1 when
+// the conjunct has another shape.
+func eqConjunct(t *Table, c Expr) (col int, key Expr) {
+	be, ok := c.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		return -1, nil
+	}
+	if ci, ok := columnRef(t, be.L); ok && rowFree(be.R) {
+		return ci, be.R
+	}
+	if ci, ok := columnRef(t, be.R); ok && rowFree(be.L) {
+		return ci, be.L
+	}
+	return -1, nil
+}
+
+func columnRef(t *Table, e Expr) (int, bool) {
+	ce, ok := e.(*ColumnExpr)
+	if !ok {
+		return -1, false
+	}
+	return t.columnIndex(ce.Name)
+}
+
+// rowFree reports whether e evaluates without row context. Kept to the
+// two leaf shapes the hot statements use; anything fancier scans.
+func rowFree(e Expr) bool {
+	switch e.(type) {
+	case *LiteralExpr, *ParamExpr:
+		return true
+	}
+	return false
+}
+
+// whereTotal reports whether evaluating e against ANY row of t is
+// guaranteed error-free: every column resolves, every parameter is
+// bound, no division (the one value-dependent failure), and every call
+// is a known, arity-checked shape. Only total WHEREs are eligible for
+// index execution; this is what makes the index path bit-identical to
+// the scan, error behavior included.
+func whereTotal(t *Table, env *evalEnv, e Expr) bool {
+	switch e := e.(type) {
+	case *LiteralExpr:
+		return true
+	case *ColumnExpr:
+		_, ok := t.columnIndex(e.Name)
+		return ok
+	case *ParamExpr:
+		if e.Name != "" {
+			_, ok := env.named[e.Name]
+			return ok
+		}
+		return e.Index < len(env.positional)
+	case *UnaryExpr:
+		return (e.Op == "NOT" || e.Op == "-") && whereTotal(t, env, e.E)
+	case *IsNullExpr:
+		return whereTotal(t, env, e.E)
+	case *BetweenExpr:
+		return whereTotal(t, env, e.E) && whereTotal(t, env, e.Lo) && whereTotal(t, env, e.Hi)
+	case *InExpr:
+		if !whereTotal(t, env, e.E) {
+			return false
+		}
+		for _, le := range e.List {
+			if !whereTotal(t, env, le) {
+				return false
+			}
+		}
+		return true
+	case *BinaryExpr:
+		switch e.Op {
+		case "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE", "+", "-", "*":
+		default:
+			return false // "/" fails on zero divisors; unknown ops fail
+		}
+		return whereTotal(t, env, e.L) && whereTotal(t, env, e.R)
+	case *CallExpr:
+		switch e.Fn {
+		case "NOW", "CURRENT_TIMESTAMP":
+			return true
+		case "LOWER", "UPPER", "LENGTH", "TRIM", "ABS":
+			return len(e.Args) == 1 && whereTotal(t, env, e.Args[0])
+		case "COALESCE":
+			for _, a := range e.Args {
+				if !whereTotal(t, env, a) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}
+
+// indexLookupKey canonicalizes an equality probe key for a column of
+// type colType. ok=false means the key cannot be proven to hash
+// identically to how matching stored values hash — `id = 1.5` on an
+// INTEGER column, a numeric key on a VARCHAR column (SQL comparison is
+// laxer than string identity), or a DOUBLE key on an integer column
+// (float equality can collapse distinct int64s) — and the caller must
+// scan instead.
+func indexLookupKey(colType Type, v Value) (Value, bool) {
+	if v.IsNull() {
+		return Null, false
+	}
+	switch colType {
+	case TypeInteger, TypeBigint, TypeBoolean:
+		switch v.Type() {
+		case TypeInteger, TypeBigint, TypeBoolean:
+		default:
+			return Null, false
+		}
+	case TypeDouble:
+		if !numericType(v.Type()) {
+			return Null, false
+		}
+	case TypeVarchar:
+		if v.Type() != TypeVarchar {
+			return Null, false
+		}
+	case TypeTimestamp:
+		if v.Type() != TypeTimestamp {
+			return Null, false
+		}
+	case TypeBlob:
+		if v.Type() != TypeBlob && v.Type() != TypeVarchar {
+			return Null, false
+		}
+	default:
+		return Null, false
+	}
+	cv, err := Coerce(v, colType)
+	if err != nil || cv.IsNull() {
+		return Null, false
+	}
+	if !Equal(cv, v) {
+		return Null, false // lossy coercion: scan semantics would differ
+	}
+	return cv, true
+}
+
+// Explain reports the access path a statement would use, without
+// executing it: "point lookup on t(col) [primary key]", "index lookup
+// on t(col) [idx_name]", or "full scan on t". Tests (and operators) use
+// it to pin hot statements to their intended plans.
+func (db *DB) Explain(src string, args ...any) (string, error) {
+	st, err := db.parseCached(src)
+	if err != nil {
+		return "", err
+	}
+	named, positional, err := bindArgs(args)
+	if err != nil {
+		return "", err
+	}
+	env := &evalEnv{clock: db.clock, named: named, positional: positional}
+	var table string
+	var where Expr
+	limitScan := false
+	switch st := st.(type) {
+	case *SelectStmt:
+		if st.Table == "" {
+			return "constant select", nil
+		}
+		limitScan = !selectPlannable(st)
+		table, where = st.Table, st.Where
+	case *UpdateStmt:
+		table, where = st.Table, st.Where
+	case *DeleteStmt:
+		table, where = st.Table, st.Where
+	default:
+		return "", fmt.Errorf("sqlmini: EXPLAIN supports SELECT/UPDATE/DELETE, got %T", st)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return "", err
+	}
+	if limitScan {
+		return fmt.Sprintf("full scan on %s (LIMIT)", table), nil
+	}
+	p := planIndex(t, where, env)
+	if p == nil {
+		return fmt.Sprintf("full scan on %s", table), nil
+	}
+	col := t.Cols[p.col].Name
+	switch {
+	case p.empty:
+		return fmt.Sprintf("empty result (%s = NULL) on %s", col, table), nil
+	case p.pk:
+		return fmt.Sprintf("point lookup on %s(%s) [primary key]", table, col), nil
+	default:
+		return fmt.Sprintf("index lookup on %s(%s) [%s]", table, col, p.ix.name), nil
+	}
+}

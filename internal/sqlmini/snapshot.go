@@ -7,8 +7,11 @@ import (
 	"repro/internal/wire"
 )
 
-// snapshotVersion guards the snapshot wire format.
-const snapshotVersion = 1
+// snapshotVersion guards the snapshot wire format. Version 2 added the
+// per-table secondary-index declarations; version-1 blobs (no index
+// section) still restore, with indexes to be re-declared by the schema
+// layer.
+const snapshotVersion = 2
 
 // Snapshot serializes the entire database (schema + rows) into a
 // self-describing byte blob. Replication layers use it for backend
@@ -40,6 +43,11 @@ func (db *DB) Snapshot() []byte {
 			e.String(c.RefTable)
 			e.String(c.RefColumn)
 		}
+		e.Uint32(uint32(len(t.indexes)))
+		for _, ix := range t.indexes {
+			e.String(ix.name)
+			e.String(t.Cols[ix.col].Name)
+		}
 		e.Uint32(uint32(len(t.Rows)))
 		for _, r := range t.Rows {
 			for _, v := range r.Vals {
@@ -54,11 +62,12 @@ func (db *DB) Snapshot() []byte {
 // Snapshot.
 func (db *DB) Restore(blob []byte) error {
 	d := wire.NewDecoder(blob)
-	if v := d.Uint8(); v != snapshotVersion {
+	ver := d.Uint8()
+	if ver != 1 && ver != snapshotVersion {
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("sqlmini: restore: %w", err)
 		}
-		return fmt.Errorf("sqlmini: restore: unsupported snapshot version %d", v)
+		return fmt.Errorf("sqlmini: restore: unsupported snapshot version %d", ver)
 	}
 	seq := d.Uint64()
 	nTables := d.Uint32()
@@ -82,6 +91,23 @@ func (db *DB) Restore(blob []byte) error {
 			}
 			t.Cols[j] = c
 			t.colIdx[c.Name] = int(j)
+		}
+		if ver >= 2 {
+			nIdx := d.Uint32()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("sqlmini: restore: %w", err)
+			}
+			for j := uint32(0); j < nIdx; j++ {
+				name, colName := d.String(), d.String()
+				ci, ok := t.colIdx[colName]
+				if !ok {
+					if err := d.Err(); err != nil {
+						return fmt.Errorf("sqlmini: restore: %w", err)
+					}
+					return fmt.Errorf("sqlmini: restore: index %q on unknown column %q of %s", name, colName, t.Name)
+				}
+				t.indexes = append(t.indexes, &secondaryIndex{name: name, col: ci})
+			}
 		}
 		nRows := d.Uint32()
 		if err := d.Err(); err != nil {
