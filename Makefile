@@ -1,24 +1,33 @@
 # Drivolution reproduction — build/test/bench entry points.
 #
-#   make check           # the tier-1 gate: build + vet + tests
+#   make check           # the tier-1 gate: build + vet + doc-lint + tests
+#   make check-race      # tier-1 under the race detector (all packages)
 #   make tier1           # build + tests only (what scripts/bench.sh gates on)
 #   make race            # grant-path packages under the race detector
+#   make doclint         # every internal/ package must have a package comment
 #   make bench           # run the perf-tracked benchmark set
 #   make bench-baseline  # tier1 + benches, refresh BENCH_baseline.json
 #   make bench-compare   # tier1 + benches, diff against BENCH_baseline.json
 #
-# Benchmark knobs (see scripts/bench.sh): BENCH_COUNT, BENCH_TIME,
+# Benchmark knobs (see scripts/README.md): BENCH_COUNT, BENCH_TIME,
 # BENCH_FILTER ('.'' = full suite, includes slow lease-traffic sweeps),
 # BENCH_PKGS.
 
-.PHONY: check tier1 race bench bench-baseline bench-compare
+.PHONY: check check-race tier1 race doclint bench bench-baseline bench-compare
 
 # check is the documented tier-1 entry point: everything CI (and the
 # next PR) must keep green.
 check:
 	go build ./...
 	go vet ./...
+	scripts/doclint.sh
 	go test ./...
+
+# check-race is the tier-1 gate with the race detector on: slower, so
+# it is a separate target, but it covers every package.
+check-race:
+	go build ./...
+	go test -race ./...
 
 tier1:
 	go build ./...
@@ -26,6 +35,9 @@ tier1:
 
 race:
 	go test -race ./internal/core/ ./internal/wire/ ./internal/sqlmini/ ./internal/driverimg/
+
+doclint:
+	scripts/doclint.sh
 
 bench:
 	scripts/bench.sh run

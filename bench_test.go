@@ -156,6 +156,46 @@ func BenchmarkLicenseCheckAt10000Leases(b *testing.B) {
 	}
 }
 
+// benchExpirySweepAtScale measures the lease-reaper sweep with the
+// leases table pre-filled to a given population of live (unexpired)
+// leases. With the ordered expires_at index the sweep seeks the expired
+// prefix — empty here — so ns/op must stay near-flat across the 100×
+// population growth instead of scanning every lease row.
+func benchExpirySweepAtScale(b *testing.B, leases int) {
+	s := newStackB(b, scenarios.StackConfig{})
+	drvID := addDriverB(b, s, dbver.V(1, 0, 0), 1, 4<<10)
+	fillLeases(b, s, leases, func(int) int64 { return drvID })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Drv.ReapExpiredLeases(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpirySweepAt100Leases(b *testing.B)   { benchExpirySweepAtScale(b, 100) }
+func BenchmarkExpirySweepAt10000Leases(b *testing.B) { benchExpirySweepAtScale(b, 10000) }
+
+// BenchmarkLicenseUsageCountAt10000Leases measures the §5.4.2 license
+// accounting count with a populated lease log: half the rows released,
+// half live. The ordered expires_at index narrows the count to the
+// unexpired window before the released flag is filtered residually.
+func BenchmarkLicenseUsageCountAt10000Leases(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	drvID := addDriverB(b, s, dbver.V(1, 0, 0), 1, 4<<10)
+	fillLeases(b, s, 10000, func(int) int64 { return drvID })
+	if _, err := s.Drv.Store().Exec(`UPDATE ` + core.LeasesTable + `
+		SET released = TRUE, expires_at = granted_at WHERE lease_id < 1005000`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Drv.LicensesInUse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLeaseRenewalUpgrade measures the Table 4 UPGRADE branch: the
 // driver changed; renewal downloads, verifies, loads, and hot-swaps it.
 func BenchmarkLeaseRenewalUpgrade(b *testing.B) {

@@ -52,28 +52,39 @@
 //
 // The embedded SQL engine (internal/sqlmini) executes statements whose
 // WHERE clause carries a top-level equality conjunct on an indexed
-// column — the primary key, or a secondary hash index declared with
+// column — the primary key, or a secondary index declared with
 // CREATE INDEX / DB.EnsureIndex — as an O(1) point lookup with the full
 // WHERE re-applied as a residual filter; `released = FALSE`-style bool
-// predicates ride along as residuals. The schema declares indexes on
-// leases(driver_id) and driver_permission(driver_id), and the lease_id
-// and driver_id primary keys now drive execution, so renewals, releases,
-// lease lookups, blob point-fetches, and the §5.4.2 license-mode
-// count(*) are flat in the lease population (BenchmarkLeaseRenewalAt*
-// Leases / BenchmarkLicenseCheckAt10000Leases track this at the 10k
-// scale). The planner is conservative: any WHERE shape it cannot prove
-// equivalent — OR at the top level, range-only predicates, expressions
-// that can fail row-dependently, lossy key coercions like id = 1.5 —
-// falls back to the unchanged scan path with identical results, and
-// DB.Explain reports which path a statement takes. Catalog reloads are
-// deltas: permission churn carries driver entries over untouched, and
-// driver churn re-hashes only blobs whose bytes actually changed.
+// predicates ride along as residuals. Columns with an ORDERED index
+// (CREATE INDEX ... USING ORDERED / DB.EnsureOrderedIndex) additionally
+// serve range conjuncts — col > k, >=, <, <=, BETWEEN, including
+// statement-stable now() bounds — as an O(log n) boundary seek plus an
+// in-order walk of just the matching window. The schema declares hash
+// indexes on leases(driver_id) and driver_permission(driver_id) and an
+// ordered index on leases(expires_at), and the lease_id and driver_id
+// primary keys drive execution, so renewals, releases, lease lookups,
+// blob point-fetches, the §5.4.2 license-mode count(*), the license
+// usage count (Server.LicensesInUse, `expires_at > now()`), and the
+// lease-expiry sweep (Server.ReapExpiredLeases, `expires_at <= $now`)
+// are all flat or near-flat in the lease population
+// (BenchmarkLeaseRenewalAt*Leases, BenchmarkLicenseCheckAt10000Leases,
+// and BenchmarkExpirySweepAt*Leases track this at the 10k scale). The
+// planner is conservative: any WHERE shape it cannot prove equivalent —
+// OR at the top level, expressions that can fail row-dependently, lossy
+// hash keys like id = 1.5, order-incompatible range bounds — falls back
+// to the unchanged scan path with identical results, and DB.Explain
+// reports which path a statement takes (docs/ARCHITECTURE.md specifies
+// the full eligibility contract and Explain format). Catalog reloads
+// are deltas: permission churn carries driver entries over untouched,
+// and driver churn re-hashes only blobs whose bytes actually changed.
 //
 // Benchmarks track these paths: see Makefile bench targets and
-// BENCH_baseline.json (scripts/bench.sh compares runs against it).
-// `make check` (build + vet + tests) is the tier-1 gate.
+// BENCH_baseline.json (scripts/bench.sh compares runs against it;
+// scripts/README.md documents the workflow). `make check` (build + vet
+// + doc-lint + tests) is the tier-1 gate; README.md maps paper sections
+// to packages.
 //
 // The substrates (the simulated DBMS, the embedded SQL engine, the
 // Sequoia middleware, the driver-image runtime) live under internal/ and
-// are documented in DESIGN.md.
+// are documented in DESIGN.md and docs/ARCHITECTURE.md.
 package drivolution

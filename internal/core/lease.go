@@ -259,6 +259,61 @@ func (s *Server) ReleaseLeaseByID(id uint64) error {
 	return nil
 }
 
+// expiredLeaseIDsSQL and reapExpiredSQL are the two halves of the
+// lease-expiry sweep (§3.2: expired leases free their licenses; §5.4.2
+// builds per-user enforcement on that). Both carry the `expires_at <=
+// $now` window as their only indexable conjunct, so the planner seeks
+// the expired prefix of the ordered expires_at index instead of
+// scanning the lease log — at steady state the sweep touches only the
+// handful of rows that actually expired. TestHotStatementsPlanIndexed
+// pins the range plans; BenchmarkExpirySweepAt{100,10000}Leases tracks
+// flatness.
+const (
+	expiredLeaseIDsSQL = `SELECT lease_id FROM ` + LeasesTable + `
+		WHERE released = FALSE AND expires_at <= $now`
+	reapExpiredSQL = `UPDATE ` + LeasesTable + `
+		SET released = TRUE WHERE released = FALSE AND expires_at <= $now`
+	leaseReleasedSQL = `SELECT released FROM ` + LeasesTable + `
+		WHERE lease_id = $id`
+)
+
+// ReapExpiredLeases marks every expired, still-unreleased lease as
+// released and drops any driver blob staged for it, returning how many
+// leases were swept. Expiry is otherwise enforced lazily (a renewal of
+// an expired lease re-matches); the reaper exists so license-mode
+// capacity frees up without waiting for the defaulting client, and so
+// the lease log stops accumulating phantom "live" rows.
+//
+// The sweep runs as separate statements against a store that may be
+// shared with live grant traffic, so the expiry bound is evaluated once
+// and passed to both halves, and a staged blob is dropped only after a
+// point lookup confirms its lease really ended up released — a renewal
+// sliding in between the SELECT and the UPDATE keeps both its lease and
+// its staged transfer. (released never transitions back to FALSE, so
+// the confirmation cannot go stale.)
+func (s *Server) ReapExpiredLeases() (int, error) {
+	args := sqlmini.Args{"now": s.clock()}
+	ids, err := s.store.Exec(expiredLeaseIDsSQL, args)
+	if err != nil {
+		return 0, err
+	}
+	res, err := s.store.Exec(reapExpiredSQL, args)
+	if err != nil {
+		return 0, err
+	}
+	for _, row := range ids.Rows {
+		id := row[0].Int()
+		rel, err := s.store.Exec(leaseReleasedSQL, sqlmini.Args{"id": id})
+		if err != nil {
+			return res.Affected, err
+		}
+		if len(rel.Rows) == 1 && rel.Rows[0][0].Bool() {
+			s.dropPending(uint64(id))
+		}
+	}
+	return res.Affected, nil
+}
+
 // leaseByID loads one lease row.
 func (s *Server) leaseByID(id uint64) (Lease, bool, error) {
 	res, err := s.store.Exec(`SELECT lease_id, driver_id, database, user,

@@ -366,7 +366,9 @@ func driverMatchesRequest(rec DriverRecord, req Request) bool {
 
 // driverLeaseFree reports whether no *other* live lease holds driverID
 // (license mode). ownLease is the requesting client's lease id (0 for a
-// new client).
+// new client). The driver_id equality keeps this on the hash index (a
+// driver's bucket is at most a handful of rows in license mode), with
+// the expires_at window applied as a residual.
 func (s *Server) driverLeaseFree(driverID int64, ownLease uint64) (bool, error) {
 	res, err := s.store.Exec(`SELECT count(*) FROM `+LeasesTable+`
 		WHERE driver_id = $id AND released = FALSE
@@ -376,4 +378,24 @@ func (s *Server) driverLeaseFree(driverID int64, ownLease uint64) (bool, error) 
 		return false, err
 	}
 	return res.Rows[0][0].Int() == 0, nil
+}
+
+// licenseUsageSQL is the §5.4.2 license-accounting count: how many
+// leases are live right now, across all drivers. Its only indexable
+// conjunct is the expires_at window, so the planner drives it off the
+// ordered expires_at index as a range seek — the count visits only
+// unexpired leases instead of scanning the whole (history-bearing)
+// lease log. TestHotStatementsPlanIndexed pins the range plan.
+const licenseUsageSQL = `SELECT count(*) FROM ` + LeasesTable + `
+	WHERE expires_at > now() AND released = FALSE`
+
+// LicensesInUse reports how many leases are currently live — granted,
+// unreleased, and unexpired — which in license mode is exactly the
+// number of driver licenses checked out (§5.4.2).
+func (s *Server) LicensesInUse() (int, error) {
+	res, err := s.store.Exec(licenseUsageSQL)
+	if err != nil {
+		return 0, err
+	}
+	return int(res.Rows[0][0].Int()), nil
 }

@@ -67,11 +67,16 @@ var schemaDDL = []string{
 	// execution of renewals, releases, and blob point-fetches directly;
 	// the two driver_id indexes below make the §5.4.2 license-mode count
 	// and permission-by-driver lookups O(bucket) instead of O(table) at
-	// 10k+ leases.
+	// 10k+ leases. The ordered expires_at index serves the time-window
+	// statements — expiry sweeps (`expires_at <= now()`) and the license
+	// usage count (`expires_at > now()`) — as O(log n) range seeks
+	// instead of full lease-log scans.
 	`CREATE INDEX IF NOT EXISTS leases_driver_id_idx
 		ON ` + LeasesTable + ` (driver_id)`,
 	`CREATE INDEX IF NOT EXISTS driver_permission_driver_id_idx
 		ON ` + PermissionTable + ` (driver_id)`,
+	`CREATE INDEX IF NOT EXISTS leases_expires_at_idx
+		ON ` + LeasesTable + ` (expires_at) USING ORDERED`,
 }
 
 // EnsureSchema creates the Drivolution tables if missing.

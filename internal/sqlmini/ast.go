@@ -28,14 +28,36 @@ type DropTableStmt struct {
 	IfExists bool
 }
 
-// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (col).
-// Indexes are single-column, non-unique hash indexes; the planner uses
-// them for equality point-lookups (plan.go).
+// IndexKind selects a secondary index's backing structure: a hash map
+// (equality point-lookups only) or an ordered key list (equality seeks
+// plus range scans).
+type IndexKind uint8
+
+// Index kinds. Hash is the default for CREATE INDEX without a USING
+// clause; ORDERED (alias BTREE) selects the ordered structure.
+const (
+	IndexHash IndexKind = iota
+	IndexOrdered
+)
+
+// String returns the USING-clause spelling of the kind.
+func (k IndexKind) String() string {
+	if k == IndexOrdered {
+		return "ORDERED"
+	}
+	return "HASH"
+}
+
+// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (col)
+// [USING HASH|ORDERED|BTREE]. Indexes are single-column and non-unique;
+// the planner (plan.go) uses hash indexes for equality point-lookups and
+// ordered indexes additionally for range scans.
 type CreateIndexStmt struct {
 	Name        string
 	Table       string
 	Col         string
 	IfNotExists bool
+	Kind        IndexKind
 }
 
 // InsertStmt is INSERT INTO t (cols) VALUES (...),(...).

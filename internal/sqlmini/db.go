@@ -60,8 +60,9 @@ type Table struct {
 	pk    int
 	pkIdx map[string]*Row
 
-	// indexes are the secondary hash indexes (CREATE INDEX); the planner
-	// in plan.go drives equality lookups off them.
+	// indexes are the secondary indexes (CREATE INDEX), hash or ordered;
+	// the planner in plan.go drives equality lookups — and, for ordered
+	// indexes, range scans — off them.
 	indexes []*secondaryIndex
 }
 
@@ -351,10 +352,8 @@ func (db *DB) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.indexNamed(st.Name) != nil {
-		if st.IfNotExists {
-			return &Result{}, nil
-		}
+	byName := t.indexNamed(st.Name)
+	if byName != nil && !st.IfNotExists {
 		return nil, fmt.Errorf("sqlmini: index %q already exists on table %q", st.Name, st.Table)
 	}
 	col, ok := t.columnIndex(st.Col)
@@ -365,11 +364,24 @@ func (db *DB) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 	// earlier CREATE INDEX under another name — gets no second one: it
 	// would double every mutation's maintenance and never be consulted
 	// (indexOn returns the first). The statement still succeeds, for
-	// DDL portability.
-	if col == t.pk || t.indexOn(col) != nil {
+	// DDL portability. Exception: an ORDERED declaration upgrades an
+	// existing hash index on the column in place (keeping its name),
+	// because the ordered structure strictly subsumes the hash one for
+	// planning; the reverse never downgrades.
+	if col == t.pk {
 		return &Result{}, nil
 	}
-	t.addIndex(st.Name, col)
+	if prior := t.indexOn(col); prior != nil {
+		if st.Kind == IndexOrdered && prior.kind == IndexHash {
+			t.removeIndex(prior)
+			t.addIndex(prior.name, col, IndexOrdered)
+		}
+		return &Result{}, nil
+	}
+	if byName != nil {
+		return &Result{}, nil // name taken by an index on another column
+	}
+	t.addIndex(st.Name, col, st.Kind)
 	// Index DDL does not change row data: ChangeSeq/TableVersion stay
 	// put, so replica divergence checks and catalog caches are unmoved.
 	return &Result{}, nil
@@ -379,6 +391,18 @@ func (db *DB) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 // equivalent to CREATE INDEX IF NOT EXISTS table_col_idx ON table (col).
 // It is idempotent.
 func (db *DB) EnsureIndex(table, col string) error {
+	return db.ensureIndex(table, col, IndexHash)
+}
+
+// EnsureOrderedIndex declares a secondary ordered index on table(col)
+// from Go, equivalent to CREATE INDEX IF NOT EXISTS table_col_idx ON
+// table (col) USING ORDERED. An existing hash index on the column is
+// upgraded in place; the call is idempotent.
+func (db *DB) EnsureOrderedIndex(table, col string) error {
+	return db.ensureIndex(table, col, IndexOrdered)
+}
+
+func (db *DB) ensureIndex(table, col string, kind IndexKind) error {
 	table, col = strings.ToLower(table), strings.ToLower(col)
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -390,7 +414,14 @@ func (db *DB) EnsureIndex(table, col string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, col, table)
 	}
-	if ci == t.pk || t.indexOn(ci) != nil {
+	if ci == t.pk {
+		return nil
+	}
+	if prior := t.indexOn(ci); prior != nil {
+		if kind == IndexOrdered && prior.kind == IndexHash {
+			t.removeIndex(prior)
+			t.addIndex(prior.name, ci, IndexOrdered)
+		}
 		return nil
 	}
 	// The generated name must not collide with a user-declared index on
@@ -400,7 +431,7 @@ func (db *DB) EnsureIndex(table, col string) error {
 	for n := 2; t.indexNamed(name) != nil; n++ {
 		name = fmt.Sprintf("%s_%d", base, n)
 	}
-	t.addIndex(name, ci)
+	t.addIndex(name, ci, kind)
 	return nil
 }
 

@@ -12,6 +12,23 @@ type evalEnv struct {
 	clock      func() time.Time
 	named      map[string]Value
 	positional []Value
+
+	// nowT memoizes the first clock reading (nowSet flags it, so even a
+	// clock sitting at the zero time memoizes) so now() is stable within
+	// a statement (standard SQL semantics). The range planner relies on
+	// this: a bound evaluated at plan time must equal the same bound
+	// re-evaluated row-by-row in the residual WHERE.
+	nowT   time.Time
+	nowSet bool
+}
+
+// now returns the statement-stable clock reading.
+func (env *evalEnv) now() time.Time {
+	if !env.nowSet {
+		env.nowT = env.clock()
+		env.nowSet = true
+	}
+	return env.nowT
 }
 
 // eval evaluates e against row r of table t (both may be nil for
@@ -245,7 +262,7 @@ func (env *evalEnv) evalBinary(e *BinaryExpr, t *Table, r *Row) (Value, error) {
 func (env *evalEnv) evalCall(e *CallExpr, t *Table, r *Row) (Value, error) {
 	switch e.Fn {
 	case "NOW", "CURRENT_TIMESTAMP":
-		return NewTime(env.clock()), nil
+		return NewTime(env.now()), nil
 	case "LOWER", "UPPER", "LENGTH", "TRIM":
 		if len(e.Args) != 1 {
 			return Null, fmt.Errorf("sqlmini: %s expects 1 argument", e.Fn)

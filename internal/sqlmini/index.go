@@ -1,17 +1,35 @@
 package sqlmini
 
-// Hash indexes. Every table with a PRIMARY KEY column keeps a map from
-// the key's canonical string to its row, so uniqueness checks and
-// equality point-lookups are O(1) instead of a full scan. Tables may
-// additionally carry secondary hash indexes (declared with CREATE INDEX
-// or DB.EnsureIndex) mapping a column's canonical key to the bucket of
-// rows holding that value, in insertion order. All indexes are
-// maintained by every mutation path — INSERT, UPDATE, DELETE,
-// transaction rollback, and snapshot restore; `go test
-// ./internal/sqlmini -run 'TestPK|TestSecondary'` and the property
-// suites cover the invariants. The query planner (plan.go) drives
-// SELECT/UPDATE/DELETE off these indexes when the WHERE clause has a
-// usable equality conjunct.
+import "sort"
+
+// Indexes. Every table with a PRIMARY KEY column keeps a map from the
+// key's canonical string to its row, so uniqueness checks and equality
+// point-lookups are O(1) instead of a full scan. Tables may additionally
+// carry secondary indexes (declared with CREATE INDEX or
+// DB.EnsureIndex/EnsureOrderedIndex) in one of two kinds:
+//
+//   - hash (the default): a map from a column's canonical key to the
+//     bucket of rows holding that value, in insertion order. Serves
+//     equality point-lookups.
+//   - ordered: a sorted list of key groups over the column, each group
+//     holding its rows in insertion order. Serves equality seeks in
+//     O(log n) and, through the planner, range scans (col > k, BETWEEN,
+//     expiry sweeps) by seeking the boundary and walking groups in key
+//     order. Inserting into the middle is O(groups) due to the slice
+//     shift; lease-style workloads append near the end.
+//
+// All indexes are maintained by every mutation path — INSERT, UPDATE,
+// DELETE, transaction rollback, and snapshot restore; `go test
+// ./internal/sqlmini -run 'TestPK|TestSecondary|TestOrdered'` and the
+// property suites cover the invariants. The query planner (plan.go)
+// drives SELECT/UPDATE/DELETE off these indexes when the WHERE clause
+// has a usable equality or range conjunct.
+//
+// Ordered-index grouping invariant: rows are grouped by Compare == 0
+// over the stored column values. Stored values are uniformly typed
+// (post-coercion), where Compare is a total order, so all rows of one
+// group compare identically against any probe key — which is what lets
+// the planner treat a group as one unit when cutting range boundaries.
 
 // pkCol returns the index of the table's PRIMARY KEY column, or -1.
 func (t *Table) pkCol() int {
@@ -44,12 +62,42 @@ func pkKey(v Value) string {
 	return v.Str()
 }
 
-// secondaryIndex is one non-unique hash index over a single column.
-// Buckets keep rows in insertion order; removal preserves it.
+// orderedGroup is one key group of an ordered index: the rows whose
+// column value compares equal to key, in insertion order. key is the
+// value of the first row that opened the group.
+type orderedGroup struct {
+	key  Value
+	rows []*Row
+}
+
+// secondaryIndex is one non-unique single-column index, hash or ordered
+// (kind). Exactly one of buckets/groups is live. Buckets and groups keep
+// rows in insertion order; removal preserves it. groups holds pointers
+// so the O(n) slice shifts of group insertion/removal move 8-byte
+// words, not Value-carrying structs.
 type secondaryIndex struct {
-	name    string
-	col     int
-	buckets map[string][]*Row
+	name string
+	col  int
+	kind IndexKind
+
+	buckets map[string][]*Row // kind == IndexHash
+	groups  []*orderedGroup   // kind == IndexOrdered, sorted by key
+}
+
+// newSecondaryIndex allocates the backing structure for the given kind.
+func newSecondaryIndex(name string, col int, kind IndexKind) *secondaryIndex {
+	ix := &secondaryIndex{name: name, col: col, kind: kind}
+	ix.reset()
+	return ix
+}
+
+// reset clears the index to empty (rebuildIndex repopulates it).
+func (ix *secondaryIndex) reset() {
+	if ix.kind == IndexOrdered {
+		ix.groups = nil
+		return
+	}
+	ix.buckets = make(map[string][]*Row)
 }
 
 // indexOn returns the secondary index covering column col, if any.
@@ -60,6 +108,16 @@ func (t *Table) indexOn(col int) *secondaryIndex {
 		}
 	}
 	return nil
+}
+
+// removeIndex drops one secondary index (the hash→ordered upgrade path).
+func (t *Table) removeIndex(target *secondaryIndex) {
+	for i, ix := range t.indexes {
+		if ix == target {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return
+		}
+	}
 }
 
 // indexNamed returns the secondary index with the given name, if any.
@@ -74,51 +132,153 @@ func (t *Table) indexNamed(name string) *secondaryIndex {
 
 // addIndex creates a secondary index over column col and backfills it
 // from the existing rows. Caller has validated name/column.
-func (t *Table) addIndex(name string, col int) {
-	ix := &secondaryIndex{name: name, col: col, buckets: make(map[string][]*Row)}
+func (t *Table) addIndex(name string, col int, kind IndexKind) {
+	ix := newSecondaryIndex(name, col, kind)
 	for _, r := range t.Rows {
 		ix.insert(r)
 	}
 	t.indexes = append(t.indexes, ix)
 }
 
+// seek returns the position of the first group whose key compares >= v
+// (== v exists iff the returned found is true). Caller guarantees v is
+// order-compatible with the column type (see orderedProbeOK).
+func (ix *secondaryIndex) seek(v Value) (pos int, found bool) {
+	pos = sort.Search(len(ix.groups), func(i int) bool {
+		c, _ := Compare(ix.groups[i].key, v)
+		return c >= 0
+	})
+	if pos < len(ix.groups) {
+		if c, ok := Compare(ix.groups[pos].key, v); ok && c == 0 {
+			found = true
+		}
+	}
+	return pos, found
+}
+
 func (ix *secondaryIndex) insert(r *Row) {
 	v := r.Vals[ix.col]
 	if v.IsNull() {
-		return // NULLs are not indexed; col = NULL never matches anyway
+		return // NULLs are not indexed; no predicate on the column matches them
 	}
-	key := pkKey(v)
-	ix.buckets[key] = append(ix.buckets[key], r)
+	if ix.kind == IndexHash {
+		key := pkKey(v)
+		ix.buckets[key] = append(ix.buckets[key], r)
+		return
+	}
+	pos, found := ix.seek(v)
+	if found {
+		ix.groups[pos].rows = append(ix.groups[pos].rows, r)
+		return
+	}
+	ix.groups = append(ix.groups, nil)
+	copy(ix.groups[pos+1:], ix.groups[pos:])
+	ix.groups[pos] = &orderedGroup{key: v, rows: []*Row{r}}
 }
 
 func (ix *secondaryIndex) remove(r *Row, v Value) {
 	if v.IsNull() {
 		return
 	}
-	key := pkKey(v)
-	bucket := ix.buckets[key]
-	for i, br := range bucket {
-		if br == r {
-			if len(bucket) == 1 {
+	if ix.kind == IndexHash {
+		key := pkKey(v)
+		removeRowFrom(ix.buckets[key], r, func(rest []*Row) {
+			if len(rest) == 0 {
 				delete(ix.buckets, key)
-				return
+			} else {
+				ix.buckets[key] = rest
 			}
-			copy(bucket[i:], bucket[i+1:])
-			bucket[len(bucket)-1] = nil // drop the tail's row reference
-			ix.buckets[key] = bucket[:len(bucket)-1]
+		})
+		return
+	}
+	pos, found := ix.seek(v)
+	if !found {
+		return
+	}
+	removeRowFrom(ix.groups[pos].rows, r, func(rest []*Row) {
+		if len(rest) == 0 {
+			n := len(ix.groups)
+			copy(ix.groups[pos:], ix.groups[pos+1:])
+			ix.groups[n-1] = nil // drop the tail's group reference
+			ix.groups = ix.groups[:n-1]
+		} else {
+			ix.groups[pos].rows = rest
+		}
+	})
+}
+
+// removeRowFrom deletes the pointer r from rows in place, preserving
+// order, and hands the shortened slice to commit. No-op if r is absent.
+func removeRowFrom(rows []*Row, r *Row, commit func([]*Row)) {
+	for i, br := range rows {
+		if br == r {
+			copy(rows[i:], rows[i+1:])
+			rows[len(rows)-1] = nil // drop the tail's row reference
+			commit(rows[:len(rows)-1])
 			return
 		}
 	}
 }
 
-// lookup returns the bucket for the canonical key, in insertion order.
-// The returned slice aliases the index; callers that mutate rows while
-// iterating must copy it first (plan.go does).
+// lookup returns the rows holding a value equal to v, in insertion
+// order. The returned slice may alias the index; callers that mutate
+// rows while iterating must copy it first (plan.go does). For ordered
+// indexes the caller must have checked orderedProbeOK.
 func (ix *secondaryIndex) lookup(v Value) []*Row {
 	if v.IsNull() {
 		return nil
 	}
-	return ix.buckets[pkKey(v)]
+	if ix.kind == IndexHash {
+		return ix.buckets[pkKey(v)]
+	}
+	pos, found := ix.seek(v)
+	if !found {
+		return nil
+	}
+	// Groups are distinct under the stored type's Compare, but a probe
+	// of another type can project several adjacent groups onto one value
+	// (a 2^53 DOUBLE equals two adjacent BIGINT keys), and the scan
+	// would match them all — so gather every Compare==0 group.
+	end := pos + 1
+	for end < len(ix.groups) {
+		if c, ok := Compare(ix.groups[end].key, v); !ok || c != 0 {
+			break
+		}
+		end++
+	}
+	if end == pos+1 {
+		return ix.groups[pos].rows
+	}
+	var out []*Row
+	for i := pos; i < end; i++ {
+		out = append(out, ix.groups[i].rows...)
+	}
+	return out
+}
+
+// rangeRows returns a fresh slice of all rows in groups within
+// [lo, hi], where a NULL bound means unbounded on that side. Bounds are
+// inclusive: the planner widens strict bounds to their group boundary
+// and lets the residual WHERE cut the exact edge, so candidate
+// completeness never depends on strictness handling here. Caller must
+// have checked orderedProbeOK for each non-NULL bound.
+func (ix *secondaryIndex) rangeRows(lo, hi Value) []*Row {
+	start := 0
+	if !lo.IsNull() {
+		start, _ = ix.seek(lo)
+	}
+	end := len(ix.groups)
+	if !hi.IsNull() {
+		end = sort.Search(len(ix.groups), func(i int) bool {
+			c, _ := Compare(ix.groups[i].key, hi)
+			return c > 0
+		})
+	}
+	var out []*Row
+	for i := start; i < end; i++ {
+		out = append(out, ix.groups[i].rows...)
+	}
+	return out
 }
 
 // indexInsert registers a row in the PK and all secondary indexes;
@@ -172,12 +332,22 @@ func (t *Table) indexUpdate(r *Row, oldVals []Value) {
 		oldV, newV := oldVals[ix.col], r.Vals[ix.col]
 		switch {
 		case oldV.IsNull() && newV.IsNull():
-		case !oldV.IsNull() && !newV.IsNull() && pkKey(oldV) == pkKey(newV):
+		case !oldV.IsNull() && !newV.IsNull() && sameIndexKey(ix.kind, oldV, newV):
 		default:
 			ix.remove(r, oldV)
 			ix.insert(r)
 		}
 	}
+}
+
+// sameIndexKey reports whether old and new (both non-NULL) land in the
+// same bucket/group, i.e. no index movement is needed. Hash buckets key
+// on the canonical string; ordered groups key on Compare equality.
+func sameIndexKey(kind IndexKind, oldV, newV Value) bool {
+	if kind == IndexHash {
+		return pkKey(oldV) == pkKey(newV)
+	}
+	return Equal(oldV, newV)
 }
 
 // lookupPK finds the row holding the given PK value, if any.
@@ -194,7 +364,7 @@ func (t *Table) lookupPK(v Value) (*Row, bool) {
 func (t *Table) rebuildIndex() {
 	t.initIndex()
 	for _, ix := range t.indexes {
-		ix.buckets = make(map[string][]*Row)
+		ix.reset()
 	}
 	for _, r := range t.Rows {
 		t.indexInsert(r)

@@ -40,10 +40,16 @@ func indexConsistent(t *testing.T, db *DB, table string) {
 }
 
 // secondaryConsistent verifies one secondary index against a full scan:
-// every non-NULL row appears exactly once in exactly its key's bucket,
-// and no bucket holds anything else. Caller holds db.mu.
+// every non-NULL row appears exactly once in exactly its key's
+// bucket/group, and no bucket/group holds anything else. Ordered
+// indexes additionally must keep their groups strictly sorted. Caller
+// holds db.mu.
 func secondaryConsistent(t *testing.T, tbl *Table, ix *secondaryIndex) {
 	t.Helper()
+	if ix.kind == IndexOrdered {
+		orderedConsistent(t, tbl, ix)
+		return
+	}
 	want := map[string]int{} // key → row count from the scan
 	for _, r := range tbl.Rows {
 		v := r.Vals[ix.col]
@@ -69,6 +75,58 @@ func secondaryConsistent(t *testing.T, tbl *Table, ix *secondaryIndex) {
 		if len(bucket) != want[key] {
 			t.Fatalf("index %q: bucket %q has %d rows, scan found %d", ix.name, key, len(bucket), want[key])
 		}
+	}
+}
+
+// orderedConsistent verifies an ordered index: groups strictly sorted,
+// no empty group, every non-NULL row in exactly the group its value
+// compares equal to, and total indexed rows matching the scan. Caller
+// holds db.mu.
+func orderedConsistent(t *testing.T, tbl *Table, ix *secondaryIndex) {
+	t.Helper()
+	indexed := 0
+	for i, g := range ix.groups {
+		if len(g.rows) == 0 {
+			t.Fatalf("index %q: empty group %d left behind", ix.name, i)
+		}
+		if i > 0 {
+			c, ok := Compare(ix.groups[i-1].key, g.key)
+			if !ok || c >= 0 {
+				t.Fatalf("index %q: groups %d/%d out of order (%s vs %s)",
+					ix.name, i-1, i, ix.groups[i-1].key, g.key)
+			}
+		}
+		for _, r := range g.rows {
+			if !Equal(r.Vals[ix.col], g.key) {
+				t.Fatalf("index %q: row with value %s filed under group key %s",
+					ix.name, r.Vals[ix.col], g.key)
+			}
+		}
+		indexed += len(g.rows)
+	}
+	scan := 0
+	for _, r := range tbl.Rows {
+		v := r.Vals[ix.col]
+		if v.IsNull() {
+			continue
+		}
+		scan++
+		pos, found := ix.seek(v)
+		if !found {
+			t.Fatalf("index %q: no group for live value %s", ix.name, v)
+		}
+		n := 0
+		for _, br := range ix.groups[pos].rows {
+			if br == r {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("index %q: row with value %s appears %d times in its group", ix.name, v, n)
+		}
+	}
+	if indexed != scan {
+		t.Fatalf("index %q: %d rows indexed, scan found %d", ix.name, indexed, scan)
 	}
 }
 

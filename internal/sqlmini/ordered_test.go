@@ -1,0 +1,268 @@
+package sqlmini
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestOrderedIndexMutationSequence(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, score INTEGER, v INTEGER)")
+	db.MustExec("CREATE INDEX t_score ON t (score) USING ORDERED")
+	db.MustExec("INSERT INTO t (id, score, v) VALUES (1, 30, 1), (2, 10, 2), (3, 20, 3), (4, NULL, 4), (5, 10, 5)")
+	indexConsistent(t, db, "t")
+
+	// Group-moving update, NULL transitions both ways.
+	db.MustExec("UPDATE t SET score = 20 WHERE id = 1")
+	db.MustExec("UPDATE t SET score = NULL WHERE id = 2")
+	db.MustExec("UPDATE t SET score = 5 WHERE id = 4")
+	indexConsistent(t, db, "t")
+
+	res := db.MustExec("SELECT id FROM t WHERE score >= 20 ORDER BY id")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 1 || res.Rows[1][0].Int() != 3 {
+		t.Fatalf("score>=20 rows = %v", res.Rows)
+	}
+
+	db.MustExec("DELETE FROM t WHERE score < 15")
+	indexConsistent(t, db, "t")
+	if res := db.MustExec("SELECT count(*) FROM t"); res.Rows[0][0].Int() != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestOrderedIndexRollback(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, score INTEGER)")
+	db.MustExec("CREATE INDEX t_score ON t (score) USING ORDERED")
+	db.MustExec("INSERT INTO t (id, score) VALUES (1, 10), (2, 20)")
+
+	s := db.NewSession()
+	defer s.Close()
+	s.Exec("BEGIN")                                    //nolint:errcheck
+	s.Exec("INSERT INTO t (id, score) VALUES (3, 15)") //nolint:errcheck
+	s.Exec("UPDATE t SET score = 99 WHERE id = 1")     //nolint:errcheck
+	s.Exec("DELETE FROM t WHERE id = 2")               //nolint:errcheck
+	s.Exec("ROLLBACK")                                 //nolint:errcheck
+	indexConsistent(t, db, "t")
+
+	res := db.MustExec("SELECT id FROM t WHERE score > 5 AND score < 25 ORDER BY id")
+	if len(res.Rows) != 2 {
+		t.Fatalf("range after rollback = %v", res.Rows)
+	}
+	if res := db.MustExec("SELECT id FROM t WHERE score >= 99"); len(res.Rows) != 0 {
+		t.Fatalf("score>=99 after rollback = %v", res.Rows)
+	}
+}
+
+func TestOrderedIndexSurvivesRestore(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, score INTEGER)")
+	db.MustExec("CREATE INDEX t_score ON t (score) USING ORDERED")
+	db.MustExec("INSERT INTO t (id, score) VALUES (1, 10), (2, 10), (3, 20)")
+	db2 := NewDB()
+	if err := db2.Restore(db.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	indexConsistent(t, db2, "t")
+	// The ordered/hash distinction must survive the snapshot round trip:
+	// a range statement on the restored database must still plan.
+	plan, err := db2.Explain("SELECT id FROM t WHERE score > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != "range scan on t(score) [t_score] (score > 15)" {
+		t.Fatalf("restored ordered index not used by the planner: %q", plan)
+	}
+	if res := db2.MustExec("SELECT count(*) FROM t WHERE score > 15"); res.Rows[0][0].Int() != 1 {
+		t.Fatalf("score>15 count after restore = %v", res.Rows[0][0])
+	}
+}
+
+// TestOrderedIndexUpgradeFromHash: declaring USING ORDERED over a column
+// that already has a hash index upgrades it in place (same name), and
+// the upgrade is idempotent from both the SQL and Go surfaces.
+func TestOrderedIndexUpgradeFromHash(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, score INTEGER)")
+	db.MustExec("INSERT INTO t (id, score) VALUES (1, 10), (2, 20), (3, 30)")
+	if err := db.EnsureIndex("t", "score"); err != nil {
+		t.Fatal(err)
+	}
+	if plan, _ := db.Explain("SELECT id FROM t WHERE score > 15"); plan != "full scan on t" {
+		t.Fatalf("hash index must not serve ranges, got %q", plan)
+	}
+	db.MustExec("CREATE INDEX IF NOT EXISTS t_other_name ON t (score) USING ORDERED")
+	if err := db.EnsureOrderedIndex("t", "score"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	db.mu.Lock()
+	n, name, kind := len(db.tables["t"].indexes), db.tables["t"].indexes[0].name, db.tables["t"].indexes[0].kind
+	db.mu.Unlock()
+	if n != 1 || kind != IndexOrdered || name != "t_score_idx" {
+		t.Fatalf("upgrade left %d indexes, kind %v, name %q", n, kind, name)
+	}
+	indexConsistent(t, db, "t")
+	// Equality still served, ranges now served.
+	if plan, _ := db.Explain("SELECT id FROM t WHERE score = 20"); plan != "index lookup on t(score) [t_score_idx]" {
+		t.Fatalf("equality after upgrade plans as %q", plan)
+	}
+	if plan, _ := db.Explain("SELECT id FROM t WHERE score > 15"); plan != "range scan on t(score) [t_score_idx] (score > 15)" {
+		t.Fatalf("range after upgrade plans as %q", plan)
+	}
+	// An ordered index is never downgraded back to hash.
+	if err := db.EnsureIndex("t", "score"); err != nil {
+		t.Fatal(err)
+	}
+	db.mu.Lock()
+	kind = db.tables["t"].indexes[0].kind
+	db.mu.Unlock()
+	if kind != IndexOrdered {
+		t.Fatal("EnsureIndex downgraded an ordered index to hash")
+	}
+}
+
+func TestCreateIndexUsingClause(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, a INTEGER, b INTEGER, c INTEGER)")
+	db.MustExec("CREATE INDEX t_a ON t (a) USING HASH")
+	db.MustExec("CREATE INDEX t_b ON t (b) USING BTREE") // alias for ORDERED
+	db.MustExec("CREATE INDEX t_c ON t (c) USING ORDERED")
+	db.mu.Lock()
+	kinds := []IndexKind{}
+	for _, ix := range db.tables["t"].indexes {
+		kinds = append(kinds, ix.kind)
+	}
+	db.mu.Unlock()
+	want := []IndexKind{IndexHash, IndexOrdered, IndexOrdered}
+	for i, k := range kinds {
+		if k != want[i] {
+			t.Fatalf("index %d kind = %v, want %v", i, k, want[i])
+		}
+	}
+	if _, err := db.Exec("CREATE INDEX t_bad ON t (a) USING SKIPLIST"); err == nil {
+		t.Fatal("unknown index method must fail to parse")
+	}
+}
+
+// TestOrderedIndexRandomizedProperty drives a random mutation sequence —
+// inserts (with duplicate and NULL keys), deletes by id and by range,
+// group-moving updates, rollbacks, and snapshot/restore round trips —
+// and checks after every step that the ordered index is structurally
+// consistent and that range-driven SELECTs agree with a forced scan.
+func TestOrderedIndexRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, score INTEGER, v INTEGER)")
+	db.MustExec("CREATE INDEX t_score ON t (score) USING ORDERED")
+	nextID := 0
+	live := map[int]bool{}
+	anyLive := func() (int, bool) {
+		for k := range live {
+			return k, true
+		}
+		return 0, false
+	}
+	scoreVal := func() any {
+		if rng.Intn(8) == 0 {
+			return nil // NULLs must stay out of the index
+		}
+		return rng.Intn(40)
+	}
+	for step := 0; step < 500; step++ {
+		switch op := rng.Intn(6); op {
+		case 0, 1: // insert
+			nextID++
+			db.MustExec("INSERT INTO t (id, score, v) VALUES (?, ?, ?)", nextID, scoreVal(), step)
+			live[nextID] = true
+		case 2: // delete by id or by range
+			if rng.Intn(2) == 0 {
+				if k, ok := anyLive(); ok {
+					db.MustExec("DELETE FROM t WHERE id = ?", k)
+					delete(live, k)
+				}
+			} else {
+				lo := rng.Intn(40)
+				res := db.MustExec("SELECT id FROM t WHERE score >= ? AND score < ?", lo, lo+4)
+				db.MustExec("DELETE FROM t WHERE score >= ? AND score < ?", lo, lo+4)
+				for _, row := range res.Rows {
+					delete(live, int(row[0].Int()))
+				}
+			}
+		case 3: // group-moving update
+			if k, ok := anyLive(); ok {
+				db.MustExec("UPDATE t SET score = ? WHERE id = ?", scoreVal(), k)
+			}
+		case 4: // transaction that rolls back
+			s := db.NewSession()
+			s.Exec("BEGIN") //nolint:errcheck
+			nextID++
+			s.Exec("INSERT INTO t (id, score, v) VALUES (?, ?, 0)", nextID, scoreVal()) //nolint:errcheck
+			if lk, ok := anyLive(); ok {
+				s.Exec("UPDATE t SET score = ? WHERE id = ?", scoreVal(), lk) //nolint:errcheck
+				s.Exec("DELETE FROM t WHERE id = ?", lk)                      //nolint:errcheck
+			}
+			s.Exec("ROLLBACK") //nolint:errcheck
+			s.Close()
+		case 5: // snapshot/restore round trip
+			blob := db.Snapshot()
+			if err := db.Restore(blob); err != nil {
+				t.Fatalf("step %d: restore: %v", step, err)
+			}
+		}
+		indexConsistent(t, db, "t")
+		// Range-driven lookups agree with a forced scan for a sliding
+		// window, including empty windows.
+		lo := rng.Intn(44) - 2
+		hi := lo + rng.Intn(10)
+		got := db.MustExec("SELECT id FROM t WHERE score > ? AND score <= ?", lo, hi)
+		want := db.MustExec("SELECT id FROM t WHERE score + 0 > ? AND score + 0 <= ?", lo, hi) // arithmetic defeats the planner
+		if canon(got) != canon(want) {
+			t.Fatalf("step %d (%d,%d]: range path:\n%s\nscan:\n%s", step, lo, hi, canon(got), canon(want))
+		}
+	}
+}
+
+// TestOrderedEqualityAdjacentGroupCollapse pins the 2^53 edge: stored
+// BIGINT keys are distinct groups under integer Compare, but a DOUBLE
+// probe projects both onto one float64 — equality through the ordered
+// index must return every group comparing equal, like the scan does.
+func TestOrderedEqualityAdjacentGroupCollapse(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v BIGINT)")
+	db.MustExec("CREATE INDEX t_v ON t (v) USING ORDERED")
+	db.MustExec("INSERT INTO t (id, v) VALUES (1, 9007199254740992), (2, 9007199254740993), (3, 5)")
+	got := db.MustExec("SELECT id FROM t WHERE v = ?", float64(9007199254740992))
+	want := db.MustExec("SELECT id FROM t WHERE v + 0 = ?", float64(9007199254740992)) // forced scan
+	if len(got.Rows) != 2 || canon(got) != canon(want) {
+		t.Fatalf("index path:\n%s\nscan:\n%s", canon(got), canon(want))
+	}
+	// The range side already gathers whole windows; pin it anyway.
+	got = db.MustExec("SELECT id FROM t WHERE v >= ? AND v <= ?",
+		float64(9007199254740992), float64(9007199254740992))
+	if len(got.Rows) != 2 {
+		t.Fatalf("range window missed a collapsed group: %v", got.Rows)
+	}
+}
+
+// TestNowStatementStable pins the clock memoization the range planner
+// relies on: every now() within one statement reads the same instant,
+// even when the clock advances between evaluations.
+func TestNowStatementStable(t *testing.T) {
+	base := time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC)
+	calls := 0
+	db := NewDB(WithClock(func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * time.Hour)
+	}))
+	res := db.MustExec("SELECT now() = now()")
+	if !res.Rows[0][0].Bool() {
+		t.Fatal("now() must be stable within one statement")
+	}
+	// A later statement sees a fresh reading.
+	r1 := db.MustExec("SELECT now()")
+	r2 := db.MustExec("SELECT now()")
+	if r1.Rows[0][0].Time().Equal(r2.Rows[0][0].Time()) {
+		t.Fatal("now() must advance across statements")
+	}
+}

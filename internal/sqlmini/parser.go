@@ -272,8 +272,8 @@ func (p *parser) parseColumnDef() (ColumnDef, error) {
 	}
 }
 
-// parseCreateIndex parses CREATE INDEX [IF NOT EXISTS] name ON t (col);
-// CREATE has already been consumed.
+// parseCreateIndex parses CREATE INDEX [IF NOT EXISTS] name ON t (col)
+// [USING HASH|ORDERED|BTREE]; CREATE has already been consumed.
 func (p *parser) parseCreateIndex() (Statement, error) {
 	p.next() // INDEX
 	st := &CreateIndexStmt{}
@@ -309,6 +309,20 @@ func (p *parser) parseCreateIndex() (Statement, error) {
 	st.Col = strings.ToLower(col)
 	if err := p.expectSym(")"); err != nil {
 		return nil, err
+	}
+	if p.acceptKW("USING") {
+		method, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToUpper(method) {
+		case "HASH":
+			st.Kind = IndexHash
+		case "ORDERED", "BTREE":
+			st.Kind = IndexOrdered
+		default:
+			return nil, p.errorf("unknown index method %q (want HASH, ORDERED, or BTREE)", method)
+		}
 	}
 	return st, nil
 }

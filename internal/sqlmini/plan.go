@@ -1,6 +1,9 @@
 package sqlmini
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Query planning: SELECT/UPDATE/DELETE statements whose WHERE clause
 // contains a top-level equality conjunct on an indexed column execute
@@ -8,18 +11,29 @@ import "fmt"
 // table scan, with the complete WHERE re-applied to the candidates as
 // a residual filter (so `lease_id = $id AND released = FALSE` probes
 // the lease_id index and filters the released flag on the way out).
+// When no equality conjunct qualifies but the WHERE carries a top-level
+// range conjunct (col > k, >=, <, <=, or col BETWEEN lo AND hi) on a
+// column with an ORDERED index, execution seeks the boundary groups in
+// O(log n) and visits only the in-range window — the lease-expiry
+// sweep shape (`expires_at <= now()`) touches just the expired prefix
+// instead of every lease. Strict bounds are widened to their boundary
+// group and the residual WHERE cuts the exact edge, so candidate
+// completeness never depends on strictness.
 //
 // The planner is deliberately conservative: it claims a statement only
 // when the index path provably yields the same result SET and the same
 // error behavior as the scan. Everything else — OR at the top level,
-// range predicates only, expressions that can fail row-dependently
-// (division), unresolved parameters, lossy key coercions, any LIMIT —
-// falls back to the scan, which is the unchanged pre-planner code path.
-// Two ordering caveats remain inherent to bucket execution: without
-// ORDER BY, result rows may come back in bucket (insertion) order
-// rather than table order, which SQL leaves unspecified; and a
-// multi-row UPDATE that fails a constraint mid-statement applies its
-// partial prefix in candidate order, which may differ between paths.
+// expressions that can fail row-dependently (division), unresolved
+// parameters, lossy hash keys, order-incompatible range keys, any
+// LIMIT — falls back to the scan, which is the unchanged pre-planner
+// code path. now() is statement-stable (evalEnv memoizes the clock),
+// so a bound evaluated at plan time provably equals its per-row
+// residual re-evaluation. Two ordering caveats remain inherent to
+// bucket execution: without ORDER BY, result rows may come back in
+// bucket/key order rather than table order, which SQL leaves
+// unspecified; and a multi-row UPDATE that fails a constraint
+// mid-statement applies its partial prefix in candidate order, which
+// may differ between paths.
 
 // selectPlannable reports whether a SELECT may take an index path at
 // all: LIMIT cuts rows in iteration order, and even under ORDER BY the
@@ -29,13 +43,23 @@ func selectPlannable(st *SelectStmt) bool {
 	return st.Limit < 0
 }
 
-// indexPlan is a resolved index access path for one statement.
+// indexPlan is a resolved index access path for one statement: an
+// equality lookup (PK, hash bucket, or ordered-group seek), a range
+// scan over an ordered index, or a provably empty result.
 type indexPlan struct {
 	col   int             // indexed column (position in Table.Cols)
 	pk    bool            // the PK index drives the lookup (unique)
 	ix    *secondaryIndex // non-nil when a secondary index drives it
-	key   Value           // canonical probe key (column type)
-	empty bool            // key was NULL: provably zero matching rows
+	key   Value           // equality probe key
+	empty bool            // a NULL key/bound: provably zero matching rows
+
+	// Range plan (rng == true; ix is an ordered index). lo/hi are the
+	// evaluated bounds, NULL meaning unbounded on that side; execution
+	// is inclusive at both group boundaries, with loOp/hiOp recording
+	// the original operators for the residual's benefit and Explain.
+	rng        bool
+	lo, hi     Value
+	loOp, hiOp string // ">" or ">=" / "<" or "<="; "" when unbounded
 }
 
 // planRows returns the candidate row set for a statement filtered by
@@ -57,6 +81,9 @@ func (db *DB) planRows(t *Table, where Expr, env *evalEnv) (rows []*Row, indexed
 		}
 		return nil, true
 	}
+	if p.rng {
+		return p.ix.rangeRows(p.lo, p.hi), true
+	}
 	bucket := p.ix.lookup(p.key)
 	if len(bucket) == 0 {
 		return nil, true
@@ -66,18 +93,20 @@ func (db *DB) planRows(t *Table, where Expr, env *evalEnv) (rows []*Row, indexed
 	return out, true
 }
 
-// planIndex decides whether an index point-lookup can drive execution.
-// A non-nil plan is returned only when the bucket, filtered by the full
-// WHERE as a residual, provably equals the scan result. The PK index
-// wins over secondary indexes (unique beats bucket).
+// planIndex decides whether an index access path can drive execution.
+// A non-nil plan is returned only when the candidate set, filtered by
+// the full WHERE as a residual, provably equals the scan result.
+// Preference order: PK point lookup (unique) beats secondary equality
+// beats range scan — without statistics, a point probe is assumed
+// narrower than a key window.
 func planIndex(t *Table, where Expr, env *evalEnv) *indexPlan {
 	if where == nil || (t.pk < 0 && len(t.indexes) == 0) {
 		return nil
 	}
-	// The index path evaluates the WHERE only over bucket rows; the scan
-	// evaluates it over every row. The two agree only if evaluation
-	// cannot fail on ANY row — otherwise a row outside the bucket could
-	// turn the scan into an error the index path never sees.
+	// The index path evaluates the WHERE only over candidate rows; the
+	// scan evaluates it over every row. The two agree only if evaluation
+	// cannot fail on ANY row — otherwise a row outside the candidates
+	// could turn the scan into an error the index path never sees.
 	if !whereTotal(t, env, where) {
 		return nil
 	}
@@ -103,6 +132,15 @@ func planIndex(t *Table, where Expr, env *evalEnv) *indexPlan {
 			// unsatisfiable, no matter which index we would have used.
 			return &indexPlan{col: col, pk: isPK, ix: ix, empty: true}
 		}
+		if !isPK && ix.kind == IndexOrdered {
+			// Ordered groups probe by comparison, not hashing, so the
+			// key only needs to compare consistently with the column's
+			// sort order — `id = 1.5` correctly seeks an empty window.
+			if orderedProbeOK(t.Cols[col].Type, kv) && best == nil {
+				best = &indexPlan{col: col, ix: ix, key: kv}
+			}
+			continue
+		}
 		ck, ok := indexLookupKey(t.Cols[col].Type, kv)
 		if !ok {
 			continue // lossy key (id = 1.5): another conjunct may still do
@@ -115,7 +153,107 @@ func planIndex(t *Table, where Expr, env *evalEnv) *indexPlan {
 			best = p
 		}
 	}
-	return best
+	if best != nil {
+		return best
+	}
+	return planRange(t, conjuncts, env)
+}
+
+// planRange looks for top-level range conjuncts on an ordered-indexed
+// column: col > k, col >= k, col < k, col <= k (either operand order),
+// and col BETWEEN lo AND hi. The first such column claims the plan;
+// one bound per side is kept (further conjuncts stay residual-only).
+// A NULL bound proves the conjunction unsatisfiable, exactly like
+// col = NULL. Bounds whose type is not order-compatible with the
+// column are simply not used for seeking — the residual still applies
+// them, so skipping a bound only widens the candidate window.
+func planRange(t *Table, conjuncts []Expr, env *evalEnv) *indexPlan {
+	var plan *indexPlan
+	for _, c := range conjuncts {
+		col, loExpr, loOp, hiExpr, hiOp := rangeConjunct(t, c)
+		if col < 0 {
+			continue
+		}
+		ix := t.indexOn(col)
+		if ix == nil || ix.kind != IndexOrdered {
+			continue
+		}
+		if plan != nil && plan.col != col {
+			continue // another ordered column already claimed the plan
+		}
+		if plan == nil {
+			plan = &indexPlan{col: col, ix: ix, rng: true}
+		}
+		colType := t.Cols[col].Type
+		if loExpr != nil && plan.loOp == "" {
+			v, err := env.eval(loExpr, nil, nil)
+			if err != nil {
+				return nil // unreachable after whereTotal; fail safe to scan
+			}
+			if v.IsNull() {
+				return &indexPlan{col: col, ix: ix, empty: true}
+			}
+			if orderedProbeOK(colType, v) {
+				plan.lo, plan.loOp = v, loOp
+			}
+		}
+		if hiExpr != nil && plan.hiOp == "" {
+			v, err := env.eval(hiExpr, nil, nil)
+			if err != nil {
+				return nil
+			}
+			if v.IsNull() {
+				return &indexPlan{col: col, ix: ix, empty: true}
+			}
+			if orderedProbeOK(colType, v) {
+				plan.hi, plan.hiOp = v, hiOp
+			}
+		}
+	}
+	if plan == nil || (plan.loOp == "" && plan.hiOp == "") {
+		return nil // no usable bound: scan
+	}
+	return plan
+}
+
+// flipOp mirrors a comparison across its operands: k < col ⇔ col > k.
+var flipOp = map[string]string{">": "<", ">=": "<=", "<": ">", "<=": ">="}
+
+// rangeConjunct matches one top-level range conjunct over a column of
+// t: `col OP key` / `key OP col` with OP in <, <=, >, >=, or
+// `col BETWEEN lo AND hi`. The key side(s) must be row-free. Returns
+// col = -1 when the conjunct has another shape. NOT BETWEEN is a
+// disjunction and never matches.
+func rangeConjunct(t *Table, c Expr) (col int, loExpr Expr, loOp string, hiExpr Expr, hiOp string) {
+	switch e := c.(type) {
+	case *BinaryExpr:
+		op := e.Op
+		if _, ok := flipOp[op]; !ok {
+			return -1, nil, "", nil, ""
+		}
+		var key Expr
+		if ci, ok := columnRef(t, e.L); ok && rowFree(e.R) {
+			col, key = ci, e.R
+		} else if ci, ok := columnRef(t, e.R); ok && rowFree(e.L) {
+			col, key, op = ci, e.L, flipOp[op] // k < col  ⇒  col > k
+		} else {
+			return -1, nil, "", nil, ""
+		}
+		if op == ">" || op == ">=" {
+			return col, key, op, nil, ""
+		}
+		return col, nil, "", key, op
+	case *BetweenExpr:
+		if e.Not {
+			return -1, nil, "", nil, ""
+		}
+		ci, ok := columnRef(t, e.E)
+		if !ok || !rowFree(e.Lo) || !rowFree(e.Hi) {
+			return -1, nil, "", nil, ""
+		}
+		return ci, e.Lo, ">=", e.Hi, "<="
+	}
+	return -1, nil, "", nil, ""
 }
 
 // collectConjuncts flattens the top-level AND tree of e into out.
@@ -153,14 +291,50 @@ func columnRef(t *Table, e Expr) (int, bool) {
 	return t.columnIndex(ce.Name)
 }
 
-// rowFree reports whether e evaluates without row context. Kept to the
-// two leaf shapes the hot statements use; anything fancier scans.
+// rowFree reports whether e evaluates without row context AND is stable
+// across the statement. Kept to the leaf shapes the hot statements use;
+// anything fancier scans. now()/current_timestamp qualify because
+// evalEnv memoizes the clock per statement.
 func rowFree(e Expr) bool {
-	switch e.(type) {
+	switch e := e.(type) {
 	case *LiteralExpr, *ParamExpr:
 		return true
+	case *CallExpr:
+		return (e.Fn == "NOW" || e.Fn == "CURRENT_TIMESTAMP") &&
+			len(e.Args) == 0 && !e.Star
 	}
 	return false
+}
+
+// orderedProbeOK reports whether a probe key of v's type compares
+// against stored values of colType in a way that is monotone along the
+// ordered index. Stored values are uniformly typed (post-coercion), so
+// the index is sorted by Compare within colType; a key qualifies when
+// Compare(stored, key) is a monotone function of the stored value's
+// position:
+//
+//   - integer-family columns accept any numeric key (int comparison, or
+//     the monotone float64 projection when the key is DOUBLE);
+//   - DOUBLE columns accept any numeric key;
+//   - VARCHAR/TIMESTAMP/BLOB columns accept exactly their own type
+//     (mixed comparisons project through Float()/Time()/Str(), which are
+//     not monotone in the stored order — "10" < "9" as strings).
+//
+// Unlike hash probes, no lossless coercion is needed: `id = 1.5` seeks
+// an empty window, which is exactly what the scan computes.
+func orderedProbeOK(colType Type, v Value) bool {
+	switch colType {
+	case TypeInteger, TypeBigint, TypeBoolean, TypeDouble:
+		return numericType(v.Type())
+	case TypeVarchar:
+		return v.Type() == TypeVarchar
+	case TypeTimestamp:
+		return v.Type() == TypeTimestamp
+	case TypeBlob:
+		return v.Type() == TypeBlob
+	default:
+		return false
+	}
 }
 
 // whereTotal reports whether evaluating e against ANY row of t is
@@ -275,8 +449,9 @@ func indexLookupKey(colType Type, v Value) (Value, bool) {
 
 // Explain reports the access path a statement would use, without
 // executing it: "point lookup on t(col) [primary key]", "index lookup
-// on t(col) [idx_name]", or "full scan on t". Tests (and operators) use
-// it to pin hot statements to their intended plans.
+// on t(col) [idx_name]", "range scan on t(col) [idx_name] (col > v)"
+// with the evaluated bounds, or "full scan on t". Tests (and operators)
+// use it to pin hot statements to their intended plans.
 func (db *DB) Explain(src string, args ...any) (string, error) {
 	st, err := db.parseCached(src)
 	if err != nil {
@@ -320,10 +495,26 @@ func (db *DB) Explain(src string, args ...any) (string, error) {
 	col := t.Cols[p.col].Name
 	switch {
 	case p.empty:
-		return fmt.Sprintf("empty result (%s = NULL) on %s", col, table), nil
+		return fmt.Sprintf("empty result (NULL key) on %s(%s)", table, col), nil
 	case p.pk:
 		return fmt.Sprintf("point lookup on %s(%s) [primary key]", table, col), nil
+	case p.rng:
+		return fmt.Sprintf("range scan on %s(%s) [%s] (%s)",
+			table, col, p.ix.name, p.boundsDesc(col)), nil
 	default:
 		return fmt.Sprintf("index lookup on %s(%s) [%s]", table, col, p.ix.name), nil
 	}
+}
+
+// boundsDesc renders a range plan's evaluated bounds for Explain, e.g.
+// "expires_at > 2026-07-30T12:00:00Z" or "id >= 5 AND id < 9".
+func (p *indexPlan) boundsDesc(col string) string {
+	var parts []string
+	if p.loOp != "" {
+		parts = append(parts, fmt.Sprintf("%s %s %s", col, p.loOp, p.lo.Str()))
+	}
+	if p.hiOp != "" {
+		parts = append(parts, fmt.Sprintf("%s %s %s", col, p.hiOp, p.hi.Str()))
+	}
+	return strings.Join(parts, " AND ")
 }

@@ -192,10 +192,13 @@ func TestExplain(t *testing.T) {
 		{"SELECT * FROM leases WHERE driver_id = 1.5", nil,
 			"full scan on leases"},
 		{"SELECT * FROM leases WHERE driver_id = ?", []any{nil},
-			"empty result (driver_id = NULL) on leases"},
+			"empty result (NULL key) on leases(driver_id)"},
 		// Both indexed: the unique PK wins.
 		{"SELECT * FROM leases WHERE driver_id = ? AND lease_id = ?", []any{1, 2},
 			"point lookup on leases(lease_id) [primary key]"},
+		// Range shapes need an ordered index; driver_id's is hash.
+		{"SELECT * FROM leases WHERE driver_id > ? AND released = FALSE", []any{2},
+			"full scan on leases"},
 	} {
 		got, err := db.Explain(tc.sql, tc.args...)
 		if err != nil {

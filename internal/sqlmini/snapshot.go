@@ -8,10 +8,11 @@ import (
 )
 
 // snapshotVersion guards the snapshot wire format. Version 2 added the
-// per-table secondary-index declarations; version-1 blobs (no index
-// section) still restore, with indexes to be re-declared by the schema
-// layer.
-const snapshotVersion = 2
+// per-table secondary-index declarations; version 3 added the per-index
+// kind byte (hash vs ordered). Older blobs still restore: version 1 has
+// no index section (indexes are re-declared by the schema layer) and
+// version-2 indexes restore as hash, the only kind that format knew.
+const snapshotVersion = 3
 
 // Snapshot serializes the entire database (schema + rows) into a
 // self-describing byte blob. Replication layers use it for backend
@@ -47,6 +48,7 @@ func (db *DB) Snapshot() []byte {
 		for _, ix := range t.indexes {
 			e.String(ix.name)
 			e.String(t.Cols[ix.col].Name)
+			e.Uint8(uint8(ix.kind))
 		}
 		e.Uint32(uint32(len(t.Rows)))
 		for _, r := range t.Rows {
@@ -63,7 +65,7 @@ func (db *DB) Snapshot() []byte {
 func (db *DB) Restore(blob []byte) error {
 	d := wire.NewDecoder(blob)
 	ver := d.Uint8()
-	if ver != 1 && ver != snapshotVersion {
+	if ver < 1 || ver > snapshotVersion {
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("sqlmini: restore: %w", err)
 		}
@@ -99,6 +101,16 @@ func (db *DB) Restore(blob []byte) error {
 			}
 			for j := uint32(0); j < nIdx; j++ {
 				name, colName := d.String(), d.String()
+				kind := IndexHash // the only kind the v2 format knew
+				if ver >= 3 {
+					kind = IndexKind(d.Uint8())
+					if kind != IndexHash && kind != IndexOrdered {
+						if err := d.Err(); err != nil {
+							return fmt.Errorf("sqlmini: restore: %w", err)
+						}
+						return fmt.Errorf("sqlmini: restore: index %q has unknown kind %d", name, kind)
+					}
+				}
 				ci, ok := t.colIdx[colName]
 				if !ok {
 					if err := d.Err(); err != nil {
@@ -106,7 +118,7 @@ func (db *DB) Restore(blob []byte) error {
 					}
 					return fmt.Errorf("sqlmini: restore: index %q on unknown column %q of %s", name, colName, t.Name)
 				}
-				t.indexes = append(t.indexes, &secondaryIndex{name: name, col: ci})
+				t.indexes = append(t.indexes, newSecondaryIndex(name, ci, kind))
 			}
 		}
 		nRows := d.Uint32()

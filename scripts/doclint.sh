@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# doclint.sh — fail if any internal/ package lacks a package comment.
+#
+# Every package under internal/ must carry a `// Package <name> ...`
+# doc comment in at least one non-test file: the architecture docs
+# (README.md, docs/ARCHITECTURE.md) lean on `go doc` as the canonical
+# per-package reference, which only works if the comments exist. Run by
+# `make check`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in internal/*/; do
+    pkg="$(basename "$dir")"
+    found=0
+    for f in "$dir"*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -qE "^// Package ${pkg}( |$)" "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "doclint: package ${pkg} (${dir}) has no '// Package ${pkg} ...' comment" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "doclint: add a package comment to each package listed above" >&2
+    exit 1
+fi
+echo "doclint: all internal/ packages documented"
