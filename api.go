@@ -29,6 +29,33 @@ type (
 	LocalStore = core.LocalStore
 	// ConnStore keeps the schema in a remote legacy DBMS (Figure 2).
 	ConnStore = core.ConnStore
+	// ConnStoreOption configures a ConnStore (pool size etc.).
+	ConnStoreOption = core.ConnStoreOption
+
+	// Store API v2: optional capability interfaces a Store may
+	// implement (LocalStore implements all three; ConnStore implements
+	// TxStore and BatchStore), plus their vocabulary. See RunAtomic,
+	// ExecBatchOn, and PrepareOn for capability-detecting adapters.
+
+	// TxStore opens transactions with atomic multi-statement semantics.
+	TxStore = core.TxStore
+	// Tx is one open transaction on a TxStore.
+	Tx = core.Tx
+	// StmtStore prepares reusable statement handles.
+	StmtStore = core.StmtStore
+	// Stmt is a reusable prepared-statement handle.
+	Stmt = core.Stmt
+	// BatchStore executes a statement list as one unit (one wire round
+	// trip / one engine-lock acquisition).
+	BatchStore = core.BatchStore
+	// Statement is one SQL statement plus arguments, the batch unit.
+	Statement = core.Statement
+	// CountingStore counts statements/round trips crossing the storage
+	// boundary (test and CI tooling).
+	CountingStore = core.CountingStore
+	// CountingGenerationStore is CountingStore preserving the catalog
+	// fast path of generation-capable stores.
+	CountingGenerationStore = core.CountingGenerationStore
 	// Permission is a driver_permission row (Table 2).
 	Permission = core.Permission
 	// Lease is a lease-table row.
@@ -86,6 +113,21 @@ var (
 	NewLocalStore = core.NewLocalStore
 	// NewConnStore wraps a legacy driver connection as a Store.
 	NewConnStore = core.NewConnStore
+	// WithPoolSize bounds ConnStore's connection pool.
+	WithPoolSize = core.WithPoolSize
+	// RunAtomic runs a function transactionally on TxStore-capable
+	// stores, best-effort elsewhere.
+	RunAtomic = core.RunAtomic
+	// ExecBatchOn runs a statement list through BatchStore when
+	// available, sequentially otherwise.
+	ExecBatchOn = core.ExecBatchOn
+	// PrepareOn returns a native or Exec-backed prepared handle.
+	PrepareOn = core.PrepareOn
+	// NewCountingStore wraps any store with boundary counters.
+	NewCountingStore = core.NewCountingStore
+	// NewCountingGenerationStore wraps a generation-capable store with
+	// boundary counters.
+	NewCountingGenerationStore = core.NewCountingGenerationStore
 	// NewRuntime creates an empty driver runtime.
 	NewRuntime = driverimg.NewRuntime
 	// NewPackageStore creates an empty feature-package store.
@@ -134,4 +176,9 @@ var (
 	ErrConnRevoked = client.ErrConnRevoked
 	// ErrProtocolMismatch: driver/server wire-protocol incompatibility.
 	ErrProtocolMismatch = client.ErrProtocolMismatch
+	// ErrExecOutcomeUnknown: a statement's connection died after it may
+	// have reached the server; it was not retried.
+	ErrExecOutcomeUnknown = core.ErrExecOutcomeUnknown
+	// ErrTxDone: the transaction already committed or rolled back.
+	ErrTxDone = core.ErrTxDone
 )

@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/dbms"
 	"repro/internal/dbver"
+	"repro/internal/driverimg"
 	"repro/internal/scenarios"
 	"repro/internal/sqlmini"
 )
@@ -515,5 +517,138 @@ func BenchmarkLeaseTrafficSweep(b *testing.B) {
 			secs := window.Seconds() * float64(b.N)
 			b.ReportMetric(float64(renewals)/secs, "renewals/s")
 		})
+	}
+}
+
+// externalStack boots the Figure 2 shape for benchmarking: a legacy
+// DBMS holding both the application data ("prod") and the Drivolution
+// schema ("meta"), an external Drivolution server reaching the schema
+// through a ConnStore over the legacy native driver, and a driver
+// runtime.
+type externalStack struct {
+	legacy *dbms.Server
+	store  *core.ConnStore
+	drv    *core.Server
+	rt     *driverimg.Runtime
+}
+
+func newExternalStackB(b *testing.B) *externalStack {
+	b.Helper()
+	appDB := sqlmini.NewDB()
+	appDB.MustExec("CREATE TABLE items (id INTEGER NOT NULL PRIMARY KEY, name VARCHAR)")
+	appDB.MustExec("INSERT INTO items (id, name) VALUES (1, 'widget')")
+	legacy := dbms.NewServer("legacy-db",
+		dbms.WithUser("app", "app-pw"),
+		dbms.WithUser("drivolution", "svc-pw"))
+	legacy.AddDatabase("prod", appDB)
+	legacy.AddDatabase("meta", sqlmini.NewDB())
+	if err := legacy.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(legacy.Stop)
+
+	legacyDriver := dbms.NewNativeDriver(dbver.V(1, 0, 0), 1)
+	addr := legacy.Addr()
+	store := core.NewConnStore(func() (client.Conn, error) {
+		return legacyDriver.Connect("dbms://"+addr+"/meta",
+			client.Props{"user": "drivolution", "password": "svc-pw"})
+	})
+	b.Cleanup(store.Close)
+
+	drv, err := core.NewServer("external-drivolution", store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := drv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(drv.Stop)
+
+	rt := driverimg.NewRuntime()
+	rt.Register(dbms.DriverKind, dbms.ImageFactory())
+	return &externalStack{legacy: legacy, store: store, drv: drv, rt: rt}
+}
+
+func (s *externalStack) image(payload int) *driverimg.Image {
+	body := make([]byte, payload)
+	for i := range body {
+		body[i] = byte(i * 13)
+	}
+	return &driverimg.Image{
+		Manifest: driverimg.Manifest{
+			Kind:            dbms.DriverKind,
+			API:             dbver.APIOf("JDBC", 3, 0),
+			Version:         dbver.V(1, 0, 0),
+			ProtocolVersion: 1,
+			Options:         map[string]string{"user": "app", "password": "app-pw"},
+		},
+		Payload: body,
+	}
+}
+
+// BenchmarkExternalLeaseRenewal measures the Table 4 no-change renewal
+// against the external deployment (Figure 2): every matchmaking and
+// lease statement crosses a real driver connection to the legacy DBMS
+// through the pooled ConnStore, so this tracks the per-renewal wire
+// cost of the SQL path (ConnStore has no generation counter, so no
+// catalog shortcut applies).
+func BenchmarkExternalLeaseRenewal(b *testing.B) {
+	s := newExternalStackB(b)
+	if _, err := s.drv.AddDriver(s.image(16<<10), dbver.FormatImage); err != nil {
+		b.Fatal(err)
+	}
+	bl := core.NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+		[]string{s.drv.Addr()}, s.rt,
+		core.WithCredentials("app", "app-pw"),
+		core.WithDialTimeout(2*time.Second))
+	b.Cleanup(bl.Close)
+	if _, err := bl.Connect("dbms://"+s.legacy.Addr()+"/prod", nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bl.ForceRenew("prod"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExternalReapAt1000Leases measures the expiry sweep against
+// the external deployment with 1000 live leases in the remote log: the
+// whole sweep is one statement on the legacy connection (staged-blob
+// reclamation is in-memory), so ns/op tracks a single wire round trip
+// regardless of the lease population.
+func BenchmarkExternalReapAt1000Leases(b *testing.B) {
+	s := newExternalStackB(b)
+	if _, err := s.drv.AddDriver(s.image(4<<10), dbver.FormatImage); err != nil {
+		b.Fatal(err)
+	}
+	now := time.Now()
+	args := sqlmini.Args{"g": now, "e": now.Add(24 * time.Hour)}
+	const batch = 200
+	for lo := 0; lo < 1000; lo += batch {
+		var sb strings.Builder
+		sb.WriteString(`INSERT INTO ` + core.LeasesTable + ` (lease_id, driver_id,
+			database, user, client_id, granted_at, expires_at, released, renewals) VALUES `)
+		for i := lo; i < lo+batch; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, 1, 'prod', 'app', 'filler-%d', $g, $e, FALSE, 0)", 1_000_000+i, i)
+		}
+		if _, err := s.store.Exec(sb.String(), args); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queriesBefore := s.legacy.QueriesServed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.drv.ReapExpiredLeases(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := s.legacy.QueriesServed() - queriesBefore; got != int64(b.N) {
+		b.Fatalf("sweeps must cost one statement each: %d statements for %d sweeps", got, b.N)
 	}
 }

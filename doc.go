@@ -78,6 +78,32 @@
 // are deltas: permission churn carries driver entries over untouched,
 // and driver churn re-hashes only blobs whose bytes actually changed.
 //
+// # Store API v2: capability interfaces
+//
+// The storage boundary is Store (one Exec) plus optional capability
+// interfaces detected by type assertion, mirroring the GenerationStore
+// pattern: TxStore (Begin/Commit/Rollback with atomic multi-statement
+// semantics), StmtStore (Prepare returning reusable handles that carry
+// their cached AST and plan skeleton), and BatchStore (ExecBatch — one
+// wire round trip on the external store, one atomic engine-lock
+// acquisition on the embedded one). LocalStore implements all three;
+// ConnStore implements TxStore and BatchStore over a small connection
+// pool with per-transaction connection affinity (a long transaction no
+// longer head-of-line blocks unrelated statements). The RunAtomic,
+// ExecBatchOn, and PrepareOn adapters give plain-Exec stores
+// best-effort fallbacks, so third-party Store implementations keep
+// working unchanged. On these rails the server's multi-statement
+// operations — driver registration, permission updates, driver
+// deletion, lease creation, and the expiry sweep — execute as single
+// atomic units; the sweep is one statement regardless of lease count
+// (staged-blob reclamation is in-memory: each pending transfer records
+// its lease expiry at staging time). ConnStore's failure contract is explicit: a statement
+// is replayed after a redial only when it provably never executed
+// (never left the client) or is a read-only SELECT; anything else
+// surfaces ErrExecOutcomeUnknown instead of risking double-apply.
+// CountingStore pins the statement budgets in tests (renewal = 1
+// statement, reap = 1).
+//
 // Benchmarks track these paths: see Makefile bench targets and
 // BENCH_baseline.json (scripts/bench.sh compares runs against it;
 // scripts/README.md documents the workflow). `make check` (build + vet

@@ -116,7 +116,34 @@ var (
 	// ErrConnRevoked reports a connection force-closed by a driver
 	// replacement policy (IMMEDIATE / AFTER_COMMIT).
 	ErrConnRevoked = errors.New("client: connection revoked by driver replacement")
+	// ErrStatementNotSent reports a connection failure that happened
+	// before the statement left the client: the statement provably never
+	// executed, so callers may safely retry it on a fresh connection.
+	// Connection failures WITHOUT this mark are ambiguous — the server
+	// may or may not have applied the statement.
+	ErrStatementNotSent = errors.New("client: statement never reached the server")
 )
+
+// Statement is one SQL statement plus its arguments, the unit of batch
+// execution.
+type Statement struct {
+	SQL  string
+	Args []any
+}
+
+// BatchConn is optionally implemented by connections that can ship a
+// whole statement batch to the server in a single wire round trip.
+type BatchConn interface {
+	// ExecBatch executes stmts in order on this connection. When atomic
+	// is true the server wraps the batch in a transaction and rolls it
+	// back if any statement fails; atomic batches must not themselves
+	// contain transaction control, and are rejected while a
+	// transaction is already open on the connection (the server could
+	// not honor the rollback promise without clobbering it). On
+	// failure the returned results are nil and the error identifies
+	// the failing statement.
+	ExecBatch(atomic bool, stmts []Statement) ([]*Result, error)
+}
 
 // URL is a parsed connection URL:
 //

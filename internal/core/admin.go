@@ -41,7 +41,7 @@ func (s *Server) AddDriver(img *driverimg.Image, format dbver.BinaryFormat) (int
 			BinaryCode: img.Encode(),
 			Format:     string(format),
 		}
-		err := insertDriver(s.store, rec)
+		err := insertDriver(s.router(), rec)
 		if err == nil {
 			s.NotifyUpdate("", m.API.Name)
 			return id, nil
@@ -58,21 +58,31 @@ func (s *Server) AddDriver(img *driverimg.Image, format dbver.BinaryFormat) (int
 
 // DeleteDriver removes a driver row entirely ("Obsolete drivers can be
 // disabled by either deleting them or setting the end_date", §4.1.1).
-// Permission rows referencing it are removed too.
+// Permission rows referencing it are removed too, in the same
+// transaction on TxStore-capable stores: either the driver and its
+// permissions all disappear, or — when the driver id is unknown or a
+// statement fails — nothing does. On plain-Exec stores the unit
+// degrades to RunAtomic's documented best-effort sequence.
 func (s *Server) DeleteDriver(driverID int64) error {
-	if _, err := s.store.Exec(
-		`DELETE FROM `+PermissionTable+` WHERE driver_id = $id`,
-		sqlmini.Args{"id": driverID}); err != nil {
-		return fmt.Errorf("core: delete driver permissions: %w", err)
-	}
-	res, err := s.store.Exec(
-		`DELETE FROM `+DriversTable+` WHERE driver_id = $id`,
-		sqlmini.Args{"id": driverID})
+	err := RunAtomic(s.store, func(tx Tx) error {
+		if _, err := tx.Exec(
+			`DELETE FROM `+PermissionTable+` WHERE driver_id = $id`,
+			sqlmini.Args{"id": driverID}); err != nil {
+			return fmt.Errorf("core: delete driver permissions: %w", err)
+		}
+		res, err := tx.Exec(
+			`DELETE FROM `+DriversTable+` WHERE driver_id = $id`,
+			sqlmini.Args{"id": driverID})
+		if err != nil {
+			return fmt.Errorf("core: delete driver: %w", err)
+		}
+		if res.Affected == 0 {
+			return fmt.Errorf("core: no driver %d", driverID)
+		}
+		return nil
+	})
 	if err != nil {
-		return fmt.Errorf("core: delete driver: %w", err)
-	}
-	if res.Affected == 0 {
-		return fmt.Errorf("core: no driver %d", driverID)
+		return err
 	}
 	s.NotifyUpdate("", "")
 	return nil
@@ -93,7 +103,7 @@ func (s *Server) SetPermission(p Permission) (int64, error) {
 		s.nextPermID++
 		p.PermissionID = s.nextPermID
 		s.idMu.Unlock()
-		err := insertPermission(s.store, p)
+		err := insertPermission(s.router(), p)
 		if err == nil {
 			s.NotifyUpdate(p.Database, "")
 			return p.PermissionID, nil
@@ -114,7 +124,7 @@ func (s *Server) SetPermission(p Permission) (int64, error) {
 // "setting the end_date to the current_date" revocation.
 func (s *Server) ExpirePermission(permissionID int64) error {
 	past := time.Unix(0, 0).UTC()
-	res, err := s.store.Exec(`UPDATE `+PermissionTable+`
+	res, err := s.exec(`UPDATE `+PermissionTable+`
 		SET start_date = $t, end_date = $t WHERE permission_id = $id`,
 		sqlmini.Args{"t": past, "id": permissionID})
 	if err != nil {
@@ -131,7 +141,7 @@ func (s *Server) ExpirePermission(permissionID int64) error {
 // REVOKE policy, so clients are told to stop using it at their next
 // renewal even though no replacement exists (paper §3.3).
 func (s *Server) RevokeDriverForRenewals(driverID int64) error {
-	_, err := s.store.Exec(`UPDATE `+PermissionTable+`
+	_, err := s.exec(`UPDATE `+PermissionTable+`
 		SET renew_policy = $revoke WHERE driver_id = $id`,
 		sqlmini.Args{"revoke": int64(RenewRevoke), "id": driverID})
 	if err != nil {
@@ -143,7 +153,7 @@ func (s *Server) RevokeDriverForRenewals(driverID int64) error {
 
 // Drivers lists driver rows without their binaries (admin/experiments).
 func (s *Server) Drivers() ([]DriverRecord, error) {
-	res, err := s.store.Exec(`SELECT driver_id, api_name, api_version_major,
+	res, err := s.exec(`SELECT driver_id, api_name, api_version_major,
 		api_version_minor, platform, driver_version_major,
 		driver_version_minor, driver_version_micro, binary_format
 		FROM ` + DriversTable + ` ORDER BY driver_id`)
@@ -172,7 +182,7 @@ func (s *Server) Drivers() ([]DriverRecord, error) {
 
 // Permissions lists permission rows (admin/experiments).
 func (s *Server) Permissions() ([]Permission, error) {
-	res, err := s.store.Exec(`SELECT permission_id, user, client_ip,
+	res, err := s.exec(`SELECT permission_id, user, client_ip,
 		database, driver_id, driver_options, start_date, end_date,
 		lease_time_in_ms, renew_policy, expiration_policy, transfer_method
 		FROM ` + PermissionTable + ` ORDER BY permission_id`)

@@ -127,7 +127,7 @@ func (s *Server) loadCatalog(gen uint64, old *catalog) (*catalog, error) {
 	if hasTV && old != nil && old.drvGen == drvGen {
 		cat.order, cat.byID = old.order, old.byID
 	} else {
-		drvRes, err := s.store.Exec(catalogDriversSQL)
+		drvRes, err := s.exec(catalogDriversSQL)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +157,7 @@ func (s *Server) loadCatalog(gen uint64, old *catalog) (*catalog, error) {
 			return catalogBefore(cat.order[i], cat.order[j])
 		})
 	}
-	permRes, err := s.store.Exec(catalogPermsSQL)
+	permRes, err := s.exec(catalogPermsSQL)
 	if err != nil {
 		return nil, err
 	}

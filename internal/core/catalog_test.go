@@ -21,14 +21,44 @@ type countingStore struct {
 	schemaReads atomic.Int64
 }
 
-func (c *countingStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+func (c *countingStore) isSchemaRead(sql string) bool {
 	trimmed := strings.TrimSpace(sql)
-	if strings.HasPrefix(trimmed, "SELECT") &&
-		(strings.Contains(sql, DriversTable) || strings.Contains(sql, PermissionTable)) {
+	return strings.HasPrefix(trimmed, "SELECT") &&
+		(strings.Contains(sql, DriversTable) || strings.Contains(sql, PermissionTable))
+}
+
+func (c *countingStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	if c.isSchemaRead(sql) {
 		c.schemaReads.Add(1)
 	}
 	return c.LocalStore.Exec(sql, args...)
 }
+
+// Prepare wraps the embedded store's handle so statements the server
+// routes through its prepared-handle cache still count — otherwise the
+// zero-SQL steady-state assertions would pass vacuously.
+func (c *countingStore) Prepare(sql string) (Stmt, error) {
+	h, err := c.LocalStore.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	if !c.isSchemaRead(sql) {
+		return h, nil
+	}
+	return countingSchemaStmt{c: c, h: h}, nil
+}
+
+type countingSchemaStmt struct {
+	c *countingStore
+	h Stmt
+}
+
+func (s countingSchemaStmt) Exec(args ...any) (*sqlmini.Result, error) {
+	s.c.schemaReads.Add(1)
+	return s.h.Exec(args...)
+}
+
+func (s countingSchemaStmt) Close() error { return s.h.Close() }
 
 func newCatalogServer(t *testing.T, opts ...ServerOption) (*Server, *countingStore) {
 	t.Helper()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/sqlmini"
 )
@@ -36,7 +37,10 @@ func (s *Server) grant(req Request, isTLS bool) (Offer, *ProtocolError) {
 	if err != nil {
 		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 	}
-	s.stageTransfer(leaseID, g.blob)
+	// The clock is re-read after the INSERT, so the recorded expiry is
+	// an upper bound on the lease row's — the sweep never reclaims a
+	// staged blob before its lease really expired.
+	s.stageTransfer(leaseID, g.blob, s.clock().Add(g.leaseTime))
 	return Offer{
 		LeaseID:          leaseID,
 		LeaseTime:        g.leaseTime,
@@ -68,7 +72,7 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 	// lease or reports it unknown/released.
 	if matchErr == nil && g.renew != RenewRevoke &&
 		req.CurrentChecksum != "" && req.CurrentChecksum == g.checksum {
-		res, err := s.store.Exec(renewNoChangeSQL, sqlmini.Args{
+		res, err := s.exec(renewNoChangeSQL, sqlmini.Args{
 			"exp": s.clock().Add(g.leaseTime),
 			"drv": g.driverID,
 			"id":  int64(req.LeaseID),
@@ -135,10 +139,14 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 		}
 	}
 
+	// Same guarded statement as the fast path (one shared prepared
+	// handle): the released = FALSE predicate makes a sweep or release
+	// sliding in after the leaseByID read above win — extending a
+	// released lease would hand back a live Offer whose license the
+	// sweep already freed, and re-stage a blob no sweep would ever
+	// drop.
 	now := s.clock()
-	_, err = s.store.Exec(`UPDATE `+LeasesTable+`
-		SET expires_at = $exp, renewals = renewals + 1, driver_id = $drv
-		WHERE lease_id = $id`,
+	res, err := s.exec(renewNoChangeSQL,
 		sqlmini.Args{
 			"exp": now.Add(g.leaseTime),
 			"drv": g.driverID,
@@ -146,6 +154,10 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 		})
 	if err != nil {
 		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
+	}
+	if res.Affected == 0 {
+		return Offer{}, &ProtocolError{Code: ErrCodeNoLease,
+			Message: fmt.Sprintf("lease %d unknown or released", req.LeaseID)}
 	}
 
 	offer := Offer{
@@ -161,7 +173,7 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 	}
 	if !keep {
 		offer.Size = uint32(g.size)
-		s.stageTransfer(lease.LeaseID, g.blob)
+		s.stageTransfer(lease.LeaseID, g.blob, now.Add(g.leaseTime))
 	} else {
 		// The renewal acknowledges the client runs the matched content:
 		// any staged blob from the original transfer (or an earlier
@@ -173,9 +185,21 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 	return offer, nil
 }
 
-func (s *Server) stageTransfer(leaseID uint64, blob []byte) {
+// pendingTransfer is a staged driver blob plus the expiry of the lease
+// it was staged for, recorded at staging time. The recorded expiry is
+// always current (and an upper bound on the lease's real one): every
+// later renewal of the lease either drops the entry or re-stages it
+// with the new expiry, so an entry whose recorded expiry has passed
+// provably belongs to an expired lease — which is what lets the expiry
+// sweep reclaim staged blobs entirely in memory, with no SQL read-back.
+type pendingTransfer struct {
+	blob      []byte
+	expiresAt time.Time
+}
+
+func (s *Server) stageTransfer(leaseID uint64, blob []byte, expiresAt time.Time) {
 	s.pendingMu.Lock()
-	s.pending[leaseID] = blob
+	s.pending[leaseID] = pendingTransfer{blob: blob, expiresAt: expiresAt}
 	s.pendingMu.Unlock()
 }
 
@@ -184,6 +208,14 @@ func (s *Server) dropPending(leaseID uint64) {
 	delete(s.pending, leaseID)
 	s.pendingMu.Unlock()
 }
+
+// newLeaseSQL is the lease-creation write: a single statement, so the
+// operation is one atomic unit on every store (the id-allocation reads
+// behind loadIDsLocked run once per server lifetime, as one batch).
+const newLeaseSQL = `INSERT INTO ` + LeasesTable + `
+	(lease_id, driver_id, database, user, client_id, granted_at,
+	 expires_at, released, renewals)
+	VALUES ($id, $drv, $db, $user, $client, $granted, $exp, FALSE, 0)`
 
 // newLease inserts a lease row and returns its id. When several servers
 // share one store (replicated embedded servers, Figure 6), concurrent
@@ -201,19 +233,15 @@ func (s *Server) newLease(req Request, g *grantInfo) (uint64, error) {
 		id := s.nextLease
 		s.idMu.Unlock()
 
-		_, err := s.store.Exec(`INSERT INTO `+LeasesTable+`
-			(lease_id, driver_id, database, user, client_id, granted_at,
-			 expires_at, released, renewals)
-			VALUES ($id, $drv, $db, $user, $client, $granted, $exp, FALSE, 0)`,
-			sqlmini.Args{
-				"id":      int64(id),
-				"drv":     g.driverID,
-				"db":      nullableStr(req.Database),
-				"user":    nullableStr(req.User),
-				"client":  nullableStr(req.ClientID),
-				"granted": now,
-				"exp":     now.Add(g.leaseTime),
-			})
+		_, err := s.exec(newLeaseSQL, sqlmini.Args{
+			"id":      int64(id),
+			"drv":     g.driverID,
+			"db":      nullableStr(req.Database),
+			"user":    nullableStr(req.User),
+			"client":  nullableStr(req.ClientID),
+			"granted": now,
+			"exp":     now.Add(g.leaseTime),
+		})
 		if err == nil {
 			return id, nil
 		}
@@ -237,7 +265,7 @@ func isDuplicateKey(err error) bool {
 }
 
 func (s *Server) expireLease(id uint64) {
-	_, _ = s.store.Exec(`UPDATE `+LeasesTable+` SET released = TRUE WHERE lease_id = $id`,
+	_, _ = s.exec(`UPDATE `+LeasesTable+` SET released = TRUE WHERE lease_id = $id`,
 		sqlmini.Args{"id": int64(id)})
 	s.dropPending(id)
 }
@@ -246,7 +274,7 @@ func (s *Server) expireLease(id uint64) {
 // license-manager path (§5.4.2), as opposed to the bootloader-initiated
 // msgRelease.
 func (s *Server) ReleaseLeaseByID(id uint64) error {
-	res, err := s.store.Exec(`UPDATE `+LeasesTable+`
+	res, err := s.exec(`UPDATE `+LeasesTable+`
 		SET released = TRUE WHERE lease_id = $id`,
 		sqlmini.Args{"id": int64(id)})
 	if err != nil {
@@ -259,7 +287,7 @@ func (s *Server) ReleaseLeaseByID(id uint64) error {
 	return nil
 }
 
-// expiredLeaseIDsSQL and reapExpiredSQL are the two halves of the
+// reapExpiredSQL and sweptLeaseIDsSQL are the two halves of the
 // lease-expiry sweep (§3.2: expired leases free their licenses; §5.4.2
 // builds per-user enforcement on that). Both carry the `expires_at <=
 // $now` window as their only indexable conjunct, so the planner seeks
@@ -268,14 +296,10 @@ func (s *Server) ReleaseLeaseByID(id uint64) error {
 // handful of rows that actually expired. TestHotStatementsPlanIndexed
 // pins the range plans; BenchmarkExpirySweepAt{100,10000}Leases tracks
 // flatness.
-const (
-	expiredLeaseIDsSQL = `SELECT lease_id FROM ` + LeasesTable + `
-		WHERE released = FALSE AND expires_at <= $now`
-	reapExpiredSQL = `UPDATE ` + LeasesTable + `
-		SET released = TRUE WHERE released = FALSE AND expires_at <= $now`
-	leaseReleasedSQL = `SELECT released FROM ` + LeasesTable + `
-		WHERE lease_id = $id`
-)
+// reapExpiredSQL is the lease-expiry sweep (§3.2: expired leases free
+// their licenses; §5.4.2 builds per-user enforcement on that).
+const reapExpiredSQL = `UPDATE ` + LeasesTable + `
+	SET released = TRUE WHERE released = FALSE AND expires_at <= $now`
 
 // ReapExpiredLeases marks every expired, still-unreleased lease as
 // released and drops any driver blob staged for it, returning how many
@@ -284,39 +308,37 @@ const (
 // capacity frees up without waiting for the defaulting client, and so
 // the lease log stops accumulating phantom "live" rows.
 //
-// The sweep runs as separate statements against a store that may be
-// shared with live grant traffic, so the expiry bound is evaluated once
-// and passed to both halves, and a staged blob is dropped only after a
-// point lookup confirms its lease really ended up released — a renewal
-// sliding in between the SELECT and the UPDATE keeps both its lease and
-// its staged transfer. (released never transitions back to FALSE, so
-// the confirmation cannot go stale.)
+// The whole sweep is ONE statement — one wire round trip on external
+// stores — regardless of how many leases exist or expire. The old
+// SELECT-then-confirm-per-id shape (N+1 statements) existed only to
+// decide which STAGED BLOBS to drop, but the pending map is
+// server-local state: each entry records its lease's expiry at staging
+// time (see pendingTransfer), so reclamation is a pure in-memory pass.
+// An entry whose recorded expiry has passed belongs to a lease this
+// sweep's UPDATE (or an earlier one, possibly by another server
+// sharing the store) releases — terminally dead, since released never
+// transitions back to FALSE. An entry re-staged by a concurrent
+// upgrade renewal carries that renewal's future expiry and survives;
+// pendingMu makes the stage/reap pair atomic per entry.
 func (s *Server) ReapExpiredLeases() (int, error) {
-	args := sqlmini.Args{"now": s.clock()}
-	ids, err := s.store.Exec(expiredLeaseIDsSQL, args)
+	now := s.clock()
+	res, err := s.exec(reapExpiredSQL, sqlmini.Args{"now": now})
 	if err != nil {
 		return 0, err
 	}
-	res, err := s.store.Exec(reapExpiredSQL, args)
-	if err != nil {
-		return 0, err
-	}
-	for _, row := range ids.Rows {
-		id := row[0].Int()
-		rel, err := s.store.Exec(leaseReleasedSQL, sqlmini.Args{"id": id})
-		if err != nil {
-			return res.Affected, err
-		}
-		if len(rel.Rows) == 1 && rel.Rows[0][0].Bool() {
-			s.dropPending(uint64(id))
+	s.pendingMu.Lock()
+	for id, p := range s.pending {
+		if !p.expiresAt.After(now) {
+			delete(s.pending, id)
 		}
 	}
+	s.pendingMu.Unlock()
 	return res.Affected, nil
 }
 
 // leaseByID loads one lease row.
 func (s *Server) leaseByID(id uint64) (Lease, bool, error) {
-	res, err := s.store.Exec(`SELECT lease_id, driver_id, database, user,
+	res, err := s.exec(`SELECT lease_id, driver_id, database, user,
 		client_id, granted_at, expires_at, released, renewals
 		FROM `+LeasesTable+` WHERE lease_id = $id`,
 		sqlmini.Args{"id": int64(id)})
@@ -344,7 +366,7 @@ func (s *Server) leaseByID(id uint64) (Lease, bool, error) {
 
 // Leases returns all lease rows (admin/experiments).
 func (s *Server) Leases() ([]Lease, error) {
-	res, err := s.store.Exec(`SELECT lease_id, driver_id, database, user,
+	res, err := s.exec(`SELECT lease_id, driver_id, database, user,
 		client_id, granted_at, expires_at, released, renewals
 		FROM ` + LeasesTable + ` ORDER BY lease_id`)
 	if err != nil {
@@ -368,37 +390,30 @@ func (s *Server) Leases() ([]Lease, error) {
 	return out, nil
 }
 
-// loadIDsLocked initializes id allocators from the store; caller holds
-// s.idMu.
+// loadIDsLocked initializes id allocators from the store — one batch
+// (one wire round trip on batch-capable external stores) for all three
+// max() reads; caller holds s.idMu.
 func (s *Server) loadIDsLocked() error {
 	if s.idsLoaded {
 		return nil
 	}
-	maxOf := func(col, table string) (int64, error) {
-		res, err := s.store.Exec(fmt.Sprintf("SELECT max(%s) FROM %s", col, table))
-		if err != nil {
-			return 0, err
-		}
+	rs, err := ExecBatchOn(s.store, []Statement{
+		{SQL: "SELECT max(lease_id) FROM " + LeasesTable},
+		{SQL: "SELECT max(permission_id) FROM " + PermissionTable},
+		{SQL: "SELECT max(driver_id) FROM " + DriversTable},
+	})
+	if err != nil {
+		return err
+	}
+	maxOf := func(res *sqlmini.Result) int64 {
 		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
-			return 0, nil
+			return 0
 		}
-		return res.Rows[0][0].Int(), nil
+		return res.Rows[0][0].Int()
 	}
-	lease, err := maxOf("lease_id", LeasesTable)
-	if err != nil {
-		return err
-	}
-	perm, err := maxOf("permission_id", PermissionTable)
-	if err != nil {
-		return err
-	}
-	drv, err := maxOf("driver_id", DriversTable)
-	if err != nil {
-		return err
-	}
-	s.nextLease = uint64(lease)
-	s.nextPermID = perm
-	s.nextDrvID = drv
+	s.nextLease = uint64(maxOf(rs[0]))
+	s.nextPermID = maxOf(rs[1])
+	s.nextDrvID = maxOf(rs[2])
 	s.idsLoaded = true
 	return nil
 }

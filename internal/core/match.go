@@ -108,7 +108,7 @@ func (s *Server) match(req Request) (*grantInfo, *ProtocolError) {
 // generation support.
 func (s *Server) matchSQL(req Request) (*grantInfo, *ProtocolError) {
 	// 1. Permission table (Sample code 2).
-	res, err := s.store.Exec(permissionSQL, sqlmini.Args{
+	res, err := s.exec(permissionSQL, sqlmini.Args{
 		"user_database":    req.Database,
 		"client_user":      nullableStr(req.User),
 		"client_client_ip": nullableStr(req.ClientID),
@@ -198,12 +198,12 @@ func (s *Server) matchByPreference(req Request) (*grantInfo, *ProtocolError) {
 		"client_drv_micro": nullableInt(req.PreferredVersion.Micro),
 		"client_format":    nullableStr(req.PreferredFormat),
 	}
-	res, err := s.store.Exec(preferenceSQL, args)
+	res, err := s.exec(preferenceSQL, args)
 	if err != nil {
 		return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 	}
 	if len(res.Rows) == 0 {
-		res, err = s.store.Exec(fallbackSQL, sqlmini.Args{
+		res, err = s.exec(fallbackSQL, sqlmini.Args{
 			"client_api_name": req.API.Name,
 			"client_platform": string(req.ClientPlatform),
 		})
@@ -320,7 +320,7 @@ func (s *Server) materializeBlob(g *grantInfo) *ProtocolError {
 	if g.blob != nil {
 		return nil
 	}
-	res, err := s.store.Exec(driverBlobSQL, sqlmini.Args{"id": g.driverID})
+	res, err := s.exec(driverBlobSQL, sqlmini.Args{"id": g.driverID})
 	if err != nil {
 		return &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 	}
@@ -335,7 +335,7 @@ func (s *Server) materializeBlob(g *grantInfo) *ProtocolError {
 
 // driverByID loads one driver row.
 func (s *Server) driverByID(id int64) (DriverRecord, bool, error) {
-	res, err := s.store.Exec(driverByIDSQL, sqlmini.Args{"id": id})
+	res, err := s.exec(driverByIDSQL, sqlmini.Args{"id": id})
 	if err != nil {
 		return DriverRecord{}, false, err
 	}
@@ -370,7 +370,7 @@ func driverMatchesRequest(rec DriverRecord, req Request) bool {
 // driver's bucket is at most a handful of rows in license mode), with
 // the expires_at window applied as a residual.
 func (s *Server) driverLeaseFree(driverID int64, ownLease uint64) (bool, error) {
-	res, err := s.store.Exec(`SELECT count(*) FROM `+LeasesTable+`
+	res, err := s.exec(`SELECT count(*) FROM `+LeasesTable+`
 		WHERE driver_id = $id AND released = FALSE
 		AND expires_at > now() AND lease_id <> $own`,
 		sqlmini.Args{"id": driverID, "own": int64(ownLease)})
@@ -393,7 +393,7 @@ const licenseUsageSQL = `SELECT count(*) FROM ` + LeasesTable + `
 // unreleased, and unexpired — which in license mode is exactly the
 // number of driver licenses checked out (§5.4.2).
 func (s *Server) LicensesInUse() (int, error) {
-	res, err := s.store.Exec(licenseUsageSQL)
+	res, err := s.exec(licenseUsageSQL)
 	if err != nil {
 		return 0, err
 	}

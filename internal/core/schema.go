@@ -164,6 +164,8 @@ const insertDriverSQL = `INSERT INTO ` + DriversTable + `
 	VALUES ($driver_id, $api_name, $api_major, $api_minor, $platform,
 	 $drv_major, $drv_minor, $drv_micro, $binary_code, $binary_format)`
 
+// insertDriver takes the one-method Store shape, which a Tx or the
+// server's prepared-statement router also satisfies structurally.
 func insertDriver(st Store, rec DriverRecord) error {
 	_, err := st.Exec(insertDriverSQL, sqlmini.Args{
 		"driver_id":     rec.DriverID,

@@ -54,7 +54,7 @@ type Server struct {
 	idsLoaded  bool
 
 	pendingMu sync.Mutex
-	pending   map[uint64][]byte // leaseID → driver blob awaiting FILE_REQUEST
+	pending   map[uint64]pendingTransfer // leaseID → staged driver blob
 
 	subMu       sync.Mutex
 	subscribers map[*wire.Conn]subscribeMsg
@@ -71,6 +71,13 @@ type Server struct {
 	catMu      sync.Mutex
 	assemblies assemblyCache
 	signGen    uint64 // bumped when the signing key changes
+
+	// Prepared-handle cache over StmtStore stores: every server-issued
+	// statement routes through exec(), which reuses one handle per SQL
+	// text so hot statements skip parse-and-plan. nil when the store
+	// has no StmtStore capability (exec falls through to store.Exec).
+	stmtMu sync.Mutex
+	stmts  map[string]Stmt
 
 	wg sync.WaitGroup
 
@@ -141,18 +148,53 @@ func NewServer(name string, store Store, opts ...ServerOption) (*Server, error) 
 		defaultRenew:      RenewUpgrade,
 		defaultExpiration: AfterCommit,
 		defaultTransfer:   TransferAny,
-		pending:           make(map[uint64][]byte),
+		pending:           make(map[uint64]pendingTransfer),
 		subscribers:       make(map[*wire.Conn]subscribeMsg),
 		conns:             make(map[*wire.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	if _, ok := store.(StmtStore); ok {
+		s.stmts = make(map[string]Stmt)
+	}
 	if err := EnsureSchema(store); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
+
+// exec routes one statement to the store, through a cached prepared
+// handle when the store supports StmtStore. The set of SQL texts the
+// server issues is a small fixed vocabulary, so the cache is bounded.
+func (s *Server) exec(sql string, args ...any) (*sqlmini.Result, error) {
+	if s.stmts == nil {
+		return s.store.Exec(sql, args...)
+	}
+	s.stmtMu.Lock()
+	h, ok := s.stmts[sql]
+	if !ok {
+		var err error
+		h, err = s.store.(StmtStore).Prepare(sql)
+		if err != nil {
+			s.stmtMu.Unlock()
+			return nil, err
+		}
+		s.stmts[sql] = h
+	}
+	s.stmtMu.Unlock()
+	return h.Exec(args...)
+}
+
+// stmtRouter adapts the server's prepared-handle routing to the execer
+// shape the schema helpers take.
+type stmtRouter struct{ s *Server }
+
+func (r stmtRouter) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	return r.s.exec(sql, args...)
+}
+
+func (s *Server) router() stmtRouter { return stmtRouter{s: s} }
 
 // Name returns the server name.
 func (s *Server) Name() string { return s.name }
@@ -383,12 +425,13 @@ func (s *Server) handleFileRequest(conn *wire.Conn, payload []byte) {
 		return
 	}
 	s.pendingMu.Lock()
-	blob, ok := s.pending[fr.LeaseID]
+	p, ok := s.pending[fr.LeaseID]
 	s.pendingMu.Unlock()
 	if !ok {
 		s.sendError(conn, ErrCodeNoLease, fmt.Sprintf("no pending transfer for lease %d", fr.LeaseID))
 		return
 	}
+	blob := p.blob
 	total := uint32(len(blob))
 	e := wire.GetEncoder(16 + transferChunkSize) // one framing buffer for the whole stream
 	defer wire.PutEncoder(e)
@@ -436,7 +479,7 @@ func (s *Server) handleRelease(conn *wire.Conn, payload []byte) {
 		s.sendError(conn, ErrCodeInternal, "malformed release")
 		return
 	}
-	_, execErr := s.store.Exec(
+	_, execErr := s.exec(
 		`UPDATE `+LeasesTable+` SET released = TRUE WHERE lease_id = $id`,
 		sqlmini.Args{"id": int64(rel.LeaseID)})
 	if execErr != nil {

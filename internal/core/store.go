@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/client"
@@ -18,6 +20,9 @@ import (
 //   - ConnStore: the schema sits in a remote legacy DBMS reached through
 //     a conventional driver connection — the external server (§4.1.3,
 //     Figure 2).
+//
+// Store API v2 (storev2.go) extends this boundary with optional
+// capability interfaces: TxStore, StmtStore, BatchStore.
 type Store interface {
 	// Exec runs one SQL statement against the schema's database.
 	Exec(sql string, args ...any) (*sqlmini.Result, error)
@@ -48,7 +53,10 @@ type TableVersionStore interface {
 	TableVersion(name string) uint64
 }
 
-// LocalStore serves the schema from an in-process sqlmini database.
+// LocalStore serves the schema from an in-process sqlmini database. It
+// implements every v2 capability natively: real transactions (engine
+// undo log), prepared handles (cached AST + plan skeleton), and atomic
+// batches (one engine-lock acquisition for the whole list).
 type LocalStore struct {
 	DB *sqlmini.DB
 }
@@ -76,59 +84,504 @@ func (s *LocalStore) TableVersion(name string) uint64 {
 	return s.DB.TableVersion(name)
 }
 
-// ConnStore serves the schema through a legacy driver connection to a
+// Begin implements TxStore on the embedded engine: the transaction is
+// a session with an undo log, so Rollback (or a failure inside
+// RunAtomic) reverts every statement of the unit.
+func (s *LocalStore) Begin() (Tx, error) {
+	sess := s.DB.NewSession()
+	if _, err := sess.Exec("BEGIN"); err != nil {
+		sess.Close()
+		return nil, err
+	}
+	return &localTx{sess: sess}, nil
+}
+
+type localTx struct {
+	sess *sqlmini.Session
+	done bool
+}
+
+func (tx *localTx) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	return tx.sess.Exec(sql, args...)
+}
+
+func (tx *localTx) Query(sql string, args ...any) (*sqlmini.Result, error) {
+	return tx.Exec(sql, args...)
+}
+
+func (tx *localTx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	_, err := tx.sess.Exec("COMMIT")
+	tx.sess.Close()
+	return err
+}
+
+func (tx *localTx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	_, err := tx.sess.Exec("ROLLBACK")
+	tx.sess.Close()
+	return err
+}
+
+// Prepare implements StmtStore: the handle carries the parsed AST and
+// the planner's cached analysis (sqlmini.Prepared), so per-call work
+// is binding arguments and evaluating the index keys.
+func (s *LocalStore) Prepare(sql string) (Stmt, error) {
+	p, err := s.DB.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return localStmt{p: p}, nil
+}
+
+type localStmt struct{ p *sqlmini.Prepared }
+
+func (st localStmt) Exec(args ...any) (*sqlmini.Result, error) { return st.p.Exec(args...) }
+func (st localStmt) Close() error                              { return nil }
+
+// ExecBatch implements BatchStore: the whole list executes under a
+// single engine-lock acquisition, atomically and isolated — no other
+// session's statement can interleave between batch statements.
+func (s *LocalStore) ExecBatch(stmts []Statement) ([]*sqlmini.Result, error) {
+	bs := make([]sqlmini.BatchStmt, len(stmts))
+	for i, st := range stmts {
+		bs[i] = sqlmini.BatchStmt{SQL: st.SQL, Args: st.Args}
+	}
+	return s.DB.ExecBatchAtomic(bs)
+}
+
+// ConnStore serves the schema through legacy driver connections to a
 // remote database (Figure 2: "the server then connects to the database
-// using a legacy database driver"). Statements serialize on the single
-// connection; on connection failure it redials lazily.
+// using a legacy database driver"). It keeps a small pool of
+// connections: plain statements borrow one for a single round trip, a
+// transaction pins one for its whole lifetime (per-tx connection
+// affinity), so a long transaction never head-of-line blocks
+// unrelated statements the way the old single-connection store did.
+//
+// Failure semantics (the redial contract): a connection-level failure
+// is retried on a fresh dial ONLY when the statement provably never
+// executed — the driver marked it client.ErrStatementNotSent (it never
+// left the client), or the statement is a SELECT and therefore safe to
+// replay. Any other mid-statement connection loss surfaces as
+// ErrExecOutcomeUnknown instead of being replayed verbatim: the old
+// behavior could double-apply a non-idempotent statement that reached
+// the server just before the connection died.
 type ConnStore struct {
-	mu   sync.Mutex
 	dial func() (client.Conn, error)
-	conn client.Conn
+	size int
+	// sem bounds BORROWED connections at size: every acquire takes a
+	// token, every release/discard returns it, so a burst of demand
+	// queues here instead of dialing a connection storm against the
+	// legacy database.
+	sem chan struct{}
+
+	mu     sync.Mutex
+	idle   []client.Conn
+	closed bool
+}
+
+// ConnStoreOption configures a ConnStore.
+type ConnStoreOption func(*ConnStore)
+
+// WithPoolSize bounds the pool (default 4): at most n statements or
+// transactions hold a connection concurrently (excess callers wait for
+// a slot), and at most n idle connections are retained.
+func WithPoolSize(n int) ConnStoreOption {
+	return func(s *ConnStore) {
+		if n >= 1 {
+			s.size = n
+		}
+	}
 }
 
 // NewConnStore creates a store that obtains connections from dial.
-func NewConnStore(dial func() (client.Conn, error)) *ConnStore {
-	return &ConnStore{dial: dial}
+func NewConnStore(dial func() (client.Conn, error), opts ...ConnStoreOption) *ConnStore {
+	s := &ConnStore{dial: dial, size: 4}
+	for _, o := range opts {
+		o(s)
+	}
+	s.sem = make(chan struct{}, s.size)
+	return s
 }
 
-// Exec implements Store.
-func (s *ConnStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+var errConnStoreClosed = errors.New("core: external store is closed")
+
+// acquire takes a pool slot, then returns an idle connection or dials
+// a new one. Idle connections are NOT pinged — a dead one is detected
+// (and classified) by the statement that trips over it.
+func (s *ConnStore) acquire() (client.Conn, error) {
+	s.sem <- struct{}{}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn == nil {
-		c, err := s.dial()
-		if err != nil {
-			return nil, fmt.Errorf("core: external store dial: %w", err)
-		}
-		s.conn = c
+	if s.closed {
+		s.mu.Unlock()
+		<-s.sem
+		return nil, errConnStoreClosed
 	}
-	res, err := s.conn.Exec(sql, args...)
+	if n := len(s.idle); n > 0 {
+		c := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	c, err := s.dial()
 	if err != nil {
-		// A dead connection is retried once on a fresh dial; statement
-		// errors pass through.
-		if pingErr := s.conn.Ping(); pingErr != nil {
-			_ = s.conn.Close()
-			s.conn = nil
-			c, dialErr := s.dial()
-			if dialErr != nil {
-				return nil, fmt.Errorf("core: external store redial: %w", dialErr)
-			}
-			s.conn = c
-			res, err = s.conn.Exec(sql, args...)
+		<-s.sem
+		return nil, fmt.Errorf("core: external store dial: %w", err)
+	}
+	return c, nil
+}
+
+// release returns a healthy connection to the pool (or closes it when
+// the pool is full or the store closed) and frees the slot.
+func (s *ConnStore) release(c client.Conn) {
+	s.mu.Lock()
+	if !s.closed && len(s.idle) < s.size {
+		s.idle = append(s.idle, c)
+		s.mu.Unlock()
+		<-s.sem
+		return
+	}
+	s.mu.Unlock()
+	_ = c.Close()
+	<-s.sem
+}
+
+// discard drops a broken connection and frees its slot.
+func (s *ConnStore) discard(c client.Conn) {
+	_ = c.Close()
+	<-s.sem
+}
+
+// flushIdle closes every pooled idle connection (none hold sem slots).
+func (s *ConnStore) flushIdle() {
+	s.mu.Lock()
+	stale := s.idle
+	s.idle = nil
+	s.mu.Unlock()
+	for _, c := range stale {
+		_ = c.Close()
+	}
+}
+
+// redial replaces a just-discarded connection: peers pooled alongside
+// a dead connection usually died with it (a server bounce), so the
+// idle set is flushed before acquiring a (then freshly dialed) one.
+func (s *ConnStore) redial() (client.Conn, error) {
+	s.flushIdle()
+	c, err := s.acquire()
+	if err != nil {
+		return nil, fmt.Errorf("core: external store redial: %w", err)
+	}
+	return c, nil
+}
+
+// settle routes a used connection back by health: live connections
+// return to the pool, dead ones are dropped.
+func (s *ConnStore) settle(c client.Conn) {
+	if c.Ping() == nil {
+		s.release(c)
+		return
+	}
+	s.discard(c)
+}
+
+// safeToReplay reports whether sql may be re-executed even though an
+// earlier attempt might have reached the server: only statements the
+// parser proves read-only (SELECT) qualify.
+func safeToReplay(sql string) bool {
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return false
+	}
+	_, isSelect := st.(*sqlmini.SelectStmt)
+	return isSelect
+}
+
+// txControl matches statements that manipulate session transaction
+// state — meaningless through a pooled autocommit Exec, where each
+// statement may land on a different connection and a BEGIN would park
+// an open transaction in the pool for an unrelated borrower.
+func txControl(sql string) bool {
+	i := 0
+	for i < len(sql) && (sql[i] == ' ' || sql[i] == '\t' || sql[i] == '\n' || sql[i] == '\r') {
+		i++
+	}
+	rest := sql[i:]
+	for _, kw := range [...]string{"BEGIN", "COMMIT", "ROLLBACK"} {
+		if len(rest) < len(kw) || !strings.EqualFold(rest[:len(kw)], kw) {
+			continue
 		}
+		if len(rest) == len(kw) {
+			return true
+		}
+		// Word boundary: don't trip on identifiers sharing the prefix.
+		c := rest[len(kw)]
+		if !(c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+			return true
+		}
+	}
+	return false
+}
+
+// Exec implements Store. Transaction control is rejected: the pool
+// gives each statement its own connection, so session transactions
+// must go through Begin (TxStore), which pins one.
+func (s *ConnStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	if txControl(sql) {
+		return nil, fmt.Errorf("core: external store: transaction control via Exec is not supported on a pooled store; use Begin()")
+	}
+	c, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Exec(sql, args...)
+	if err == nil {
+		s.release(c)
+		return toStoreResult(res), nil
+	}
+	// A live connection answering a ping means the error was the
+	// statement's own (constraint violation, bad SQL, ...): pass it
+	// through and keep the connection.
+	if c.Ping() == nil {
+		s.release(c)
+		return nil, err
+	}
+	s.discard(c)
+	if !errors.Is(err, client.ErrStatementNotSent) && !safeToReplay(sql) {
+		// The statement may have executed before the connection died;
+		// replaying could double-apply it. Idle peers pooled alongside
+		// the dead connection usually died with it (a server bounce):
+		// flush them so the NEXT statements dial fresh instead of each
+		// tripping over another corpse.
+		s.flushIdle()
+		return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
+	}
+	// Provably unexecuted (never sent) or provably harmless (read-only):
+	// one retry on a fresh dial.
+	c2, dialErr := s.redial()
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	res, err = c2.Exec(sql, args...)
+	if err != nil {
+		// The retry's failure needs the same classification as the
+		// first attempt: a caller told "not ErrExecOutcomeUnknown"
+		// would treat a mutating statement as provably unapplied.
+		if c2.Ping() == nil {
+			s.release(c2)
+			return nil, err
+		}
+		s.discard(c2)
+		if !errors.Is(err, client.ErrStatementNotSent) && !safeToReplay(sql) {
+			return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
+		}
+		return nil, err // provably unexecuted (or harmless); no third try
+	}
+	s.release(c2)
+	return toStoreResult(res), nil
+}
+
+// Query implements row-returning statements (same path as Exec).
+func (s *ConnStore) Query(sql string, args ...any) (*sqlmini.Result, error) {
+	return s.Exec(sql, args...)
+}
+
+// Begin implements TxStore: the transaction owns one pooled connection
+// until Commit/Rollback (per-tx affinity), so concurrent plain
+// statements and other transactions proceed on their own connections.
+func (s *ConnStore) Begin() (Tx, error) {
+	c, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Begin(); err != nil {
+		if !errors.Is(err, client.ErrStatementNotSent) && c.Ping() == nil {
+			s.release(c)
+			return nil, err
+		}
+		s.discard(c)
+		// BEGIN has no effect worth preserving; retry once on a fresh
+		// connection.
+		c, err = s.redial()
 		if err != nil {
 			return nil, err
 		}
+		if err := c.Begin(); err != nil {
+			s.settle(c)
+			return nil, err
+		}
 	}
-	return &sqlmini.Result{Cols: res.Cols, Rows: res.Rows, Affected: res.Affected}, nil
+	return &connTx{s: s, c: c}, nil
 }
 
-// Close releases the underlying connection.
+type connTx struct {
+	s      *ConnStore
+	c      client.Conn
+	done   bool
+	broken bool
+}
+
+func (tx *connTx) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	if tx.broken {
+		return nil, fmt.Errorf("%w: transaction connection already lost", ErrExecOutcomeUnknown)
+	}
+	res, err := tx.c.Exec(sql, args...)
+	if err != nil {
+		if tx.c.Ping() != nil {
+			tx.broken = true
+			tx.s.flushIdle() // idle peers likely died with it
+			return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
+		}
+		return nil, err
+	}
+	return toStoreResult(res), nil
+}
+
+func (tx *connTx) Query(sql string, args ...any) (*sqlmini.Result, error) {
+	return tx.Exec(sql, args...)
+}
+
+func (tx *connTx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	if tx.broken {
+		tx.s.discard(tx.c)
+		// The remote rolls the open transaction back when the dead
+		// session unwinds, but we cannot observe that: ambiguous.
+		return fmt.Errorf("%w: commit on a lost transaction connection", ErrExecOutcomeUnknown)
+	}
+	if err := tx.c.Commit(); err != nil {
+		if tx.c.Ping() != nil {
+			tx.s.discard(tx.c)
+			return fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
+		}
+		// A failed COMMIT on a live connection must not park a session
+		// that is still inside (or aborted within) a transaction: later
+		// borrowers would silently execute inside it. Only a connection
+		// that provably left the transaction goes back to the pool.
+		if tx.c.InTx() {
+			tx.s.discard(tx.c)
+		} else {
+			tx.s.release(tx.c)
+		}
+		return err
+	}
+	tx.s.release(tx.c)
+	return nil
+}
+
+func (tx *connTx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	if tx.broken {
+		// A lost connection aborts the remote transaction anyway.
+		tx.s.discard(tx.c)
+		return nil
+	}
+	err := tx.c.Rollback()
+	if err != nil {
+		if tx.c.Ping() != nil {
+			tx.s.discard(tx.c)
+			return nil // connection death == rollback
+		}
+		if tx.c.InTx() {
+			tx.s.discard(tx.c) // see Commit: never pool an open tx
+			return err
+		}
+	}
+	tx.s.release(tx.c)
+	return err
+}
+
+// ExecBatch implements BatchStore. When the driver connection supports
+// batch frames (client.BatchConn — the dbms native driver does), the
+// whole list travels in ONE wire round trip and executes atomically on
+// the server. Otherwise the list runs statement-by-statement on one
+// pinned connection inside BEGIN/COMMIT — still atomic, at N+2 round
+// trips. Mid-batch connection loss is never replayed (batches carry
+// mutations); it surfaces as ErrExecOutcomeUnknown.
+func (s *ConnStore) ExecBatch(stmts []Statement) ([]*sqlmini.Result, error) {
+	c, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if bc, ok := c.(client.BatchConn); ok {
+		rs, err := bc.ExecBatch(true, stmts)
+		if err == nil {
+			s.release(c)
+			out := make([]*sqlmini.Result, len(rs))
+			for i, r := range rs {
+				out[i] = toStoreResult(r)
+			}
+			return out, nil
+		}
+		if c.Ping() == nil {
+			s.release(c)
+			return nil, err
+		}
+		s.discard(c)
+		s.flushIdle() // idle peers likely died with it (server bounce)
+		if errors.Is(err, client.ErrStatementNotSent) {
+			// The frame never left: nothing executed; the caller may
+			// retry, but we do not auto-replay mutating batches.
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
+	}
+	// Non-batch connection: emulate atomicity with an explicit
+	// transaction pinned to this connection. The release/Begin pair is
+	// not a wasted dial: release pushes onto the idle stack and Begin's
+	// acquire pops from it, so absent contention Begin reuses this very
+	// connection.
+	s.release(c)
+	var out []*sqlmini.Result
+	err = RunAtomic(s, func(tx Tx) error {
+		for i, st := range stmts {
+			res, err := tx.Exec(st.SQL, st.Args...)
+			if err != nil {
+				out = nil
+				return fmt.Errorf("core: batch statement %d: %w", i+1, err)
+			}
+			out = append(out, res)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func toStoreResult(res *client.Result) *sqlmini.Result {
+	return &sqlmini.Result{Cols: res.Cols, Rows: res.Rows, Affected: res.Affected}
+}
+
+// Close releases all pooled connections. In-flight borrowers settle
+// their connections afterwards (closed on release).
 func (s *ConnStore) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn != nil {
-		_ = s.conn.Close()
-		s.conn = nil
+	idle := s.idle
+	s.idle = nil
+	s.closed = true
+	s.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
 	}
 }

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/dbms"
+	"repro/internal/dbver"
+	"repro/internal/sqlmini"
+)
+
+func v2TestDB(t *testing.T) *sqlmini.DB {
+	t.Helper()
+	db := sqlmini.NewDB()
+	db.MustExec(`CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)`)
+	db.MustExec(`INSERT INTO t (id, v) VALUES (1, 10), (2, 20)`)
+	return db
+}
+
+func countT(t *testing.T, st Store) int64 {
+	t.Helper()
+	res, err := st.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+// TestLocalStoreCapabilities: LocalStore advertises every v2 interface.
+func TestLocalStoreCapabilities(t *testing.T) {
+	var st Store = NewLocalStore(v2TestDB(t))
+	if _, ok := st.(TxStore); !ok {
+		t.Fatal("LocalStore must implement TxStore")
+	}
+	if _, ok := st.(StmtStore); !ok {
+		t.Fatal("LocalStore must implement StmtStore")
+	}
+	if _, ok := st.(BatchStore); !ok {
+		t.Fatal("LocalStore must implement BatchStore")
+	}
+	if _, ok := st.(GenerationStore); !ok {
+		t.Fatal("LocalStore must implement GenerationStore")
+	}
+}
+
+// TestLocalStoreTx: commit publishes, rollback reverts, reuse after
+// finish errors.
+func TestLocalStoreTx(t *testing.T) {
+	st := NewLocalStore(v2TestDB(t))
+
+	tx, err := st.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t (id, v) VALUES (3, 30)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countT(t, st); n != 3 {
+		t.Fatalf("after commit count = %d", n)
+	}
+
+	tx, err = st.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE t SET v = 999 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countT(t, st); n != 3 {
+		t.Fatalf("after rollback count = %d", n)
+	}
+	res, _ := st.Exec(`SELECT v FROM t WHERE id = 2`)
+	if res.Rows[0][0].Int() != 20 {
+		t.Fatal("rollback must revert the update")
+	}
+	if _, err := tx.Exec(`SELECT 1`); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("exec after rollback: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("commit after rollback: %v", err)
+	}
+}
+
+// TestRunAtomicRollsBackOnError: fn's error reverts the whole unit on
+// a TxStore.
+func TestRunAtomicRollsBackOnError(t *testing.T) {
+	st := NewLocalStore(v2TestDB(t))
+	wantErr := errors.New("boom")
+	err := RunAtomic(st, func(tx Tx) error {
+		if _, err := tx.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+			return err
+		}
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := countT(t, st); n != 2 {
+		t.Fatalf("failed unit must revert: count = %d", n)
+	}
+}
+
+// plainStore strips every capability off an inner store: the
+// third-party plain-Exec store the fallback adapters exist for.
+type plainStore struct{ inner Store }
+
+func (p plainStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	return p.inner.Exec(sql, args...)
+}
+
+// TestRunAtomicFallbackIsBestEffort documents the adapter's degraded
+// semantics on plain stores: statements apply eagerly and an error
+// does NOT revert them.
+func TestRunAtomicFallbackIsBestEffort(t *testing.T) {
+	st := plainStore{inner: NewLocalStore(v2TestDB(t))}
+	wantErr := errors.New("boom")
+	err := RunAtomic(st, func(tx Tx) error {
+		if _, err := tx.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+			return err
+		}
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := countT(t, st); n != 1 {
+		t.Fatalf("best-effort fallback applies eagerly: count = %d, want 1", n)
+	}
+}
+
+// TestExecBatchOnFallback: statement-by-statement on plain stores,
+// stopping at (and naming) the first failure.
+func TestExecBatchOnFallback(t *testing.T) {
+	st := plainStore{inner: NewLocalStore(v2TestDB(t))}
+	rs, err := ExecBatchOn(st, []Statement{
+		{SQL: `INSERT INTO t (id, v) VALUES (3, 30)`},
+		{SQL: `SELECT count(*) FROM t`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[1].Rows[0][0].Int() != 3 {
+		t.Fatalf("results = %+v", rs)
+	}
+	_, err = ExecBatchOn(st, []Statement{
+		{SQL: `INSERT INTO t (id, v) VALUES (4, 40)`},
+		{SQL: `INSERT INTO t (id, v) VALUES (4, 40)`},
+	})
+	if err == nil || !errors.Is(err, sqlmini.ErrDuplicateKey) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := countT(t, st); n != 4 {
+		t.Fatalf("fallback batch is best-effort: count = %d, want 4", n)
+	}
+}
+
+// TestPrepareOn: native handle on StmtStore, Exec-backed on plain
+// stores, identical results.
+func TestPrepareOn(t *testing.T) {
+	local := NewLocalStore(v2TestDB(t))
+	for _, st := range []Store{local, plainStore{inner: local}} {
+		h, err := PrepareOn(st, `SELECT v FROM t WHERE id = $id`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.Exec(sqlmini.Args{"id": int64(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() != 20 {
+			t.Fatalf("%T: rows = %+v", st, res.Rows)
+		}
+		_ = h.Close()
+	}
+}
+
+// external boots a dbms server holding a "meta" database and returns a
+// ConnStore dialing it.
+func external(t *testing.T, opts ...ConnStoreOption) (*dbms.Server, *ConnStore) {
+	t.Helper()
+	db := sqlmini.NewDB()
+	db.MustExec(`CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)`)
+	db.MustExec(`INSERT INTO t (id, v) VALUES (1, 10), (2, 20)`)
+	srv := dbms.NewServer("legacy", dbms.WithUser("svc", "pw"))
+	srv.AddDatabase("meta", db)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	addr := srv.Addr()
+	drv := dbms.NewNativeDriver(dbver.V(1, 0, 0), 1)
+	store := NewConnStore(func() (client.Conn, error) {
+		return drv.Connect("dbms://"+addr+"/meta", client.Props{"user": "svc", "password": "pw"})
+	}, opts...)
+	t.Cleanup(store.Close)
+	return srv, store
+}
+
+// TestConnStoreTxAffinityAndBatch: transactions pin one connection and
+// commit/rollback correctly; batches travel as one server-side frame.
+func TestConnStoreTxAffinityAndBatch(t *testing.T) {
+	srv, store := external(t)
+
+	tx, err := store.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE t SET v = 99 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// A plain statement during the open tx uses another connection and
+	// must not see or disturb the tx (sqlmini sessions are atomic, not
+	// isolated, so the uncommitted write IS visible — what matters is
+	// that the statement doesn't block and the rollback reverts).
+	if _, err := store.Exec(`SELECT count(*) FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Exec(`SELECT v FROM t WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatal("rollback must revert the remote update")
+	}
+
+	before := srv.BatchesServed()
+	rs, err := store.ExecBatch([]Statement{
+		{SQL: `UPDATE t SET v = v + 1 WHERE id = 1`},
+		{SQL: `SELECT v FROM t WHERE id = 1`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Rows[0][0].Int() != 11 {
+		t.Fatalf("batch results = %+v", rs)
+	}
+	if got := srv.BatchesServed() - before; got != 1 {
+		t.Fatalf("batch frames = %d, want 1 (one wire round trip)", got)
+	}
+
+	// A failing batch rolls back server-side.
+	if _, err := store.ExecBatch([]Statement{
+		{SQL: `UPDATE t SET v = 0 WHERE id = 1`},
+		{SQL: `INSERT INTO t (id, v) VALUES (1, 1)`},
+	}); err == nil {
+		t.Fatal("batch must fail")
+	}
+	res, _ = store.Exec(`SELECT v FROM t WHERE id = 1`)
+	if res.Rows[0][0].Int() != 11 {
+		t.Fatal("failed batch must leave no partial effects")
+	}
+}
+
+// TestConnStoreConcurrentStatements: the pool removes the old
+// single-connection head-of-line blocking — concurrent statements all
+// succeed (and concurrent transactions don't deadlock each other).
+func TestConnStoreConcurrentStatements(t *testing.T) {
+	_, store := external(t, WithPoolSize(3))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%8 == 0 {
+				err := RunAtomic(store, func(tx Tx) error {
+					_, err := tx.Exec(`SELECT count(*) FROM t`)
+					return err
+				})
+				errs <- err
+				return
+			}
+			_, err := store.Exec(`SELECT count(*) FROM t`)
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConnStoreRedialSemantics is the redial-correctness contract:
+// after the legacy database bounces, a SELECT (provably replayable)
+// retries transparently, while a mutation that died mid-flight
+// surfaces ErrExecOutcomeUnknown instead of being double-applied.
+func TestConnStoreRedialSemantics(t *testing.T) {
+	srv, store := external(t)
+	// Prime the pool with a connection, then bounce the server so that
+	// connection is dead-but-pooled.
+	if _, err := store.Exec(`SELECT count(*) FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	bounce := func() {
+		srv.Stop()
+		if err := srv.Start(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bounce()
+	res, err := store.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatalf("read-only statement must replay across a bounce: %v", err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+
+	// Dead pooled connection again, now with a mutation: ambiguous.
+	bounce()
+	_, err = store.Exec(`UPDATE t SET v = v + 1 WHERE id = 1`)
+	if !errors.Is(err, ErrExecOutcomeUnknown) {
+		t.Fatalf("mutation across a dead connection must be ambiguous, got %v", err)
+	}
+	// The store recovered: the next statement dials fresh and works,
+	// and the update was NOT silently double-applied (it was never
+	// applied at all here — the frame died with the old listener).
+	res, err = store.Exec(`SELECT v FROM t WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 10 {
+		t.Fatalf("v = %d, want 10 (no double-apply, no ghost apply)", got)
+	}
+}
+
+// TestConnStoreStatementErrorKeepsConnection: SQL-level errors pass
+// through without burning the connection or triggering replay.
+func TestConnStoreStatementErrorKeepsConnection(t *testing.T) {
+	_, store := external(t)
+	if _, err := store.Exec(`INSERT INTO t (id, v) VALUES (1, 1)`); err == nil {
+		t.Fatal("duplicate insert must fail")
+	} else if errors.Is(err, ErrExecOutcomeUnknown) {
+		t.Fatalf("statement error misclassified as connection loss: %v", err)
+	}
+	if n := countT(t, store); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+// TestCountingStorePreservesSemantics: wrapping any store must not
+// change observable behavior, only count it — including capability
+// fallbacks on plain stores.
+func TestCountingStorePreservesSemantics(t *testing.T) {
+	// Over a capable store: real transaction semantics.
+	cs := NewCountingStore(NewLocalStore(v2TestDB(t)))
+	err := RunAtomic(cs, func(tx Tx) error {
+		if _, err := tx.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+			return err
+		}
+		return fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := countT(t, cs); n != 2 {
+		t.Fatalf("counting wrapper must preserve rollback: count = %d", n)
+	}
+	if cs.Txs() != 1 || cs.Statements() < 2 {
+		t.Fatalf("counters: txs=%d statements=%d", cs.Txs(), cs.Statements())
+	}
+
+	// Over a plain store: best-effort semantics, same as unwrapped.
+	cp := NewCountingStore(plainStore{inner: NewLocalStore(v2TestDB(t))})
+	err = RunAtomic(cp, func(tx Tx) error {
+		if _, err := tx.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+			return err
+		}
+		return fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := countT(t, cp); n != 1 {
+		t.Fatalf("counting wrapper over plain store stays best-effort: count = %d", n)
+	}
+
+	// Batches: one round trip on capable stores, N on plain ones.
+	cs.Reset()
+	if _, err := cs.ExecBatch([]Statement{{SQL: `SELECT 1`}, {SQL: `SELECT 2`}}); err != nil {
+		t.Fatal(err)
+	}
+	if cs.RoundTrips() != 1 || cs.Statements() != 2 {
+		t.Fatalf("capable batch: roundtrips=%d statements=%d", cs.RoundTrips(), cs.Statements())
+	}
+	cp.Reset()
+	if _, err := cp.ExecBatch([]Statement{{SQL: `SELECT 1`}, {SQL: `SELECT 2`}}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.RoundTrips() != 2 || cp.Statements() != 2 {
+		t.Fatalf("plain batch: roundtrips=%d statements=%d", cp.RoundTrips(), cp.Statements())
+	}
+}
+
+// TestConnStoreRejectsTxControlViaExec: on a pooled store, session
+// transaction state must go through Begin — a BEGIN slipped through
+// plain Exec would park an open transaction in the pool for an
+// unrelated borrower.
+func TestConnStoreRejectsTxControlViaExec(t *testing.T) {
+	_, store := external(t)
+	for _, sql := range []string{"BEGIN", "  commit", "ROLLBACK", "\trollback work"} {
+		if _, err := store.Exec(sql); err == nil {
+			t.Fatalf("Exec(%q) must be rejected", sql)
+		}
+	}
+	// Statements merely sharing a keyword prefix pass through.
+	if _, err := store.Exec("SELECT count(*) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+}

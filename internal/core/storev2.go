@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/sqlmini"
+)
+
+// Store API v2: optional capability interfaces alongside Store,
+// following the GenerationStore pattern — a store advertises a
+// capability by implementing the interface, and callers detect it with
+// a type assertion (directly, or through the RunAtomic / ExecBatchOn /
+// PrepareOn adapters, which degrade to documented best-effort
+// fallbacks on plain-Exec stores so third-party stores keep working).
+//
+//   - TxStore:    atomic multi-statement units (Begin/Commit/Rollback).
+//   - StmtStore:  reusable prepared handles carrying their cached
+//     plan/AST, so hot paths skip parse-and-plan per call.
+//   - BatchStore: N statements in one shot — one wire round trip on
+//     ConnStore, one engine-lock acquisition on LocalStore.
+//
+// LocalStore implements all three natively; ConnStore implements
+// TxStore (per-transaction connection affinity) and BatchStore (one
+// batch frame when the driver connection supports it).
+
+// Statement is one SQL statement plus its arguments — the unit of
+// batch execution. It is the same type the client layer ships over
+// the wire.
+type Statement = client.Statement
+
+// Tx is one open transaction on a TxStore: statements execute with
+// atomic multi-statement semantics — Commit publishes all of them,
+// Rollback (or a store-side failure) reverts all of them. A Tx is not
+// safe for concurrent use; other store traffic proceeds independently
+// (no cross-tx head-of-line blocking).
+type Tx interface {
+	// Exec runs one statement inside the transaction.
+	Exec(sql string, args ...any) (*sqlmini.Result, error)
+	// Query is Exec for row-returning statements.
+	Query(sql string, args ...any) (*sqlmini.Result, error)
+	// Commit makes the transaction's effects durable.
+	Commit() error
+	// Rollback reverts every statement of the transaction.
+	Rollback() error
+}
+
+// TxStore is implemented by stores that can open real transactions.
+type TxStore interface {
+	Store
+	// Begin opens a transaction.
+	Begin() (Tx, error)
+}
+
+// Stmt is a reusable prepared-statement handle. On LocalStore it
+// carries the parsed AST plus the planner's cached analysis; executing
+// it skips parse-and-plan. Handles are safe for concurrent use.
+type Stmt interface {
+	// Exec runs the prepared statement with the given arguments.
+	Exec(args ...any) (*sqlmini.Result, error)
+	// Close releases the handle.
+	Close() error
+}
+
+// StmtStore is implemented by stores with native prepared statements.
+type StmtStore interface {
+	Store
+	// Prepare parses sql once into a reusable handle.
+	Prepare(sql string) (Stmt, error)
+}
+
+// BatchStore is implemented by stores that can execute a statement
+// list as one unit: a single wire round trip on connection-backed
+// stores, a single lock acquisition (and one atomic apply-or-revert)
+// on the embedded store. Results are returned only on full success.
+type BatchStore interface {
+	Store
+	// ExecBatch runs stmts in order as one atomic unit where the store
+	// can provide atomicity.
+	ExecBatch(stmts []Statement) ([]*sqlmini.Result, error)
+}
+
+// ErrExecOutcomeUnknown reports a connection that died after a
+// statement may have reached the server: the statement cannot be
+// safely retried because it may already have been applied. Callers
+// that can tolerate double-application (idempotent writes) may retry;
+// everyone else must surface the ambiguity.
+var ErrExecOutcomeUnknown = errors.New("core: statement outcome unknown (connection lost mid-statement)")
+
+// ErrTxDone reports use of a transaction after Commit or Rollback.
+var ErrTxDone = errors.New("core: transaction already finished")
+
+// RunAtomic executes fn against a transaction when st implements
+// TxStore — fn's statements commit together or roll back together
+// (including when fn returns an error). On plain-Exec stores it
+// degrades to BEST-EFFORT semantics: statements apply immediately as
+// fn issues them, Commit and Rollback are no-ops, and a mid-sequence
+// failure leaves the earlier statements applied. Operations needing
+// hard atomicity must require TxStore explicitly.
+func RunAtomic(st Store, fn func(tx Tx) error) error {
+	ts, ok := st.(TxStore)
+	if !ok {
+		return fn(fallbackTx{st: st})
+	}
+	tx, err := ts.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// fallbackTx is RunAtomic's plain-store degradation: eager autocommit
+// statements wearing the Tx interface.
+type fallbackTx struct{ st Store }
+
+func (f fallbackTx) Exec(sql string, args ...any) (*sqlmini.Result, error) {
+	return f.st.Exec(sql, args...)
+}
+func (f fallbackTx) Query(sql string, args ...any) (*sqlmini.Result, error) {
+	return f.st.Exec(sql, args...)
+}
+func (f fallbackTx) Commit() error   { return nil }
+func (f fallbackTx) Rollback() error { return nil } // best-effort: nothing to revert
+
+// ExecBatchOn runs stmts through the store's batch capability when
+// present; otherwise it falls back to one Exec per statement —
+// sequential, best-effort, stopping at the first error (with earlier
+// statements applied). The returned results parallel stmts and are
+// non-nil only on full success.
+func ExecBatchOn(st Store, stmts []Statement) ([]*sqlmini.Result, error) {
+	if bs, ok := st.(BatchStore); ok {
+		return bs.ExecBatch(stmts)
+	}
+	out := make([]*sqlmini.Result, 0, len(stmts))
+	for i, s := range stmts {
+		res, err := st.Exec(s.SQL, s.Args...)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch statement %d: %w", i+1, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrepareOn returns a native prepared handle when the store has
+// StmtStore, and an Exec-backed handle (each call re-parses on the
+// store side) otherwise — callers hold one code path either way.
+func PrepareOn(st Store, sql string) (Stmt, error) {
+	if ss, ok := st.(StmtStore); ok {
+		return ss.Prepare(sql)
+	}
+	return fallbackStmt{st: st, sql: sql}, nil
+}
+
+type fallbackStmt struct {
+	st  Store
+	sql string
+}
+
+func (f fallbackStmt) Exec(args ...any) (*sqlmini.Result, error) {
+	return f.st.Exec(f.sql, args...)
+}
+func (f fallbackStmt) Close() error { return nil }

@@ -141,21 +141,29 @@ func (c *nativeConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return wire.Frame{}, client.ErrClosed
+		// Nothing was transmitted: safe to retry elsewhere.
+		return wire.Frame{}, fmt.Errorf("%w (%w)", client.ErrClosed, client.ErrStatementNotSent)
 	}
 	if err := c.conn.Send(typ, payload); err != nil {
+		// The send failed before the frame left, so the statement
+		// provably never executed; mark it retryable for store layers.
 		c.closed = true
-		return wire.Frame{}, fmt.Errorf("%w: %v", client.ErrClosed, err)
+		return wire.Frame{}, fmt.Errorf("%w (%w): %v", client.ErrClosed, client.ErrStatementNotSent, err)
 	}
 	f, err := c.conn.Recv()
 	if err != nil {
+		// The frame was (at least partially) transmitted but no reply
+		// came back — the server may or may not have executed it. NOT
+		// marked ErrStatementNotSent: the outcome is ambiguous.
 		c.closed = true
 		return wire.Frame{}, fmt.Errorf("%w: %v", client.ErrClosed, err)
 	}
 	return f, nil
 }
 
-func (c *nativeConn) exec(sql string, args []any) (*client.Result, error) {
+// marshalExec converts one (sql, args) pair to the wire form, mapping
+// a single sqlmini.Args argument to named parameters.
+func marshalExec(sql string, args []any) (execMsg, error) {
 	m := execMsg{SQL: sql}
 	if len(args) == 1 {
 		if named, ok := args[0].(sqlmini.Args); ok {
@@ -163,20 +171,27 @@ func (c *nativeConn) exec(sql string, args []any) (*client.Result, error) {
 			for k, v := range named {
 				val, err := sqlmini.FromGo(v)
 				if err != nil {
-					return nil, err
+					return m, err
 				}
 				m.Named[k] = val
 			}
+			return m, nil
 		}
 	}
-	if m.Named == nil {
-		for _, a := range args {
-			v, err := sqlmini.FromGo(a)
-			if err != nil {
-				return nil, err
-			}
-			m.Positional = append(m.Positional, v)
+	for _, a := range args {
+		v, err := sqlmini.FromGo(a)
+		if err != nil {
+			return m, err
 		}
+		m.Positional = append(m.Positional, v)
+	}
+	return m, nil
+}
+
+func (c *nativeConn) exec(sql string, args []any) (*client.Result, error) {
+	m, err := marshalExec(sql, args)
+	if err != nil {
+		return nil, err
 	}
 	f, err := c.roundTrip(msgExec, m.encode())
 	if err != nil {
@@ -208,6 +223,54 @@ func (c *nativeConn) Exec(sql string, args ...any) (*client.Result, error) {
 // Query implements client.Conn.
 func (c *nativeConn) Query(sql string, args ...any) (*client.Result, error) {
 	return c.exec(sql, args)
+}
+
+// ExecBatch implements client.BatchConn: the whole statement list
+// travels in one msgExecBatch frame and comes back in one
+// msgBatchResult frame — a single wire round trip however many
+// statements the batch carries.
+func (c *nativeConn) ExecBatch(atomic bool, stmts []client.Statement) ([]*client.Result, error) {
+	bm := batchMsg{Atomic: atomic, Stmts: make([]execMsg, len(stmts))}
+	for i, st := range stmts {
+		m, err := marshalExec(st.SQL, st.Args)
+		if err != nil {
+			return nil, fmt.Errorf("dbms: batch statement %d: %w", i+1, err)
+		}
+		bm.Stmts[i] = m
+	}
+	f, err := c.roundTrip(msgExecBatch, bm.encode())
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case msgBatchResult:
+		br, err := decodeBatchResult(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if br.ErrIndex >= 0 {
+			return nil, fmt.Errorf("dbms: batch statement %d: %w",
+				br.ErrIndex+1, wrapServerError(br.ErrCode, br.ErrMsg))
+		}
+		if br.ErrCode != 0 {
+			// Batch-level failure (e.g. the wrapping COMMIT): no
+			// statement index to point at.
+			return nil, wrapServerError(br.ErrCode, br.ErrMsg)
+		}
+		out := make([]*client.Result, len(br.Results))
+		for i, r := range br.Results {
+			out[i] = &client.Result{Cols: r.Cols, Rows: r.Rows, Affected: r.Affected}
+		}
+		return out, nil
+	case msgError:
+		code, msg, derr := decodeError(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, wrapServerError(code, msg)
+	default:
+		return nil, fmt.Errorf("dbms: unexpected frame 0x%04x", f.Type)
+	}
 }
 
 // Begin implements client.Conn.

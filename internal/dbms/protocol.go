@@ -28,7 +28,13 @@ const (
 	msgResult  uint16 = 0x0104 // server → client: result set
 	msgPing    uint16 = 0x0105
 	msgPong    uint16 = 0x0106
-	msgError   uint16 = 0x01FF
+	// msgExecBatch ships N statements in one frame; msgBatchResult
+	// answers with N result sets, or the results so far plus the failing
+	// statement's index and error. The atomic flag makes the server
+	// wrap the batch in BEGIN/COMMIT and roll back on mid-batch failure.
+	msgExecBatch   uint16 = 0x0107
+	msgBatchResult uint16 = 0x0108
+	msgError       uint16 = 0x01FF
 )
 
 // Error codes carried by msgError.
@@ -197,6 +203,89 @@ func decodeResult(b []byte) (*sqlmini.Result, error) {
 	}
 	r.Affected = int(d.Int64())
 	return r, d.Err()
+}
+
+// batchMsg is msgExecBatch: an ordered statement list plus the atomic
+// flag. Statements nest in the execMsg encoding.
+type batchMsg struct {
+	Atomic bool
+	Stmts  []execMsg
+}
+
+func (m batchMsg) encode() []byte {
+	e := wire.NewEncoder(64 * (len(m.Stmts) + 1))
+	e.Bool(m.Atomic)
+	e.Uint32(uint32(len(m.Stmts)))
+	for _, st := range m.Stmts {
+		e.Bytes32(st.encode())
+	}
+	return e.Bytes()
+}
+
+func decodeBatch(b []byte) (batchMsg, error) {
+	d := wire.NewDecoder(b)
+	m := batchMsg{Atomic: d.Bool()}
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return m, err
+	}
+	for i := uint32(0); i < n; i++ {
+		st, err := decodeExec(d.Bytes32())
+		if err != nil {
+			return m, err
+		}
+		if err := d.Err(); err != nil {
+			return m, err
+		}
+		m.Stmts = append(m.Stmts, st)
+	}
+	return m, d.Err()
+}
+
+// batchResultMsg is msgBatchResult. ErrIndex is the 0-based position
+// of the failing statement, -1 on full success; Results holds one
+// entry per statement executed before the failure (all of them on
+// success).
+type batchResultMsg struct {
+	Results  []*sqlmini.Result
+	ErrIndex int32
+	ErrCode  uint16
+	ErrMsg   string
+}
+
+func (m batchResultMsg) encode() []byte {
+	e := wire.NewEncoder(256)
+	e.Uint32(uint32(len(m.Results)))
+	for _, r := range m.Results {
+		e.Bytes32(encodeResult(r))
+	}
+	e.Int32(m.ErrIndex)
+	e.Uint16(m.ErrCode)
+	e.String(m.ErrMsg)
+	return e.Bytes()
+}
+
+func decodeBatchResult(b []byte) (batchResultMsg, error) {
+	d := wire.NewDecoder(b)
+	var m batchResultMsg
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return m, err
+	}
+	for i := uint32(0); i < n; i++ {
+		r, err := decodeResult(d.Bytes32())
+		if err != nil {
+			return m, err
+		}
+		if err := d.Err(); err != nil {
+			return m, err
+		}
+		m.Results = append(m.Results, r)
+	}
+	m.ErrIndex = d.Int32()
+	m.ErrCode = d.Uint16()
+	m.ErrMsg = d.String()
+	return m, d.Err()
 }
 
 func encodeError(code uint16, msg string) []byte {

@@ -38,6 +38,7 @@ type Server struct {
 
 	// counters for benchmarks and experiments
 	queries atomic.Int64
+	batches atomic.Int64
 }
 
 // ServerOption configures a Server.
@@ -254,6 +255,10 @@ func (s *Server) UserHasSession(user string) bool {
 // QueriesServed reports the total statements executed.
 func (s *Server) QueriesServed() int64 { return s.queries.Load() }
 
+// BatchesServed reports the number of msgExecBatch frames handled —
+// each one a single wire round trip regardless of statement count.
+func (s *Server) BatchesServed() int64 { return s.batches.Load() }
+
 // DisconnectUser force-closes every session authenticated as user and
 // returns how many were closed — the paper's §3.2 option of enforcing
 // connection revocation "in the database server, if the Drivolution
@@ -364,6 +369,10 @@ func (s *Server) serveConn(nc net.Conn) {
 			if err := s.handleExec(sess, f.Payload); err != nil {
 				return
 			}
+		case msgExecBatch:
+			if err := s.handleExecBatch(sess, f.Payload); err != nil {
+				return
+			}
 		default:
 			_ = conn.Send(msgError, encodeError(codeQueryError,
 				fmt.Sprintf("unexpected frame type 0x%04x", f.Type)))
@@ -397,6 +406,113 @@ func (s *Server) handleExec(sess *session, payload []byte) error {
 	return sess.conn.Send(msgResult, encodeResult(res))
 }
 
+// handleExecBatch executes one msgExecBatch frame: N statements on the
+// session, one reply frame. The whole frame is validated up front
+// (parse + read-only gate, and for atomic batches the no-tx-control /
+// no-DDL rules), so an invalid batch is rejected before ANY statement
+// executes — the one observable difference from sending the statements
+// frame by frame. Atomic batches run through the engine's
+// ExecBatchAtomic under one lock hold — atomic AND isolated, the whole
+// frame applies or none of it — replicate only on success, and are
+// refused while the session already holds a client transaction (the
+// rollback promise could not be honored). Non-atomic batches may carry
+// their own BEGIN/COMMIT/ROLLBACK statements and otherwise behave like
+// per-frame statements: an applied prefix before a mid-batch execution
+// failure persists and replicates.
+func (s *Server) handleExecBatch(sess *session, payload []byte) error {
+	bm, err := decodeBatch(payload)
+	if err != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, "malformed batch: "+err.Error()))
+	}
+	s.queries.Add(int64(len(bm.Stmts)))
+	s.batches.Add(1)
+
+	reply := batchResultMsg{ErrIndex: -1}
+	fail := func(i int, code uint16, msg string) error {
+		reply.ErrIndex, reply.ErrCode, reply.ErrMsg = int32(i), code, msg
+		return sess.conn.Send(msgBatchResult, reply.encode())
+	}
+
+	muts := make([]bool, len(bm.Stmts))
+	for i, m := range bm.Stmts {
+		st, perr := sqlmini.Parse(m.SQL)
+		if perr != nil {
+			return fail(i, codeQueryError, perr.Error())
+		}
+		if bm.Atomic {
+			switch st.(type) {
+			case *sqlmini.BeginStmt, *sqlmini.CommitStmt, *sqlmini.RollbackStmt:
+				return fail(i, codeQueryError, "transaction control inside an atomic batch")
+			case *sqlmini.CreateTableStmt, *sqlmini.CreateIndexStmt, *sqlmini.DropTableStmt:
+				// DDL never reaches the undo log, so the wrapping
+				// ROLLBACK could not revert it — same contract as
+				// LocalStore's ExecBatchAtomic.
+				return fail(i, codeQueryError, "DDL cannot roll back and is not batchable atomically")
+			}
+		}
+		muts[i] = isMutatingStmt(st)
+		if muts[i] && s.isReadOnly() {
+			return fail(i, codeReadOnly, fmt.Sprintf("server %s is a read-only replica", s.name))
+		}
+	}
+
+	if bm.Atomic {
+		if sess.sql.InTx() {
+			// Inside a client transaction the server cannot honor the
+			// atomic-batch contract: a mid-batch failure could not roll
+			// back the prefix without clobbering the client's
+			// transaction, and replication would outrun the outer
+			// commit. Refuse rather than silently weaken the promise.
+			return fail(-1, codeQueryError, "atomic batch inside an open transaction")
+		}
+		// Execute through the engine's atomic batch — ONE lock hold
+		// for the whole list, so the unit is atomic AND isolated: a
+		// mid-batch failure reverts exactly this batch's effects (a
+		// session-level BEGIN/ROLLBACK wrapper would release the lock
+		// between statements, and its rollback could clobber an
+		// interleaved session's committed write).
+		db := s.Database(sess.db)
+		bs := make([]sqlmini.BatchStmt, len(bm.Stmts))
+		for i, m := range bm.Stmts {
+			bs[i] = toBatchStmt(m)
+		}
+		results, err := db.ExecBatchAtomic(bs)
+		if err != nil {
+			// The engine error text names the failing statement's
+			// position; there is no partial result to report.
+			return fail(-1, codeQueryError, err.Error())
+		}
+		reply.Results = results
+		for i, m := range bm.Stmts {
+			if muts[i] {
+				s.replicate(sess.db, m) // only once the unit applied
+			}
+		}
+		return sess.conn.Send(msgBatchResult, reply.encode())
+	}
+	for i, m := range bm.Stmts {
+		res, execErr := execOn(sess.sql, m)
+		if execErr != nil {
+			return fail(i, codeQueryError, execErr.Error())
+		}
+		reply.Results = append(reply.Results, res)
+		if muts[i] {
+			// Non-atomic batches replicate statement by statement,
+			// exactly like the same statements sent one frame at a
+			// time — an applied prefix before a mid-batch failure
+			// must reach the replicas too.
+			s.replicate(sess.db, m)
+		}
+	}
+	return sess.conn.Send(msgBatchResult, reply.encode())
+}
+
+// toBatchStmt converts a wire statement to the engine's batch form,
+// through the same argument conversion per-frame execution uses.
+func toBatchStmt(m execMsg) sqlmini.BatchStmt {
+	return sqlmini.BatchStmt{SQL: m.SQL, Args: m.args()}
+}
+
 func (s *Server) isReadOnly() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -411,19 +527,25 @@ func (s *Server) SetReadOnly(ro bool) {
 	s.readOnly = ro
 }
 
-func execOn(sess *sqlmini.Session, m execMsg) (*sqlmini.Result, error) {
+// args converts the wire parameters to the engine's argument form —
+// the single conversion both per-frame and batch execution go through.
+func (m execMsg) args() []any {
 	if len(m.Named) > 0 {
 		args := sqlmini.Args{}
 		for k, v := range m.Named {
 			args[k] = v
 		}
-		return sess.Exec(m.SQL, args)
+		return []any{args}
 	}
 	args := make([]any, len(m.Positional))
 	for i, v := range m.Positional {
 		args[i] = v
 	}
-	return sess.Exec(m.SQL, args...)
+	return args
+}
+
+func execOn(sess *sqlmini.Session, m execMsg) (*sqlmini.Result, error) {
+	return sess.Exec(m.SQL, m.args()...)
 }
 
 // replicate ships a mutating statement to every attached replica.
@@ -460,11 +582,15 @@ func isMutating(sql string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	return isMutatingStmt(st), nil
+}
+
+func isMutatingStmt(st sqlmini.Statement) bool {
 	switch st.(type) {
 	case *sqlmini.InsertStmt, *sqlmini.UpdateStmt, *sqlmini.DeleteStmt,
 		*sqlmini.CreateTableStmt, *sqlmini.CreateIndexStmt, *sqlmini.DropTableStmt:
-		return true, nil
+		return true
 	default:
-		return false, nil
+		return false
 	}
 }

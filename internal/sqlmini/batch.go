@@ -1,0 +1,63 @@
+package sqlmini
+
+import "fmt"
+
+// BatchStmt is one statement of an atomic batch: SQL text plus its
+// arguments, bound exactly as in DB.Exec (a single Args map binds by
+// name, anything else positionally).
+type BatchStmt struct {
+	SQL  string
+	Args []any
+}
+
+// ExecBatchAtomic runs stmts in order under a single engine-lock
+// acquisition, as one implicit transaction: either every statement
+// applies or — when any statement fails — the shared undo log reverts
+// them all and the error (annotated with the failing statement's
+// 1-based position) is returned. Results are returned only on full
+// success.
+//
+// Because the lock is held across the whole batch, no other session
+// can interleave: a batch is both atomic AND isolated, which explicit
+// BEGIN/COMMIT sessions (which release the lock between statements)
+// are not.
+//
+// Transaction control is implicit and therefore rejected inside a
+// batch; DDL is rejected because CREATE/DROP cannot roll back.
+func (db *DB) ExecBatchAtomic(stmts []BatchStmt) ([]*Result, error) {
+	type boundStmt struct {
+		st  Statement
+		env *evalEnv
+	}
+	bound := make([]boundStmt, len(stmts))
+	for i, bs := range stmts {
+		st, err := db.parseCached(bs.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: batch statement %d: %w", i+1, err)
+		}
+		switch st.(type) {
+		case *BeginStmt, *CommitStmt, *RollbackStmt:
+			return nil, fmt.Errorf("sqlmini: batch statement %d: transaction control is implicit in an atomic batch", i+1)
+		case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt:
+			return nil, fmt.Errorf("sqlmini: batch statement %d: DDL cannot roll back and is not batchable", i+1)
+		}
+		named, positional, err := bindArgs(bs.Args)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: batch statement %d: %w", i+1, err)
+		}
+		bound[i] = boundStmt{st: st, env: &evalEnv{clock: db.clock, named: named, positional: positional}}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tx := &undoLog{}
+	out := make([]*Result, 0, len(stmts))
+	for i, b := range bound {
+		res, err := db.execLocked(b.st, b.env, tx)
+		if err != nil {
+			tx.revert(db)
+			return nil, fmt.Errorf("sqlmini: batch statement %d: %w", i+1, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

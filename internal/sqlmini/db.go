@@ -91,6 +91,13 @@ type DB struct {
 	// the engine use it to invalidate snapshots of individual tables
 	// without being perturbed by churn elsewhere in the database.
 	tableVers map[string]uint64
+
+	// schemaSeq increments whenever table or index *structure* changes
+	// (CREATE/DROP TABLE, index creation or upgrade, snapshot restore) —
+	// never on row churn. Prepared statements cache their plan skeleton
+	// against it: an unchanged schemaSeq proves the analyzed table
+	// pointer and its index set are still the live ones.
+	schemaSeq uint64
 }
 
 // Option configures a DB.
@@ -344,6 +351,7 @@ func (db *DB) execCreate(st *CreateTableStmt) (*Result, error) {
 	db.tables[st.Table] = t
 	db.changeSeq++
 	db.bumpTable(st.Table)
+	db.schemaSeq++
 	return &Result{}, nil
 }
 
@@ -375,6 +383,7 @@ func (db *DB) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 		if st.Kind == IndexOrdered && prior.kind == IndexHash {
 			t.removeIndex(prior)
 			t.addIndex(prior.name, col, IndexOrdered)
+			db.schemaSeq++
 		}
 		return &Result{}, nil
 	}
@@ -382,6 +391,7 @@ func (db *DB) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 		return &Result{}, nil // name taken by an index on another column
 	}
 	t.addIndex(st.Name, col, st.Kind)
+	db.schemaSeq++
 	// Index DDL does not change row data: ChangeSeq/TableVersion stay
 	// put, so replica divergence checks and catalog caches are unmoved.
 	return &Result{}, nil
@@ -421,6 +431,7 @@ func (db *DB) ensureIndex(table, col string, kind IndexKind) error {
 		if kind == IndexOrdered && prior.kind == IndexHash {
 			t.removeIndex(prior)
 			t.addIndex(prior.name, ci, IndexOrdered)
+			db.schemaSeq++
 		}
 		return nil
 	}
@@ -432,6 +443,7 @@ func (db *DB) ensureIndex(table, col string, kind IndexKind) error {
 		name = fmt.Sprintf("%s_%d", base, n)
 	}
 	t.addIndex(name, ci, kind)
+	db.schemaSeq++
 	return nil
 }
 
@@ -445,6 +457,7 @@ func (db *DB) execDrop(st *DropTableStmt) (*Result, error) {
 	delete(db.tables, st.Table)
 	db.changeSeq++
 	db.bumpTable(st.Table)
+	db.schemaSeq++
 	return &Result{}, nil
 }
 

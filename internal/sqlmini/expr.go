@@ -20,6 +20,11 @@ type evalEnv struct {
 	// re-evaluated row-by-row in the residual WHERE.
 	nowT   time.Time
 	nowSet bool
+
+	// prep, when non-nil, is a prepared statement's cached plan skeleton
+	// (prepared.go): planRows binds it instead of re-running planIndex,
+	// provided it still matches the live table and schemaSeq.
+	prep *stmtPlan
 }
 
 // now returns the statement-stable clock reading.

@@ -68,7 +68,12 @@ type indexPlan struct {
 // allocated, so callers may mutate rows (and thereby the index buckets)
 // while iterating.
 func (db *DB) planRows(t *Table, where Expr, env *evalEnv) (rows []*Row, indexed bool) {
-	p := planIndex(t, where, env)
+	var p *indexPlan
+	if sp := env.prep; sp != nil && sp.t == t && sp.seq == db.schemaSeq {
+		p = sp.bind(env)
+	} else {
+		p = planIndex(t, where, env)
+	}
 	if p == nil {
 		return t.Rows, false
 	}
@@ -343,7 +348,36 @@ func orderedProbeOK(colType Type, v Value) bool {
 // is a known, arity-checked shape. Only total WHEREs are eligible for
 // index execution; this is what makes the index path bit-identical to
 // the scan, error behavior included.
+//
+// The walk splits in two so prepared statements can cache its outcome:
+// whereTotalStatic covers everything that depends only on the
+// expression tree and the table (collecting the parameters it meets),
+// and paramsBound re-checks per execution the one env-dependent part —
+// that every parameter is actually bound.
 func whereTotal(t *Table, env *evalEnv, e Expr) bool {
+	var params []*ParamExpr
+	return whereTotalStatic(t, e, &params) && paramsBound(env, params)
+}
+
+// paramsBound reports whether every collected parameter is bound in env.
+func paramsBound(env *evalEnv, params []*ParamExpr) bool {
+	for _, p := range params {
+		if p.Name != "" {
+			if _, ok := env.named[p.Name]; !ok {
+				return false
+			}
+			continue
+		}
+		if p.Index >= len(env.positional) {
+			return false
+		}
+	}
+	return true
+}
+
+// whereTotalStatic is the env-independent part of whereTotal; every
+// parameter reference is appended to params for a later paramsBound.
+func whereTotalStatic(t *Table, e Expr, params *[]*ParamExpr) bool {
 	switch e := e.(type) {
 	case *LiteralExpr:
 		return true
@@ -351,23 +385,20 @@ func whereTotal(t *Table, env *evalEnv, e Expr) bool {
 		_, ok := t.columnIndex(e.Name)
 		return ok
 	case *ParamExpr:
-		if e.Name != "" {
-			_, ok := env.named[e.Name]
-			return ok
-		}
-		return e.Index < len(env.positional)
+		*params = append(*params, e)
+		return true
 	case *UnaryExpr:
-		return (e.Op == "NOT" || e.Op == "-") && whereTotal(t, env, e.E)
+		return (e.Op == "NOT" || e.Op == "-") && whereTotalStatic(t, e.E, params)
 	case *IsNullExpr:
-		return whereTotal(t, env, e.E)
+		return whereTotalStatic(t, e.E, params)
 	case *BetweenExpr:
-		return whereTotal(t, env, e.E) && whereTotal(t, env, e.Lo) && whereTotal(t, env, e.Hi)
+		return whereTotalStatic(t, e.E, params) && whereTotalStatic(t, e.Lo, params) && whereTotalStatic(t, e.Hi, params)
 	case *InExpr:
-		if !whereTotal(t, env, e.E) {
+		if !whereTotalStatic(t, e.E, params) {
 			return false
 		}
 		for _, le := range e.List {
-			if !whereTotal(t, env, le) {
+			if !whereTotalStatic(t, le, params) {
 				return false
 			}
 		}
@@ -378,16 +409,16 @@ func whereTotal(t *Table, env *evalEnv, e Expr) bool {
 		default:
 			return false // "/" fails on zero divisors; unknown ops fail
 		}
-		return whereTotal(t, env, e.L) && whereTotal(t, env, e.R)
+		return whereTotalStatic(t, e.L, params) && whereTotalStatic(t, e.R, params)
 	case *CallExpr:
 		switch e.Fn {
 		case "NOW", "CURRENT_TIMESTAMP":
 			return true
 		case "LOWER", "UPPER", "LENGTH", "TRIM", "ABS":
-			return len(e.Args) == 1 && whereTotal(t, env, e.Args[0])
+			return len(e.Args) == 1 && whereTotalStatic(t, e.Args[0], params)
 		case "COALESCE":
 			for _, a := range e.Args {
-				if !whereTotal(t, env, a) {
+				if !whereTotalStatic(t, a, params) {
 					return false
 				}
 			}

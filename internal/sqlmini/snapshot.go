@@ -158,6 +158,7 @@ func (db *DB) Restore(blob []byte) error {
 	}
 	db.tables = tables
 	db.changeSeq = seq
+	db.schemaSeq++
 	db.mu.Unlock()
 	return nil
 }
