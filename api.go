@@ -31,6 +31,9 @@ type (
 	ConnStore = core.ConnStore
 	// ConnStoreOption configures a ConnStore (pool size etc.).
 	ConnStoreOption = core.ConnStoreOption
+	// ConnStoreStats is a point-in-time view of a ConnStore's pool and
+	// remote-session health (borrows, redials, live remote handles).
+	ConnStoreStats = core.ConnStoreStats
 
 	// Store API v2: optional capability interfaces a Store may
 	// implement (LocalStore implements all three; ConnStore implements
@@ -48,6 +51,9 @@ type (
 	// BatchStore executes a statement list as one unit (one wire round
 	// trip / one engine-lock acquisition).
 	BatchStore = core.BatchStore
+	// OptionalGenerationStore marks stores whose generation capability
+	// is negotiated at run time (ConnStore); gate with GenerationEnabled.
+	OptionalGenerationStore = core.OptionalGenerationStore
 	// Statement is one SQL statement plus arguments, the batch unit.
 	Statement = core.Statement
 	// CountingStore counts statements/round trips crossing the storage
@@ -84,10 +90,29 @@ type (
 	Driver = client.Driver
 	// Conn is one database connection.
 	Conn = client.Conn
+	// StmtConn is a connection holding server-side prepared statements
+	// (negotiated capability; see Feature).
+	StmtConn = client.StmtConn
+	// ConnStmt is one server-side prepared-statement handle.
+	ConnStmt = client.ConnStmt
+	// TableVersionConn probes remote per-table mutation counters in one
+	// round trip (negotiated capability).
+	TableVersionConn = client.TableVersionConn
+	// FeatureConn reports which optional capabilities a connection's
+	// session negotiated.
+	FeatureConn = client.FeatureConn
+	// Feature names a negotiable per-session capability.
+	Feature = client.Feature
 	// Props carries connection options.
 	Props = client.Props
 	// Pool is a bounded connection pool.
 	Pool = client.Pool
+)
+
+// Negotiable session features, re-exported.
+const (
+	FeaturePreparedStatements = client.FeaturePreparedStatements
+	FeatureTableVersions      = client.FeatureTableVersions
 )
 
 // Policy constants, re-exported with the paper's Table 2 encodings.
@@ -123,6 +148,9 @@ var (
 	ExecBatchOn = core.ExecBatchOn
 	// PrepareOn returns a native or Exec-backed prepared handle.
 	PrepareOn = core.PrepareOn
+	// GenerationEnabled reports whether a store serves live generation
+	// counters (static capability AND any run-time negotiation).
+	GenerationEnabled = core.GenerationEnabled
 	// NewCountingStore wraps any store with boundary counters.
 	NewCountingStore = core.NewCountingStore
 	// NewCountingGenerationStore wraps a generation-capable store with
@@ -179,6 +207,9 @@ var (
 	// ErrExecOutcomeUnknown: a statement's connection died after it may
 	// have reached the server; it was not retried.
 	ErrExecOutcomeUnknown = core.ErrExecOutcomeUnknown
+	// ErrNotSupported: a capability the connection's session did not
+	// negotiate (e.g. remote prepare against a v1 server).
+	ErrNotSupported = client.ErrNotSupported
 	// ErrTxDone: the transaction already committed or rolled back.
 	ErrTxDone = core.ErrTxDone
 )

@@ -533,6 +533,14 @@ type externalStack struct {
 }
 
 func newExternalStackB(b *testing.B) *externalStack {
+	return newExternalStackProto(b, 1)
+}
+
+// newExternalStackProto boots the external stack with the Drivolution
+// server's legacy connection pinned to storeProto: 1 keeps the v1 SQL
+// path (no remote prepare, no generation probes), 2 negotiates the full
+// v2 session contract.
+func newExternalStackProto(b *testing.B, storeProto uint16) *externalStack {
 	b.Helper()
 	appDB := sqlmini.NewDB()
 	appDB.MustExec("CREATE TABLE items (id INTEGER NOT NULL PRIMARY KEY, name VARCHAR)")
@@ -547,7 +555,7 @@ func newExternalStackB(b *testing.B) *externalStack {
 	}
 	b.Cleanup(legacy.Stop)
 
-	legacyDriver := dbms.NewNativeDriver(dbver.V(1, 0, 0), 1)
+	legacyDriver := dbms.NewNativeDriver(dbver.V(1, 0, 0), storeProto)
 	addr := legacy.Addr()
 	store := core.NewConnStore(func() (client.Conn, error) {
 		return legacyDriver.Connect("dbms://"+addr+"/meta",
@@ -650,5 +658,80 @@ func BenchmarkExternalReapAt1000Leases(b *testing.B) {
 	b.StopTimer()
 	if got := s.legacy.QueriesServed() - queriesBefore; got != int64(b.N) {
 		b.Fatalf("sweeps must cost one statement each: %d statements for %d sweeps", got, b.N)
+	}
+}
+
+// BenchmarkExternalMatchmaking measures steady-state matchmaking on the
+// external deployment over a v2 session: the wire generation probe
+// (msgTableVersions) validates the in-memory catalog, so a DISCOVER
+// costs ZERO SQL statements on the legacy DBMS — the Sample code 1/2
+// queries that BenchmarkExternalLeaseRenewal's v1 path still pays per
+// request are gone. Pinned: the measured window must reach the legacy
+// server with no statements at all.
+func BenchmarkExternalMatchmaking(b *testing.B) {
+	s := newExternalStackProto(b, 2)
+	for i := 0; i < 50; i++ {
+		if _, err := s.drv.AddDriver(s.image(1<<10), dbver.FormatImage); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := core.Request{
+		Database:       "prod",
+		User:           "app",
+		Password:       "app-pw",
+		API:            dbver.APIOf("JDBC", 3, 0),
+		ClientPlatform: dbver.PlatformLinuxAMD64,
+		ClientID:       "bench",
+	}
+	// Warm: load the catalog and fix capability detection.
+	if _, err := core.Probe(s.drv.Addr(), req, 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	queriesBefore := s.legacy.QueriesServed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Probe(s.drv.Addr(), req, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := s.legacy.QueriesServed() - queriesBefore; got != 0 {
+		b.Fatalf("steady-state external matchmaking leaked %d SQL statements for %d probes, want 0", got, b.N)
+	}
+}
+
+// BenchmarkExternalPreparedRenewal measures the Table 4 no-change
+// renewal on the external deployment over a v2 session: matchmaking is
+// served from the catalog (generation probe only) and the single
+// guarded UPDATE runs through a remote prepared handle (msgExecStmt) —
+// the legacy DBMS sees exactly one pre-parsed statement per renewal.
+// Compare BenchmarkExternalLeaseRenewal, the same flow over a v1
+// session (full SQL matchmaking, per-call parsing).
+func BenchmarkExternalPreparedRenewal(b *testing.B) {
+	s := newExternalStackProto(b, 2)
+	if _, err := s.drv.AddDriver(s.image(16<<10), dbver.FormatImage); err != nil {
+		b.Fatal(err)
+	}
+	bl := core.NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+		[]string{s.drv.Addr()}, s.rt,
+		core.WithCredentials("app", "app-pw"),
+		core.WithDialTimeout(2*time.Second))
+	b.Cleanup(bl.Close)
+	if _, err := bl.Connect("dbms://"+s.legacy.Addr()+"/prod", nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := bl.ForceRenew("prod"); err != nil { // warm catalog + handles
+		b.Fatal(err)
+	}
+	queriesBefore := s.legacy.QueriesServed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bl.ForceRenew("prod"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := s.legacy.QueriesServed() - queriesBefore; got != int64(b.N) {
+		b.Fatalf("renewals must cost one statement each: %d statements for %d renewals", got, b.N)
 	}
 }

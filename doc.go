@@ -45,8 +45,11 @@
 // options) shape. Bootloaders keep a persistent connection to their
 // server, so the §3.2 steady-state lease traffic costs one framed round
 // trip per renewal. ConnStore deployments (the external server, §4.1.3)
-// cannot observe remote schema writes and transparently keep the
-// per-request SQL path.
+// reach the same fast path over the wire: when the legacy DBMS session
+// negotiates the v2 table-versions capability, the catalog validates
+// against one generation-probe frame per request — zero SQL — and
+// observes writes made by any other client of that database; against
+// v1 peers the store transparently keeps the per-request SQL path.
 //
 // # Indexed lease paths
 //
@@ -103,6 +106,29 @@
 // surfaces ErrExecOutcomeUnknown instead of risking double-apply.
 // CountingStore pins the statement budgets in tests (renewal = 1
 // statement, reap = 1).
+//
+// # Wire API v2: negotiated remote sessions
+//
+// The dbms wire protocol negotiates each session's contract at connect
+// time: the client hello offers a protocol version range plus a
+// capability bitmask, and the server answers with the highest shared
+// version and the capability intersection. Version-pinned peers (every
+// legacy driver build, servers using WithProtocolVersion) keep the
+// paper's step-5 connect-time failure on mismatch; ranged peers
+// negotiate down cleanly. v2 sessions carry server-side prepared
+// statements (msgPrepare/msgExecStmt — the remote parses once per
+// handle, semantics pinned identical to ad-hoc execution including
+// transactions, replication, and the read-only gate) and table-version
+// probes (msgTableVersions — the engine's generation counters in one
+// round trip, zero SQL). ConnStore rides both: it implements StmtStore
+// over remote handles cached per pooled connection (re-prepared
+// transparently across redials, replayed only under the
+// provably-unsent/read-only contract) and GenerationStore over the
+// probe (gate with GenerationEnabled — the capability is negotiated,
+// not static), so steady-state external matchmaking runs zero SQL
+// statements against the legacy DBMS. ConnStore.Stats reports pool and
+// session health (borrows, redials, live remote handles); golden-frame
+// tests pin every message's byte-exact encoding.
 //
 // Benchmarks track these paths: see Makefile bench targets and
 // BENCH_baseline.json (scripts/bench.sh compares runs against it;

@@ -122,6 +122,11 @@ var (
 	// Connection failures WITHOUT this mark are ambiguous — the server
 	// may or may not have applied the statement.
 	ErrStatementNotSent = errors.New("client: statement never reached the server")
+	// ErrNotSupported reports an optional capability the connection's
+	// negotiated session does not carry (e.g. remote prepared statements
+	// against a server that only speaks protocol v1). Callers detect it
+	// with errors.Is and fall back to the capability-free path.
+	ErrNotSupported = errors.New("client: capability not supported by this connection")
 )
 
 // Statement is one SQL statement plus its arguments, the unit of batch
@@ -129,6 +134,64 @@ var (
 type Statement struct {
 	SQL  string
 	Args []any
+}
+
+// Feature names an optional per-session capability negotiated at
+// connect time. Connections report what their session actually carries
+// through FeatureConn; the corresponding methods return ErrNotSupported
+// when the feature is absent.
+type Feature string
+
+// Session features negotiable by capability-aware protocols.
+const (
+	// FeaturePreparedStatements: the session can hold server-side
+	// prepared-statement handles (StmtConn is live).
+	FeaturePreparedStatements Feature = "prepared-statements"
+	// FeatureTableVersions: the session can probe server-side per-table
+	// mutation counters (TableVersionConn is live).
+	FeatureTableVersions Feature = "table-versions"
+)
+
+// FeatureConn is optionally implemented by connections whose protocol
+// negotiates per-session capabilities. Supports reports whether the
+// live session carries the feature; it never performs I/O, so pooled
+// callers can gate cheaply before attempting a capability call.
+type FeatureConn interface {
+	// Supports reports whether the session negotiated the feature.
+	Supports(f Feature) bool
+}
+
+// ConnStmt is a server-side prepared-statement handle bound to one
+// connection: the server parsed (and planned) the statement once;
+// each Exec ships only the handle id and the arguments. Handles die
+// with their connection.
+type ConnStmt interface {
+	// Exec runs the prepared statement with the given arguments.
+	Exec(args ...any) (*Result, error)
+	// Query is Exec for row-returning statements.
+	Query(args ...any) (*Result, error)
+	// Close releases the server-side handle.
+	Close() error
+}
+
+// StmtConn is optionally implemented by connections that can hold
+// server-side prepared statements (the BatchConn pattern). Prepare
+// returns ErrNotSupported when the negotiated session lacks
+// FeaturePreparedStatements.
+type StmtConn interface {
+	// Prepare registers sql on the server and returns its handle.
+	Prepare(sql string) (ConnStmt, error)
+}
+
+// TableVersionConn is optionally implemented by connections that can
+// probe the server's per-table mutation counters in one round trip —
+// the wire form of the generation counters backing metadata caches.
+// TableVersions returns ErrNotSupported when the negotiated session
+// lacks FeatureTableVersions.
+type TableVersionConn interface {
+	// TableVersions reports the mutation counter of each named table,
+	// parallel to names. Unknown tables report 0.
+	TableVersions(names ...string) ([]uint64, error)
 }
 
 // BatchConn is optionally implemented by connections that can ship a

@@ -68,9 +68,11 @@ func (c *catalog) lookup(id int64) *catalogEntry {
 
 // catalogSnapshot returns the current catalog, reloading it if the
 // store generation moved. Returns (nil, nil) when the store cannot
-// report generations; callers then use the SQL path.
+// report generations — by type, or because the run-time capability
+// negotiation came up empty (OptionalGenerationStore); callers then
+// use the SQL path.
 func (s *Server) catalogSnapshot() (*catalog, *ProtocolError) {
-	gs, ok := s.store.(GenerationStore)
+	gs, ok := GenerationEnabled(s.store)
 	if !ok {
 		return nil, nil
 	}

@@ -172,6 +172,16 @@ func NewCountingGenerationStore(inner GenerationStore) *CountingGenerationStore 
 // Generation implements GenerationStore.
 func (c *CountingGenerationStore) Generation() uint64 { return c.gen.Generation() }
 
+// GenerationSupported implements OptionalGenerationStore, forwarding
+// the inner store's run-time capability answer (always true for stores
+// whose capability is static, like LocalStore).
+func (c *CountingGenerationStore) GenerationSupported() bool {
+	if og, ok := c.gen.(OptionalGenerationStore); ok {
+		return og.GenerationSupported()
+	}
+	return true
+}
+
 // TableVersion implements TableVersionStore.
 func (c *CountingGenerationStore) TableVersion(name string) uint64 {
 	if tvs, ok := c.gen.(TableVersionStore); ok {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/client"
 	"repro/internal/sqlmini"
@@ -175,6 +176,25 @@ func (s *LocalStore) ExecBatch(stmts []Statement) ([]*sqlmini.Result, error) {
 // ErrExecOutcomeUnknown instead of being replayed verbatim: the old
 // behavior could double-apply a non-idempotent statement that reached
 // the server just before the connection died.
+//
+// When the dialed connections negotiate the v2 session capabilities,
+// ConnStore additionally implements:
+//
+//   - StmtStore: Prepare returns handles backed by SERVER-side prepared
+//     statements (client.StmtConn). Each pooled connection caches one
+//     remote handle per SQL text; a connection death invalidates its
+//     handles and execution transparently re-prepares on the
+//     replacement — but replays the statement itself only under the
+//     redial contract above.
+//   - GenerationStore / TableVersionStore: Generation probes the remote
+//     engine's per-table mutation counters over client.TableVersionConn
+//     (one wire round trip, zero SQL), which extends the server's
+//     zero-SQL catalog fast path to external deployments.
+//
+// Against a v1 peer both capabilities degrade exactly to the old
+// behavior: Prepare handles execute as plain per-call SQL, and
+// GenerationSupported reports false so the catalog keeps the SQL
+// matchmaking path.
 type ConnStore struct {
 	dial func() (client.Conn, error)
 	size int
@@ -184,10 +204,47 @@ type ConnStore struct {
 	// legacy database.
 	sem chan struct{}
 
+	// genTables are the tables whose version counters compose
+	// Generation(); the drivers + permission pair by default.
+	genTables []string
+
 	mu     sync.Mutex
-	idle   []client.Conn
+	idle   []*poolConn
 	closed bool
+
+	// genCap memoizes whether the remote sessions carry the
+	// table-versions capability: 0 undetermined, 1 yes, 2 no. Decided
+	// from the first live connection. "Yes" can later demote to "no"
+	// when a probe is refused with ErrNotSupported (the remote was
+	// downgraded mid-life); it never flaps back — an upgrade is picked
+	// up on the next store, and flapping would thrash the catalog.
+	genCap atomic.Int32
+	// genFail drives the Generation fallback: while probes fail, every
+	// call reports a fresh value in a range real counter sums cannot
+	// reach, so the catalog never trusts a stale snapshot during an
+	// outage.
+	genFail atomic.Uint64
+
+	// Pool/session health counters (Stats).
+	dials       atomic.Int64
+	redials     atomic.Int64
+	prepares    atomic.Int64
+	handlesLive atomic.Int64
 }
+
+// poolConn is one pooled driver connection plus its session-scoped
+// remote prepared-handle cache. The cache is only touched by the
+// borrower (a connection has exactly one at a time), dies with the
+// connection, and is bounded at maxConnStmts.
+type poolConn struct {
+	conn  client.Conn
+	stmts map[string]client.ConnStmt
+}
+
+// maxConnStmts bounds one connection's remote-handle cache, below the
+// server's own per-session handle limit so a well-behaved store can
+// never trip it. Overflowing statements simply execute ad hoc.
+const maxConnStmts = 128
 
 // ConnStoreOption configures a ConnStore.
 type ConnStoreOption func(*ConnStore)
@@ -205,7 +262,8 @@ func WithPoolSize(n int) ConnStoreOption {
 
 // NewConnStore creates a store that obtains connections from dial.
 func NewConnStore(dial func() (client.Conn, error), opts ...ConnStoreOption) *ConnStore {
-	s := &ConnStore{dial: dial, size: 4}
+	s := &ConnStore{dial: dial, size: 4,
+		genTables: []string{DriversTable, PermissionTable}}
 	for _, o := range opts {
 		o(s)
 	}
@@ -218,7 +276,7 @@ var errConnStoreClosed = errors.New("core: external store is closed")
 // acquire takes a pool slot, then returns an idle connection or dials
 // a new one. Idle connections are NOT pinged — a dead one is detected
 // (and classified) by the statement that trips over it.
-func (s *ConnStore) acquire() (client.Conn, error) {
+func (s *ConnStore) acquire() (*poolConn, error) {
 	s.sem <- struct{}{}
 	s.mu.Lock()
 	if s.closed {
@@ -227,10 +285,10 @@ func (s *ConnStore) acquire() (client.Conn, error) {
 		return nil, errConnStoreClosed
 	}
 	if n := len(s.idle); n > 0 {
-		c := s.idle[n-1]
+		pc := s.idle[n-1]
 		s.idle = s.idle[:n-1]
 		s.mu.Unlock()
-		return c, nil
+		return pc, nil
 	}
 	s.mu.Unlock()
 	c, err := s.dial()
@@ -238,27 +296,36 @@ func (s *ConnStore) acquire() (client.Conn, error) {
 		<-s.sem
 		return nil, fmt.Errorf("core: external store dial: %w", err)
 	}
-	return c, nil
+	s.dials.Add(1)
+	return &poolConn{conn: c}, nil
+}
+
+// closeConn closes a connection and writes off its cached remote
+// handles (they die with the session).
+func (s *ConnStore) closeConn(pc *poolConn) {
+	s.handlesLive.Add(-int64(len(pc.stmts)))
+	pc.stmts = nil
+	_ = pc.conn.Close()
 }
 
 // release returns a healthy connection to the pool (or closes it when
 // the pool is full or the store closed) and frees the slot.
-func (s *ConnStore) release(c client.Conn) {
+func (s *ConnStore) release(pc *poolConn) {
 	s.mu.Lock()
 	if !s.closed && len(s.idle) < s.size {
-		s.idle = append(s.idle, c)
+		s.idle = append(s.idle, pc)
 		s.mu.Unlock()
 		<-s.sem
 		return
 	}
 	s.mu.Unlock()
-	_ = c.Close()
+	s.closeConn(pc)
 	<-s.sem
 }
 
 // discard drops a broken connection and frees its slot.
-func (s *ConnStore) discard(c client.Conn) {
-	_ = c.Close()
+func (s *ConnStore) discard(pc *poolConn) {
+	s.closeConn(pc)
 	<-s.sem
 }
 
@@ -268,31 +335,32 @@ func (s *ConnStore) flushIdle() {
 	stale := s.idle
 	s.idle = nil
 	s.mu.Unlock()
-	for _, c := range stale {
-		_ = c.Close()
+	for _, pc := range stale {
+		s.closeConn(pc)
 	}
 }
 
 // redial replaces a just-discarded connection: peers pooled alongside
 // a dead connection usually died with it (a server bounce), so the
 // idle set is flushed before acquiring a (then freshly dialed) one.
-func (s *ConnStore) redial() (client.Conn, error) {
+func (s *ConnStore) redial() (*poolConn, error) {
 	s.flushIdle()
-	c, err := s.acquire()
+	s.redials.Add(1)
+	pc, err := s.acquire()
 	if err != nil {
 		return nil, fmt.Errorf("core: external store redial: %w", err)
 	}
-	return c, nil
+	return pc, nil
 }
 
 // settle routes a used connection back by health: live connections
 // return to the pool, dead ones are dropped.
-func (s *ConnStore) settle(c client.Conn) {
-	if c.Ping() == nil {
-		s.release(c)
+func (s *ConnStore) settle(pc *poolConn) {
+	if pc.conn.Ping() == nil {
+		s.release(pc)
 		return
 	}
-	s.discard(c)
+	s.discard(pc)
 }
 
 // safeToReplay reports whether sql may be re-executed even though an
@@ -333,6 +401,61 @@ func txControl(sql string) bool {
 	return false
 }
 
+// runRedial executes one attempt on a borrowed connection under the
+// redial contract shared by every ConnStore round trip. attempt
+// reports notSent=true when the operation provably never executed a
+// statement (e.g. a prepare-phase failure); readOnly marks operations
+// safe to replay even after an ambiguous failure.
+//
+// Classification: a live connection answering a ping means the error
+// was the operation's own (constraint violation, bad SQL, ...) — pass
+// it through and keep the connection. A dead connection is discarded;
+// the operation retries once on a fresh dial ONLY when it provably
+// never executed or is read-only, because a replay could double-apply
+// a statement that reached the server just before the connection died
+// — every other loss surfaces ErrExecOutcomeUnknown, and the idle
+// peers are flushed (they usually died with the connection in a server
+// bounce). A retry's failure is classified exactly like the first
+// attempt's; there is no third try.
+func (s *ConnStore) runRedial(readOnly bool, attempt func(pc *poolConn) (any, error, bool)) (any, error) {
+	pc, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	v, err, notSent := attempt(pc)
+	if err == nil {
+		s.release(pc)
+		return v, nil
+	}
+	if pc.conn.Ping() == nil {
+		s.release(pc)
+		return nil, err
+	}
+	s.discard(pc)
+	if !notSent && !errors.Is(err, client.ErrStatementNotSent) && !readOnly {
+		s.flushIdle()
+		return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
+	}
+	pc2, dialErr := s.redial()
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	v, err, notSent = attempt(pc2)
+	if err != nil {
+		if pc2.conn.Ping() == nil {
+			s.release(pc2)
+			return nil, err
+		}
+		s.discard(pc2)
+		if !notSent && !errors.Is(err, client.ErrStatementNotSent) && !readOnly {
+			return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
+		}
+		return nil, err // provably unexecuted (or harmless); no third try
+	}
+	s.release(pc2)
+	return v, nil
+}
+
 // Exec implements Store. Transaction control is rejected: the pool
 // gives each statement its own connection, so session transactions
 // must go through Begin (TxStore), which pins one.
@@ -340,55 +463,14 @@ func (s *ConnStore) Exec(sql string, args ...any) (*sqlmini.Result, error) {
 	if txControl(sql) {
 		return nil, fmt.Errorf("core: external store: transaction control via Exec is not supported on a pooled store; use Begin()")
 	}
-	c, err := s.acquire()
+	v, err := s.runRedial(safeToReplay(sql), func(pc *poolConn) (any, error, bool) {
+		res, err := pc.conn.Exec(sql, args...)
+		return res, err, false
+	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.Exec(sql, args...)
-	if err == nil {
-		s.release(c)
-		return toStoreResult(res), nil
-	}
-	// A live connection answering a ping means the error was the
-	// statement's own (constraint violation, bad SQL, ...): pass it
-	// through and keep the connection.
-	if c.Ping() == nil {
-		s.release(c)
-		return nil, err
-	}
-	s.discard(c)
-	if !errors.Is(err, client.ErrStatementNotSent) && !safeToReplay(sql) {
-		// The statement may have executed before the connection died;
-		// replaying could double-apply it. Idle peers pooled alongside
-		// the dead connection usually died with it (a server bounce):
-		// flush them so the NEXT statements dial fresh instead of each
-		// tripping over another corpse.
-		s.flushIdle()
-		return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
-	}
-	// Provably unexecuted (never sent) or provably harmless (read-only):
-	// one retry on a fresh dial.
-	c2, dialErr := s.redial()
-	if dialErr != nil {
-		return nil, dialErr
-	}
-	res, err = c2.Exec(sql, args...)
-	if err != nil {
-		// The retry's failure needs the same classification as the
-		// first attempt: a caller told "not ErrExecOutcomeUnknown"
-		// would treat a mutating statement as provably unapplied.
-		if c2.Ping() == nil {
-			s.release(c2)
-			return nil, err
-		}
-		s.discard(c2)
-		if !errors.Is(err, client.ErrStatementNotSent) && !safeToReplay(sql) {
-			return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
-		}
-		return nil, err // provably unexecuted (or harmless); no third try
-	}
-	s.release(c2)
-	return toStoreResult(res), nil
+	return toStoreResult(v.(*client.Result)), nil
 }
 
 // Query implements row-returning statements (same path as Exec).
@@ -400,33 +482,33 @@ func (s *ConnStore) Query(sql string, args ...any) (*sqlmini.Result, error) {
 // until Commit/Rollback (per-tx affinity), so concurrent plain
 // statements and other transactions proceed on their own connections.
 func (s *ConnStore) Begin() (Tx, error) {
-	c, err := s.acquire()
+	pc, err := s.acquire()
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Begin(); err != nil {
-		if !errors.Is(err, client.ErrStatementNotSent) && c.Ping() == nil {
-			s.release(c)
+	if err := pc.conn.Begin(); err != nil {
+		if !errors.Is(err, client.ErrStatementNotSent) && pc.conn.Ping() == nil {
+			s.release(pc)
 			return nil, err
 		}
-		s.discard(c)
+		s.discard(pc)
 		// BEGIN has no effect worth preserving; retry once on a fresh
 		// connection.
-		c, err = s.redial()
+		pc, err = s.redial()
 		if err != nil {
 			return nil, err
 		}
-		if err := c.Begin(); err != nil {
-			s.settle(c)
+		if err := pc.conn.Begin(); err != nil {
+			s.settle(pc)
 			return nil, err
 		}
 	}
-	return &connTx{s: s, c: c}, nil
+	return &connTx{s: s, c: pc}, nil
 }
 
 type connTx struct {
 	s      *ConnStore
-	c      client.Conn
+	c      *poolConn
 	done   bool
 	broken bool
 }
@@ -438,9 +520,9 @@ func (tx *connTx) Exec(sql string, args ...any) (*sqlmini.Result, error) {
 	if tx.broken {
 		return nil, fmt.Errorf("%w: transaction connection already lost", ErrExecOutcomeUnknown)
 	}
-	res, err := tx.c.Exec(sql, args...)
+	res, err := tx.c.conn.Exec(sql, args...)
 	if err != nil {
-		if tx.c.Ping() != nil {
+		if tx.c.conn.Ping() != nil {
 			tx.broken = true
 			tx.s.flushIdle() // idle peers likely died with it
 			return nil, fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
@@ -465,8 +547,8 @@ func (tx *connTx) Commit() error {
 		// session unwinds, but we cannot observe that: ambiguous.
 		return fmt.Errorf("%w: commit on a lost transaction connection", ErrExecOutcomeUnknown)
 	}
-	if err := tx.c.Commit(); err != nil {
-		if tx.c.Ping() != nil {
+	if err := tx.c.conn.Commit(); err != nil {
+		if tx.c.conn.Ping() != nil {
 			tx.s.discard(tx.c)
 			return fmt.Errorf("%w: %v", ErrExecOutcomeUnknown, err)
 		}
@@ -474,7 +556,7 @@ func (tx *connTx) Commit() error {
 		// that is still inside (or aborted within) a transaction: later
 		// borrowers would silently execute inside it. Only a connection
 		// that provably left the transaction goes back to the pool.
-		if tx.c.InTx() {
+		if tx.c.conn.InTx() {
 			tx.s.discard(tx.c)
 		} else {
 			tx.s.release(tx.c)
@@ -495,13 +577,13 @@ func (tx *connTx) Rollback() error {
 		tx.s.discard(tx.c)
 		return nil
 	}
-	err := tx.c.Rollback()
+	err := tx.c.conn.Rollback()
 	if err != nil {
-		if tx.c.Ping() != nil {
+		if tx.c.conn.Ping() != nil {
 			tx.s.discard(tx.c)
 			return nil // connection death == rollback
 		}
-		if tx.c.InTx() {
+		if tx.c.conn.InTx() {
 			tx.s.discard(tx.c) // see Commit: never pool an open tx
 			return err
 		}
@@ -518,25 +600,25 @@ func (tx *connTx) Rollback() error {
 // trips. Mid-batch connection loss is never replayed (batches carry
 // mutations); it surfaces as ErrExecOutcomeUnknown.
 func (s *ConnStore) ExecBatch(stmts []Statement) ([]*sqlmini.Result, error) {
-	c, err := s.acquire()
+	pc, err := s.acquire()
 	if err != nil {
 		return nil, err
 	}
-	if bc, ok := c.(client.BatchConn); ok {
+	if bc, ok := pc.conn.(client.BatchConn); ok {
 		rs, err := bc.ExecBatch(true, stmts)
 		if err == nil {
-			s.release(c)
+			s.release(pc)
 			out := make([]*sqlmini.Result, len(rs))
 			for i, r := range rs {
 				out[i] = toStoreResult(r)
 			}
 			return out, nil
 		}
-		if c.Ping() == nil {
-			s.release(c)
+		if pc.conn.Ping() == nil {
+			s.release(pc)
 			return nil, err
 		}
-		s.discard(c)
+		s.discard(pc)
 		s.flushIdle() // idle peers likely died with it (server bounce)
 		if errors.Is(err, client.ErrStatementNotSent) {
 			// The frame never left: nothing executed; the caller may
@@ -550,7 +632,7 @@ func (s *ConnStore) ExecBatch(stmts []Statement) ([]*sqlmini.Result, error) {
 	// not a wasted dial: release pushes onto the idle stack and Begin's
 	// acquire pops from it, so absent contention Begin reuses this very
 	// connection.
-	s.release(c)
+	s.release(pc)
 	var out []*sqlmini.Result
 	err = RunAtomic(s, func(tx Tx) error {
 		for i, st := range stmts {
@@ -573,6 +655,236 @@ func toStoreResult(res *client.Result) *sqlmini.Result {
 	return &sqlmini.Result{Cols: res.Cols, Rows: res.Rows, Affected: res.Affected}
 }
 
+// Prepare implements StmtStore over remote prepared handles. The
+// returned handle is store-level: each execution borrows a pooled
+// connection and runs through THAT connection's server-side handle for
+// the SQL text (prepared on first use, cached per connection, died and
+// transparently re-prepared when the connection is replaced). Against
+// sessions without the prepared-statements capability the handle
+// executes as plain per-call SQL — exactly the PrepareOn fallback, one
+// code path for the caller either way.
+func (s *ConnStore) Prepare(sql string) (Stmt, error) {
+	if txControl(sql) {
+		return nil, fmt.Errorf("core: external store: transaction control cannot be prepared on a pooled store; use Begin()")
+	}
+	return &remoteStmt{s: s, sql: sql, readOnly: safeToReplay(sql)}, nil
+}
+
+// remoteStmt is ConnStore's store-level prepared handle.
+type remoteStmt struct {
+	s        *ConnStore
+	sql      string
+	readOnly bool // SELECT: provably safe to replay after an ambiguous failure
+}
+
+// errStmtFallback marks a per-connection condition (capability absent,
+// handle cache full) under which the statement executes ad hoc on the
+// same borrowed connection.
+var errStmtFallback = errors.New("core: remote handle unavailable on this connection")
+
+// stmtFor returns pc's remote handle for sql, preparing and caching it
+// on first use. errStmtFallback means "run it ad hoc"; any other error
+// is a prepare failure (the statement itself provably never executed).
+func (s *ConnStore) stmtFor(pc *poolConn, sql string) (client.ConnStmt, error) {
+	if h, ok := pc.stmts[sql]; ok {
+		return h, nil
+	}
+	sc, ok := pc.conn.(client.StmtConn)
+	if !ok {
+		return nil, errStmtFallback
+	}
+	if fc, ok := pc.conn.(client.FeatureConn); ok && !fc.Supports(client.FeaturePreparedStatements) {
+		return nil, errStmtFallback // negotiated session lacks the capability: no I/O wasted
+	}
+	if len(pc.stmts) >= maxConnStmts {
+		return nil, errStmtFallback
+	}
+	h, err := sc.Prepare(sql)
+	if err != nil {
+		if errors.Is(err, client.ErrNotSupported) {
+			return nil, errStmtFallback
+		}
+		return nil, err
+	}
+	if pc.stmts == nil {
+		pc.stmts = make(map[string]client.ConnStmt)
+	}
+	pc.stmts[sql] = h
+	s.prepares.Add(1)
+	s.handlesLive.Add(1)
+	return h, nil
+}
+
+// execPrepared runs one prepared execution on pc. notSent reports that
+// the statement provably never executed (the failure happened in the
+// prepare phase, which runs no statement), so the caller may replay on
+// a fresh connection regardless of the statement's mutation class.
+func (s *ConnStore) execPrepared(pc *poolConn, sql string, args []any) (res *client.Result, err error, notSent bool) {
+	h, err := s.stmtFor(pc, sql)
+	if err != nil {
+		if errors.Is(err, errStmtFallback) {
+			res, err = pc.conn.Exec(sql, args...)
+			return res, err, false
+		}
+		return nil, err, true // prepare-phase failure: statement never ran
+	}
+	res, err = h.Exec(args...)
+	return res, err, false
+}
+
+// Exec implements Stmt under the shared redial contract (runRedial): a
+// connection death invalidates the connection's handles and retries
+// once on a fresh dial — which re-prepares transparently — ONLY when
+// the statement provably never executed or is read-only.
+func (st *remoteStmt) Exec(args ...any) (*sqlmini.Result, error) {
+	v, err := st.s.runRedial(st.readOnly, func(pc *poolConn) (any, error, bool) {
+		res, err, notSent := st.s.execPrepared(pc, st.sql, args)
+		return res, err, notSent
+	})
+	if err != nil {
+		return nil, err
+	}
+	return toStoreResult(v.(*client.Result)), nil
+}
+
+// Close implements Stmt. The store-level handle owns no connection
+// state of its own — per-connection server handles are released when
+// their connections retire — so Close is a no-op.
+func (st *remoteStmt) Close() error { return nil }
+
+// genFallbackBase puts Generation's failure values far above any real
+// counter sum, and genFail makes every failing call distinct, so a
+// probe outage can never validate a cached catalog.
+const genFallbackBase = uint64(1) << 63
+
+// GenerationSupported implements OptionalGenerationStore: whether the
+// remote sessions negotiated the table-versions capability. Determined
+// from the first live connection, and demoted for good if a later
+// probe is refused (remote downgraded mid-life — see probeVersions);
+// while no connection can be established the answer is false
+// (un-cached), so the catalog stays on the SQL path that will surface
+// the real error.
+func (s *ConnStore) GenerationSupported() bool {
+	switch s.genCap.Load() {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	pc, err := s.acquire()
+	if err != nil {
+		return false // undetermined: retry on a later call
+	}
+	supported := false
+	if _, ok := pc.conn.(client.TableVersionConn); ok {
+		if fc, ok := pc.conn.(client.FeatureConn); !ok || fc.Supports(client.FeatureTableVersions) {
+			supported = true
+		}
+	}
+	s.release(pc)
+	if supported {
+		s.genCap.Store(1)
+	} else {
+		s.genCap.Store(2)
+	}
+	return supported
+}
+
+// probeVersions runs one table-versions probe under the shared redial
+// contract: probes execute no statement (readOnly), so an ambiguous
+// connection death always permits one retry on a fresh dial. A probe
+// refused with client.ErrNotSupported demotes the store's generation
+// capability for good — the remote was downgraded (or replaced) by a
+// peer that no longer speaks it, and without the demotion every future
+// Generation call would burn a failing probe before falling back.
+func (s *ConnStore) probeVersions(names []string) ([]uint64, error) {
+	v, err := s.runRedial(true, func(pc *poolConn) (any, error, bool) {
+		tvc, ok := pc.conn.(client.TableVersionConn)
+		if !ok {
+			return nil, client.ErrNotSupported, true
+		}
+		vs, err := tvc.TableVersions(names...)
+		return vs, err, false
+	})
+	if err != nil {
+		if errors.Is(err, client.ErrNotSupported) {
+			s.genCap.Store(2)
+		}
+		return nil, err
+	}
+	return v.([]uint64), nil
+}
+
+// Generation implements GenerationStore over the wire: one
+// msgTableVersions round trip summing the drivers and permission table
+// counters — zero SQL, which is what lets the catalog fast path reach
+// external deployments. Table versions only grow, so the sum is as
+// monotonic as LocalStore's. While probes fail, every call reports a
+// distinct out-of-band value: the catalog treats its snapshot as stale
+// and falls back to the SQL reload, which surfaces the outage.
+func (s *ConnStore) Generation() uint64 {
+	vs, err := s.probeVersions(s.genTables)
+	if err != nil {
+		return genFallbackBase + s.genFail.Add(1)
+	}
+	var sum uint64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// TableVersion implements TableVersionStore over the wire (the
+// catalog's delta-reload hint). Failures report a distinct out-of-band
+// value, which costs only the delta optimization.
+func (s *ConnStore) TableVersion(name string) uint64 {
+	vs, err := s.probeVersions([]string{name})
+	if err != nil {
+		return genFallbackBase + s.genFail.Add(1)
+	}
+	return vs[0]
+}
+
+// ConnStoreStats is a point-in-time view of pool and remote-session
+// health, for operators watching an external deployment.
+type ConnStoreStats struct {
+	// InUse counts connections currently borrowed (statements,
+	// transactions, batches, and generation probes in flight).
+	InUse int
+	// Idle counts healthy connections parked in the pool.
+	Idle int
+	// Dials counts fresh connections established since creation.
+	Dials int64
+	// Redials counts replacement dials after a connection death — a
+	// rising rate means the legacy database (or the path to it) is
+	// flapping.
+	Redials int64
+	// RemotePrepares counts server-side prepared handles created
+	// (msgPrepare round trips). Steady state should show this plateau
+	// at roughly (statement vocabulary × pool size).
+	RemotePrepares int64
+	// RemoteHandlesLive counts handles currently cached on live pooled
+	// connections.
+	RemoteHandlesLive int64
+}
+
+// Stats reports current pool and session health.
+func (s *ConnStore) Stats() ConnStoreStats {
+	s.mu.Lock()
+	idle := len(s.idle)
+	s.mu.Unlock()
+	return ConnStoreStats{
+		// Idle connections hold no semaphore tokens, so every token
+		// belongs to an in-flight borrower.
+		InUse:             len(s.sem),
+		Idle:              idle,
+		Dials:             s.dials.Load(),
+		Redials:           s.redials.Load(),
+		RemotePrepares:    s.prepares.Load(),
+		RemoteHandlesLive: s.handlesLive.Load(),
+	}
+}
+
 // Close releases all pooled connections. In-flight borrowers settle
 // their connections afterwards (closed on release).
 func (s *ConnStore) Close() {
@@ -581,7 +893,7 @@ func (s *ConnStore) Close() {
 	s.idle = nil
 	s.closed = true
 	s.mu.Unlock()
-	for _, c := range idle {
-		_ = c.Close()
+	for _, pc := range idle {
+		s.closeConn(pc)
 	}
 }

@@ -170,7 +170,12 @@ func TestExecBatchOnFallback(t *testing.T) {
 // stores, identical results.
 func TestPrepareOn(t *testing.T) {
 	local := NewLocalStore(v2TestDB(t))
-	for _, st := range []Store{local, plainStore{inner: local}} {
+	_, connV1 := externalProto(t, 1)
+	_, connV2 := externalProto(t, 2)
+	// The same suite runs on every store shape: native local handles,
+	// the plain-Exec fallback, ConnStore over remote v2 frames, and
+	// ConnStore negotiated down to per-call SQL on a v1 session.
+	for _, st := range []Store{local, plainStore{inner: local}, connV2, connV1} {
 		h, err := PrepareOn(st, `SELECT v FROM t WHERE id = $id`)
 		if err != nil {
 			t.Fatal(err)
@@ -187,8 +192,15 @@ func TestPrepareOn(t *testing.T) {
 }
 
 // external boots a dbms server holding a "meta" database and returns a
-// ConnStore dialing it.
+// ConnStore dialing it over a pinned v1 driver.
 func external(t *testing.T, opts ...ConnStoreOption) (*dbms.Server, *ConnStore) {
+	t.Helper()
+	return externalProto(t, 1, opts...)
+}
+
+// externalProto is external with the driver's protocol ceiling chosen:
+// 1 yields a v1 session (no remote capabilities), 2 a full v2 session.
+func externalProto(t *testing.T, proto uint16, opts ...ConnStoreOption) (*dbms.Server, *ConnStore) {
 	t.Helper()
 	db := sqlmini.NewDB()
 	db.MustExec(`CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, v INTEGER)`)
@@ -200,7 +212,7 @@ func external(t *testing.T, opts ...ConnStoreOption) (*dbms.Server, *ConnStore) 
 	}
 	t.Cleanup(srv.Stop)
 	addr := srv.Addr()
-	drv := dbms.NewNativeDriver(dbver.V(1, 0, 0), 1)
+	drv := dbms.NewNativeDriver(dbver.V(1, 0, 0), proto, dbms.WithProtocolFloor(1))
 	store := NewConnStore(func() (client.Conn, error) {
 		return drv.Connect("dbms://"+addr+"/meta", client.Props{"user": "svc", "password": "pw"})
 	}, opts...)

@@ -81,6 +81,35 @@ type BatchStore interface {
 	ExecBatch(stmts []Statement) ([]*sqlmini.Result, error)
 }
 
+// OptionalGenerationStore is implemented by stores whose GenerationStore
+// capability depends on run-time negotiation rather than the type alone
+// (ConnStore: the remote session must carry the table-versions
+// capability). Callers that found GenerationStore by type assertion
+// must also consult GenerationSupported when this interface is present;
+// GenerationEnabled wraps both checks.
+type OptionalGenerationStore interface {
+	GenerationStore
+	// GenerationSupported reports whether Generation actually works on
+	// this store instance. It performs no wire round trip once the
+	// answer is determined.
+	GenerationSupported() bool
+}
+
+// GenerationEnabled reports whether st serves live generation counters:
+// it implements GenerationStore, and — when the capability is
+// negotiated at run time — the negotiation succeeded. The returned
+// GenerationStore is nil when disabled.
+func GenerationEnabled(st Store) (GenerationStore, bool) {
+	gs, ok := st.(GenerationStore)
+	if !ok {
+		return nil, false
+	}
+	if og, ok := st.(OptionalGenerationStore); ok && !og.GenerationSupported() {
+		return nil, false
+	}
+	return gs, true
+}
+
 // ErrExecOutcomeUnknown reports a connection that died after a
 // statement may have reached the server: the statement cannot be
 // safely retried because it may already have been applied. Callers

@@ -1,6 +1,7 @@
 package dbms
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -22,7 +23,8 @@ const DriverKind = "dbms-native"
 // a server speaking another version fails at connect time.
 type NativeDriver struct {
 	version      dbver.Version
-	protoVersion uint16
+	protoVersion uint16 // highest protocol version offered
+	protoMin     uint16 // lowest acceptable protocol version
 	dialTimeout  time.Duration
 }
 
@@ -34,12 +36,25 @@ func WithDialTimeout(d time.Duration) NativeDriverOption {
 	return func(n *NativeDriver) { n.dialTimeout = d }
 }
 
+// WithProtocolFloor lets the driver negotiate down to min when the
+// server does not speak the driver's own protocol version: the hello
+// offers the [min, protoVersion] range instead of an exact pin. Without
+// it a driver is single-version, preserving the paper's step-5
+// connect-time failure against a differently versioned server.
+func WithProtocolFloor(min uint16) NativeDriverOption {
+	return func(n *NativeDriver) { n.protoMin = min }
+}
+
 // NewNativeDriver builds a driver of the given build version speaking
 // the given wire-protocol version.
 func NewNativeDriver(version dbver.Version, protoVersion uint16, opts ...NativeDriverOption) *NativeDriver {
-	d := &NativeDriver{version: version, protoVersion: protoVersion, dialTimeout: 5 * time.Second}
+	d := &NativeDriver{version: version, protoVersion: protoVersion,
+		protoMin: protoVersion, dialTimeout: 5 * time.Second}
 	for _, o := range opts {
 		o(d)
+	}
+	if d.protoMin > d.protoVersion {
+		d.protoMin = d.protoVersion
 	}
 	return d
 }
@@ -70,11 +85,13 @@ func (d *NativeDriver) Connect(rawURL string, props client.Props) (client.Conn, 
 		return nil, err
 	}
 	hello := helloMsg{
-		ProtocolVersion: d.protoVersion,
-		Database:        u.Database,
-		User:            opts["user"],
-		Password:        opts["password"],
-		ClientInfo:      fmt.Sprintf("%s %s (proto %d)", DriverKind, d.version, d.protoVersion),
+		ProtocolVersion:    d.protoVersion,
+		Database:           u.Database,
+		User:               opts["user"],
+		Password:           opts["password"],
+		ClientInfo:         fmt.Sprintf("%s %s (proto %d)", DriverKind, d.version, d.protoVersion),
+		MinProtocolVersion: d.protoMin,
+		Capabilities:       capsForVersion(d.protoVersion),
 	}
 	if err := conn.Send(msgHello, hello.encode()); err != nil {
 		conn.Close()
@@ -92,7 +109,8 @@ func (d *NativeDriver) Connect(rawURL string, props client.Props) (client.Conn, 
 			conn.Close()
 			return nil, fmt.Errorf("dbms: handshake: %w", err)
 		}
-		return &nativeConn{conn: conn, server: ok.ServerName, sessionID: ok.SessionID}, nil
+		return &nativeConn{conn: conn, server: ok.ServerName, sessionID: ok.SessionID,
+			proto: ok.ProtocolVersion, caps: ok.Capabilities}, nil
 	case msgError:
 		code, msg, derr := decodeError(f.Payload)
 		conn.Close()
@@ -116,8 +134,10 @@ func wrapServerError(code uint16, msg string) error {
 		return fmt.Errorf("%w: %s", client.ErrAuth, msg)
 	case codeNoDatabase:
 		return fmt.Errorf("%w: %s", client.ErrNoDatabase, msg)
-	case codeReadOnly, codeQueryError:
+	case codeReadOnly, codeQueryError, codeBadHandle:
 		return fmt.Errorf("dbms: %s", msg)
+	case codeNotSupported:
+		return fmt.Errorf("%w: %s", client.ErrNotSupported, msg)
 	case codeShutdown:
 		return fmt.Errorf("%w: %s", client.ErrClosed, msg)
 	default:
@@ -133,8 +153,27 @@ type nativeConn struct {
 	conn      *wire.Conn
 	server    string
 	sessionID uint64
+	proto     uint16 // negotiated protocol version
+	caps      uint32 // negotiated capability mask
 	inTx      bool
 	closed    bool
+}
+
+// NegotiatedProtocol reports the session's negotiated protocol version
+// (tests and diagnostics).
+func (c *nativeConn) NegotiatedProtocol() uint16 { return c.proto }
+
+// Supports implements client.FeatureConn from the negotiated capability
+// mask — no I/O, so pooled stores can gate capability paths cheaply.
+func (c *nativeConn) Supports(f client.Feature) bool {
+	switch f {
+	case client.FeaturePreparedStatements:
+		return c.caps&CapPreparedStatements != 0
+	case client.FeatureTableVersions:
+		return c.caps&CapTableVersions != 0
+	default:
+		return false
+	}
 }
 
 func (c *nativeConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
@@ -188,15 +227,10 @@ func marshalExec(sql string, args []any) (execMsg, error) {
 	return m, nil
 }
 
-func (c *nativeConn) exec(sql string, args []any) (*client.Result, error) {
-	m, err := marshalExec(sql, args)
-	if err != nil {
-		return nil, err
-	}
-	f, err := c.roundTrip(msgExec, m.encode())
-	if err != nil {
-		return nil, err
-	}
+// decodeExecReply turns a msgResult/msgError reply frame into the
+// client result form — shared by ad-hoc and prepared execution, whose
+// replies are identical on the wire.
+func decodeExecReply(f wire.Frame) (*client.Result, error) {
 	switch f.Type {
 	case msgResult:
 		r, err := decodeResult(f.Payload)
@@ -213,6 +247,18 @@ func (c *nativeConn) exec(sql string, args []any) (*client.Result, error) {
 	default:
 		return nil, fmt.Errorf("dbms: unexpected frame 0x%04x", f.Type)
 	}
+}
+
+func (c *nativeConn) exec(sql string, args []any) (*client.Result, error) {
+	m, err := marshalExec(sql, args)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.roundTrip(msgExec, m.encode())
+	if err != nil {
+		return nil, err
+	}
+	return decodeExecReply(f)
 }
 
 // Exec implements client.Conn.
@@ -270,6 +316,123 @@ func (c *nativeConn) ExecBatch(atomic bool, stmts []client.Statement) ([]*client
 		return nil, wrapServerError(code, msg)
 	default:
 		return nil, fmt.Errorf("dbms: unexpected frame 0x%04x", f.Type)
+	}
+}
+
+// Prepare implements client.StmtConn: the statement is parsed (and its
+// plan skeleton cached) once on the server; each Exec of the returned
+// handle ships only the handle id and arguments in one msgExecStmt
+// round trip. Requires the negotiated FeaturePreparedStatements
+// capability; v1 sessions get client.ErrNotSupported without any I/O.
+func (c *nativeConn) Prepare(sql string) (client.ConnStmt, error) {
+	if c.caps&CapPreparedStatements == 0 {
+		return nil, fmt.Errorf("%w: remote prepared statements (session protocol %d)",
+			client.ErrNotSupported, c.proto)
+	}
+	f, err := c.roundTrip(msgPrepare, prepareMsg{SQL: sql}.encode())
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case msgPrepareOK:
+		ok, derr := decodePrepareOK(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return &nativeStmt{c: c, handle: ok.Handle, sql: sql}, nil
+	case msgError:
+		code, msg, derr := decodeError(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, wrapServerError(code, msg)
+	default:
+		return nil, fmt.Errorf("dbms: unexpected prepare reply 0x%04x", f.Type)
+	}
+}
+
+// nativeStmt is one server-side prepared handle bound to its
+// connection. It dies with the connection; Close releases it eagerly.
+type nativeStmt struct {
+	c      *nativeConn
+	handle uint64
+	sql    string
+	closed bool
+}
+
+// Exec implements client.ConnStmt.
+func (st *nativeStmt) Exec(args ...any) (*client.Result, error) {
+	if st.closed {
+		return nil, fmt.Errorf("dbms: prepared statement %q already closed", st.sql)
+	}
+	m, err := marshalExec(st.sql, args)
+	if err != nil {
+		return nil, err
+	}
+	f, err := st.c.roundTrip(msgExecStmt,
+		execStmtMsg{Handle: st.handle, Named: m.Named, Positional: m.Positional}.encode())
+	if err != nil {
+		return nil, err
+	}
+	return decodeExecReply(f)
+}
+
+// Query implements client.ConnStmt.
+func (st *nativeStmt) Query(args ...any) (*client.Result, error) { return st.Exec(args...) }
+
+// Close implements client.ConnStmt: releases the server-side handle.
+// Closing a handle on an already-dead connection succeeds (the server
+// swept the whole table on disconnect).
+func (st *nativeStmt) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	f, err := st.c.roundTrip(msgCloseStmt, closeStmtMsg{Handle: st.handle}.encode())
+	if err != nil {
+		if errors.Is(err, client.ErrClosed) {
+			return nil // disconnect already released every handle
+		}
+		return err
+	}
+	if f.Type != msgCloseStmtOK {
+		return fmt.Errorf("dbms: unexpected close-stmt reply 0x%04x", f.Type)
+	}
+	return nil
+}
+
+// TableVersions implements client.TableVersionConn: one msgTableVersions
+// round trip reporting the mutation counter of each named table — the
+// wire form of the generation counters metadata caches validate
+// against. Requires the negotiated FeatureTableVersions capability.
+func (c *nativeConn) TableVersions(names ...string) ([]uint64, error) {
+	if c.caps&CapTableVersions == 0 {
+		return nil, fmt.Errorf("%w: table-version probes (session protocol %d)",
+			client.ErrNotSupported, c.proto)
+	}
+	f, err := c.roundTrip(msgTableVersions, tableVersionsMsg{Names: names}.encode())
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case msgTableVersionsOK:
+		ok, derr := decodeTableVersionsOK(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		if len(ok.Versions) != len(names) {
+			return nil, fmt.Errorf("dbms: table-versions reply has %d entries for %d names",
+				len(ok.Versions), len(names))
+		}
+		return ok.Versions, nil
+	case msgError:
+		code, msg, derr := decodeError(f.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, wrapServerError(code, msg)
+	default:
+		return nil, fmt.Errorf("dbms: unexpected table-versions reply 0x%04x", f.Type)
 	}
 }
 

@@ -1,0 +1,342 @@
+package dbms
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"repro/internal/sqlmini"
+)
+
+// Golden-frame fixtures: the byte-exact encoding of every protocol
+// message. These pin the wire format itself — a change that re-orders
+// fields, resizes an integer, or breaks the named-argument sort fails
+// here in `make check` instead of in a live deployment talking to an
+// already-shipped driver. When a frame legitimately grows, append
+// trailing fields (old decoders ignore trailing bytes; see the hello
+// extension) and update the fixture.
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad fixture hex: %v", err)
+	}
+	return b
+}
+
+func checkGolden(t *testing.T, name string, got []byte, wantHex string) {
+	t.Helper()
+	want := mustHex(t, wantHex)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s encoding drifted from the golden fixture:\n got  %s\n want %s",
+			name, hex.EncodeToString(got), wantHex)
+	}
+}
+
+func goldenHello() helloMsg {
+	return helloMsg{
+		ProtocolVersion: 2, Database: "prod", User: "svc", Password: "pw",
+		ClientInfo: "dbms-native 1.0.0 (proto 2)", MinProtocolVersion: 1,
+		Capabilities: CapPreparedStatements | CapTableVersions | CapAtomicBatch,
+	}
+}
+
+func TestGoldenHello(t *testing.T) {
+	m := goldenHello()
+	enc := m.encode()
+	checkGolden(t, "hello", enc,
+		"00020000000470726f64000000037376630000000270770000001b64626d732d6e617469766520312e302e30202870726f746f203229000100000007")
+	got, err := decodeHello(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+}
+
+// TestGoldenHelloLegacyForm: a v1 (5-field) hello — what an
+// already-shipped driver emits — still decodes, defaulting the
+// extension to an exact version pin with no capabilities.
+func TestGoldenHelloLegacyForm(t *testing.T) {
+	legacy := mustHex(t,
+		// ProtocolVersion=1, "prod", "svc", "pw", "legacy 1.0"
+		"00010000000470726f6400000003737663000000027077"+
+			"0000000a6c656761637920312e30")
+	got, err := decodeHello(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := helloMsg{ProtocolVersion: 1, Database: "prod", User: "svc",
+		Password: "pw", ClientInfo: "legacy 1.0",
+		MinProtocolVersion: 1, Capabilities: 0}
+	if got != want {
+		t.Fatalf("legacy hello decoded as %+v, want %+v", got, want)
+	}
+}
+
+func TestGoldenHelloOK(t *testing.T) {
+	m := helloOKMsg{ServerName: "legacy-db", ServerVersion: "1.0.0",
+		ProtocolVersion: 2, SessionID: 7, Capabilities: 7}
+	enc := m.encode()
+	checkGolden(t, "helloOK", enc,
+		"000000096c65676163792d646200000005312e302e300002000000000000000700000007")
+	got, err := decodeHelloOK(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+}
+
+func TestGoldenExecNamed(t *testing.T) {
+	m := execMsg{
+		SQL: "SELECT v FROM t WHERE id = $id AND x = $x",
+		Named: map[string]sqlmini.Value{
+			"x":  sqlmini.NewString("a"),
+			"id": sqlmini.NewInt(42),
+		},
+	}
+	enc := m.encode()
+	// Named keys encode in sorted order ("id" before "x") — the fixture
+	// pins the determinism the map would otherwise not give.
+	checkGolden(t, "exec(named)", enc,
+		"0000002953454c45435420762046524f4d2074205748455245206964203d2024696420414e442078203d2024780000000200000002696403000000000000002a000000017805000000016100000000")
+	got, err := decodeExec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SQL != m.SQL || len(got.Named) != 2 ||
+		got.Named["id"].Int() != 42 || got.Named["x"].Str() != "a" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGoldenExecPositional(t *testing.T) {
+	m := execMsg{
+		SQL:        "SELECT v FROM t WHERE id = ?",
+		Positional: []sqlmini.Value{sqlmini.NewInt(7), sqlmini.NewBool(true)},
+	}
+	enc := m.encode()
+	checkGolden(t, "exec(positional)", enc,
+		"0000001c53454c45435420762046524f4d2074205748455245206964203d203f0000000000000002030000000000000007080000000000000001")
+	got, err := decodeExec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SQL != m.SQL || len(got.Positional) != 2 ||
+		got.Positional[0].Int() != 7 || !got.Positional[1].Bool() {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGoldenResult(t *testing.T) {
+	r := &sqlmini.Result{
+		Cols:     []string{"id", "name"},
+		Rows:     [][]sqlmini.Value{{sqlmini.NewInt(1), sqlmini.NewString("widget")}},
+		Affected: 0,
+	}
+	enc := encodeResult(r)
+	checkGolden(t, "result", enc,
+		"00000002000000026964000000046e616d65000000010000000203000000000000000105000000067769646765740000000000000000")
+	got, err := decodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Cols, r.Cols) || got.Affected != 0 ||
+		len(got.Rows) != 1 || got.Rows[0][0].Int() != 1 || got.Rows[0][1].Str() != "widget" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGoldenBatch(t *testing.T) {
+	m := batchMsg{Atomic: true, Stmts: []execMsg{
+		{SQL: "INSERT INTO t (id) VALUES (?)", Positional: []sqlmini.Value{sqlmini.NewInt(1)}},
+		{SQL: "DELETE FROM t WHERE id = ?", Positional: []sqlmini.Value{sqlmini.NewInt(2)}},
+	}}
+	enc := m.encode()
+	checkGolden(t, "batch", enc,
+		"0100000002000000320000001d494e5345525420494e544f207420286964292056414c55455320283f2900000000000000010300000000000000010000002f0000001a44454c4554452046524f4d2074205748455245206964203d203f0000000000000001030000000000000002")
+	got, err := decodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Atomic || len(got.Stmts) != 2 || got.Stmts[1].SQL != m.Stmts[1].SQL {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGoldenBatchResult(t *testing.T) {
+	m := batchResultMsg{
+		Results:  []*sqlmini.Result{{Cols: []string{"n"}, Rows: [][]sqlmini.Value{{sqlmini.NewInt(3)}}, Affected: 1}},
+		ErrIndex: -1,
+	}
+	enc := m.encode()
+	checkGolden(t, "batchResult", enc,
+		"000000010000002200000001000000016e00000001000000010300000000000000030000000000000001ffffffff000000000000")
+	got, err := decodeBatchResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.ErrIndex != -1 || got.ErrCode != 0 ||
+		got.Results[0].Rows[0][0].Int() != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGoldenError(t *testing.T) {
+	enc := encodeError(codeQueryError, "boom")
+	checkGolden(t, "error", enc, "000400000004626f6f6d")
+	code, msg, err := decodeError(enc)
+	if err != nil || code != codeQueryError || msg != "boom" {
+		t.Fatalf("round trip: %d %q %v", code, msg, err)
+	}
+}
+
+func TestGoldenPrepare(t *testing.T) {
+	m := prepareMsg{SQL: "SELECT 1"}
+	enc := m.encode()
+	checkGolden(t, "prepare", enc, "0000000853454c4543542031")
+	got, err := decodePrepare(enc)
+	if err != nil || got != m {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+}
+
+func TestGoldenPrepareOK(t *testing.T) {
+	m := prepareOKMsg{Handle: 3, Mutating: true}
+	enc := m.encode()
+	checkGolden(t, "prepareOK", enc, "000000000000000301")
+	got, err := decodePrepareOK(enc)
+	if err != nil || got != m {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+}
+
+func TestGoldenExecStmt(t *testing.T) {
+	m := execStmtMsg{Handle: 3, Named: map[string]sqlmini.Value{"id": sqlmini.NewInt(1)}}
+	enc := m.encode()
+	checkGolden(t, "execStmt", enc,
+		"00000000000000030000000100000002696403000000000000000100000000")
+	got, err := decodeExecStmt(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Handle != 3 || len(got.Named) != 1 || got.Named["id"].Int() != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGoldenCloseStmt(t *testing.T) {
+	m := closeStmtMsg{Handle: 3}
+	enc := m.encode()
+	checkGolden(t, "closeStmt", enc, "0000000000000003")
+	got, err := decodeCloseStmt(enc)
+	if err != nil || got != m {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+}
+
+func TestGoldenTableVersions(t *testing.T) {
+	m := tableVersionsMsg{Names: []string{"drivers", "driver_permission"}}
+	enc := m.encode()
+	checkGolden(t, "tableVersions", enc,
+		"000000020000000764726976657273000000116472697665725f7065726d697373696f6e")
+	got, err := decodeTableVersions(enc)
+	if err != nil || !reflect.DeepEqual(got.Names, m.Names) {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+}
+
+func TestGoldenTableVersionsOK(t *testing.T) {
+	m := tableVersionsOKMsg{Versions: []uint64{5, 9}}
+	enc := m.encode()
+	checkGolden(t, "tableVersionsOK", enc,
+		"0000000200000000000000050000000000000009")
+	got, err := decodeTableVersionsOK(enc)
+	if err != nil || !reflect.DeepEqual(got.Versions, m.Versions) {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+}
+
+// TestMalformedCountsRejected: decoders must validate wire counts
+// against the remaining payload BEFORE sizing allocations — a tiny
+// frame claiming 2^32-1 entries errors instead of OOMing the process.
+func TestMalformedCountsRejected(t *testing.T) {
+	huge := "ffffffff"
+	cases := map[string]func([]byte) error{
+		// exec with a huge named-arg count and no entries.
+		"exec named":      func(b []byte) error { _, err := decodeExec(b); return err },
+		"execStmt named":  func(b []byte) error { _, err := decodeExecStmt(b); return err },
+		"result cols":     func(b []byte) error { _, err := decodeResult(b); return err },
+		"tableVersionsOK": func(b []byte) error { _, err := decodeTableVersionsOK(b); return err },
+	}
+	payloads := map[string]string{
+		"exec named":      "00000000" + huge,         // empty SQL, named count max
+		"execStmt named":  "0000000000000001" + huge, // handle 1, named count max
+		"result cols":     "0000000000000001" + huge, // 0 cols, 1 row claiming max cells
+		"tableVersionsOK": huge,                      // max versions, no data
+	}
+	for name, decode := range cases {
+		if err := decode(mustHex(t, payloads[name])); err == nil {
+			t.Errorf("%s: malformed count must be rejected", name)
+		}
+	}
+}
+
+// TestGoldenFrameTypes pins the frame-type and error-code NUMBERS: a
+// renumbering (say, an inserted iota) would break every shipped peer
+// while still passing encode/decode round trips.
+func TestGoldenFrameTypes(t *testing.T) {
+	types := map[string][2]uint16{
+		"hello":           {msgHello, 0x0101},
+		"helloOK":         {msgHelloOK, 0x0102},
+		"exec":            {msgExec, 0x0103},
+		"result":          {msgResult, 0x0104},
+		"ping":            {msgPing, 0x0105},
+		"pong":            {msgPong, 0x0106},
+		"execBatch":       {msgExecBatch, 0x0107},
+		"batchResult":     {msgBatchResult, 0x0108},
+		"prepare":         {msgPrepare, 0x0109},
+		"prepareOK":       {msgPrepareOK, 0x010A},
+		"execStmt":        {msgExecStmt, 0x010B},
+		"closeStmt":       {msgCloseStmt, 0x010C},
+		"closeStmtOK":     {msgCloseStmtOK, 0x010D},
+		"tableVersions":   {msgTableVersions, 0x010E},
+		"tableVersionsOK": {msgTableVersionsOK, 0x010F},
+		"error":           {msgError, 0x01FF},
+	}
+	for name, v := range types {
+		if v[0] != v[1] {
+			t.Errorf("frame type %s = 0x%04x, golden 0x%04x", name, v[0], v[1])
+		}
+	}
+	codes := map[string][2]uint16{
+		"protocolMismatch": {codeProtocolMismatch, 1},
+		"authFailed":       {codeAuthFailed, 2},
+		"noDatabase":       {codeNoDatabase, 3},
+		"queryError":       {codeQueryError, 4},
+		"readOnly":         {codeReadOnly, 5},
+		"shutdown":         {codeShutdown, 6},
+		"badHandle":        {codeBadHandle, 7},
+		"notSupported":     {codeNotSupported, 8},
+	}
+	for name, v := range codes {
+		if v[0] != v[1] {
+			t.Errorf("error code %s = %d, golden %d", name, v[0], v[1])
+		}
+	}
+	caps := map[string][2]uint32{
+		"preparedStatements": {CapPreparedStatements, 1},
+		"tableVersions":      {CapTableVersions, 2},
+		"atomicBatch":        {CapAtomicBatch, 4},
+	}
+	for name, v := range caps {
+		if v[0] != v[1] {
+			t.Errorf("capability %s = %d, golden %d", name, v[0], v[1])
+		}
+	}
+}

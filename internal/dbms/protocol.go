@@ -11,10 +11,20 @@
 // connect time against a server speaking protocol M≠N, reproducing the
 // paper's step-5 incompatibility ("Step 5 is where the compatibility
 // between the database and the driver is checked").
+//
+// Protocol v2 turns that single version into a negotiated session
+// contract: hello/helloOK carry a version range plus a capability
+// bitmask, and capability-gated frames give sessions server-side
+// prepared-statement handles (msgPrepare/msgExecStmt/msgCloseStmt) and
+// one-round-trip generation probes over the engine's per-table mutation
+// counters (msgTableVersions). Peers that pin a single version — every
+// legacy driver build, and servers configured with WithProtocolVersion —
+// negotiate exactly as before, keeping the step-5 failure mode intact.
 package dbms
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sqlmini"
 	"repro/internal/wire"
@@ -34,8 +44,60 @@ const (
 	// wrap the batch in BEGIN/COMMIT and roll back on mid-batch failure.
 	msgExecBatch   uint16 = 0x0107
 	msgBatchResult uint16 = 0x0108
-	msgError       uint16 = 0x01FF
+	// Protocol v2 session frames (capability-gated; see the Cap*
+	// bitmask). msgPrepare registers a statement server-side and
+	// msgPrepareOK returns its handle; msgExecStmt executes a handle
+	// with fresh arguments (answered by msgResult/msgError exactly like
+	// msgExec); msgCloseStmt releases a handle (msgCloseStmtOK).
+	// msgTableVersions probes the engine's per-table mutation counters
+	// in one round trip (msgTableVersionsOK) — the wire form of the
+	// generation counters backing metadata caches.
+	msgPrepare         uint16 = 0x0109
+	msgPrepareOK       uint16 = 0x010A
+	msgExecStmt        uint16 = 0x010B
+	msgCloseStmt       uint16 = 0x010C
+	msgCloseStmtOK     uint16 = 0x010D
+	msgTableVersions   uint16 = 0x010E
+	msgTableVersionsOK uint16 = 0x010F
+	msgError           uint16 = 0x01FF
 )
+
+// Wire-protocol versions. V1 is the legacy request/response protocol
+// (exec, ping, batch). V2 adds capability negotiation to the handshake
+// plus the session frames above. A client may offer a version RANGE in
+// its hello ([MinProtocolVersion, ProtocolVersion]); servers negotiate
+// the highest version both sides share and answer with the session's
+// capability mask. Single-version peers (legacy drivers pin min == max,
+// WithProtocolVersion pins the server) keep the paper's step-5 failure
+// mode: disjoint ranges are rejected at connect time.
+const (
+	ProtocolV1 uint16 = 1
+	ProtocolV2 uint16 = 2
+)
+
+// Session capability bits, negotiated in the v2 handshake. A
+// capability is live on a session only when BOTH sides advertised it
+// and the negotiated version carries it; frames of absent capabilities
+// are rejected with codeNotSupported.
+const (
+	// CapPreparedStatements: msgPrepare/msgExecStmt/msgCloseStmt.
+	CapPreparedStatements uint32 = 1 << 0
+	// CapTableVersions: msgTableVersions generation probes.
+	CapTableVersions uint32 = 1 << 1
+	// CapAtomicBatch: msgExecBatch with the atomic flag. (Batch frames
+	// predate negotiation and still work on v1 sessions; the bit lets
+	// v2 peers detect the capability without trying.)
+	CapAtomicBatch uint32 = 1 << 2
+)
+
+// capsForVersion reports the capabilities this implementation offers at
+// a negotiated protocol version.
+func capsForVersion(v uint16) uint32 {
+	if v >= ProtocolV2 {
+		return CapPreparedStatements | CapTableVersions | CapAtomicBatch
+	}
+	return 0
+}
 
 // Error codes carried by msgError.
 const (
@@ -45,6 +107,12 @@ const (
 	codeQueryError
 	codeReadOnly
 	codeShutdown
+	// codeBadHandle: msgExecStmt/msgCloseStmt named a prepared-statement
+	// handle this session does not hold.
+	codeBadHandle
+	// codeNotSupported: a frame whose capability the session did not
+	// negotiate.
+	codeNotSupported
 )
 
 // serverError is a protocol-level error with a code.
@@ -55,12 +123,21 @@ type serverError struct {
 
 func (e *serverError) Error() string { return fmt.Sprintf("dbms: [%d] %s", e.code, e.msg) }
 
+// helloMsg opens a session. ProtocolVersion is the highest version the
+// client speaks; the v2 extension appends the lowest acceptable version
+// and the client's capability mask. A legacy (5-field) hello decodes
+// with MinProtocolVersion = ProtocolVersion and no capabilities, so v1
+// frames negotiate exactly as before.
 type helloMsg struct {
 	ProtocolVersion uint16
 	Database        string
 	User            string
 	Password        string
 	ClientInfo      string // driver name/version, for diagnostics
+
+	// v2 extension (trailing; absent on legacy frames).
+	MinProtocolVersion uint16
+	Capabilities       uint32
 }
 
 func (h helloMsg) encode() []byte {
@@ -70,6 +147,8 @@ func (h helloMsg) encode() []byte {
 	e.String(h.User)
 	e.String(h.Password)
 	e.String(h.ClientInfo)
+	e.Uint16(h.MinProtocolVersion)
+	e.Uint32(h.Capabilities)
 	return e.Bytes()
 }
 
@@ -82,14 +161,26 @@ func decodeHello(b []byte) (helloMsg, error) {
 		Password:        d.String(),
 		ClientInfo:      d.String(),
 	}
+	if d.Remaining() > 0 {
+		h.MinProtocolVersion = d.Uint16()
+		h.Capabilities = d.Uint32()
+	} else {
+		h.MinProtocolVersion = h.ProtocolVersion // legacy: exact pin
+	}
 	return h, d.Err()
 }
 
+// helloOKMsg accepts a session. ProtocolVersion is the NEGOTIATED
+// version; the v2 extension appends the session's capability mask
+// (ignored by legacy decoders, zero on v1 sessions).
 type helloOKMsg struct {
 	ServerName      string
 	ServerVersion   string
 	ProtocolVersion uint16
 	SessionID       uint64
+
+	// v2 extension (trailing; absent on legacy frames).
+	Capabilities uint32
 }
 
 func (h helloOKMsg) encode() []byte {
@@ -98,6 +189,7 @@ func (h helloOKMsg) encode() []byte {
 	e.String(h.ServerVersion)
 	e.Uint16(h.ProtocolVersion)
 	e.Uint64(h.SessionID)
+	e.Uint32(h.Capabilities)
 	return e.Bytes()
 }
 
@@ -109,6 +201,9 @@ func decodeHelloOK(b []byte) (helloOKMsg, error) {
 		ProtocolVersion: d.Uint16(),
 		SessionID:       d.Uint64(),
 	}
+	if d.Remaining() > 0 {
+		h.Capabilities = d.Uint32()
+	}
 	return h, d.Err()
 }
 
@@ -118,49 +213,84 @@ type execMsg struct {
 	Positional []sqlmini.Value
 }
 
+// encodeArgs appends the shared argument block (named map, then
+// positional list) used by msgExec and msgExecStmt. Named keys are
+// sorted so every message has exactly one wire form (golden-frame
+// fixtures rely on this; maps are tiny, so the sort is noise).
+func encodeArgs(e *wire.Encoder, named map[string]sqlmini.Value, positional []sqlmini.Value) {
+	e.Uint32(uint32(len(named)))
+	if len(named) > 0 {
+		keys := make([]string, 0, len(named))
+		for k := range named {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e.String(k)
+			sqlmini.EncodeValue(e, named[k])
+		}
+	}
+	e.Uint32(uint32(len(positional)))
+	for _, v := range positional {
+		sqlmini.EncodeValue(e, v)
+	}
+}
+
+// decodeArgs consumes the shared argument block. Counts are validated
+// against the remaining payload BEFORE sizing any allocation (each
+// named entry needs at least its 4-byte key length plus a value type
+// byte; each positional value at least a type byte), so a malformed
+// count in a tiny frame errors instead of OOMing the process.
+func decodeArgs(d *wire.Decoder) (named map[string]sqlmini.Value, positional []sqlmini.Value, err error) {
+	nNamed := d.Uint32()
+	if err := d.Err(); err != nil {
+		return nil, nil, err
+	}
+	if uint64(nNamed)*5 > uint64(d.Remaining()) {
+		return nil, nil, fmt.Errorf("%w: named-arg count %d exceeds payload", wire.ErrShortBuffer, nNamed)
+	}
+	if nNamed > 0 {
+		named = make(map[string]sqlmini.Value, nNamed)
+		for i := uint32(0); i < nNamed; i++ {
+			k := d.String()
+			v, err := sqlmini.DecodeValue(d)
+			if err != nil {
+				return nil, nil, err
+			}
+			named[k] = v
+		}
+	}
+	nPos := d.Uint32()
+	if err := d.Err(); err != nil {
+		return nil, nil, err
+	}
+	if uint64(nPos) > uint64(d.Remaining()) {
+		return nil, nil, fmt.Errorf("%w: positional-arg count %d exceeds payload", wire.ErrShortBuffer, nPos)
+	}
+	for i := uint32(0); i < nPos; i++ {
+		v, err := sqlmini.DecodeValue(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		positional = append(positional, v)
+	}
+	return named, positional, d.Err()
+}
+
 func (m execMsg) encode() []byte {
 	e := wire.NewEncoder(256)
 	e.String(m.SQL)
-	e.Uint32(uint32(len(m.Named)))
-	for k, v := range m.Named {
-		e.String(k)
-		sqlmini.EncodeValue(e, v)
-	}
-	e.Uint32(uint32(len(m.Positional)))
-	for _, v := range m.Positional {
-		sqlmini.EncodeValue(e, v)
-	}
+	encodeArgs(e, m.Named, m.Positional)
 	return e.Bytes()
 }
 
 func decodeExec(b []byte) (execMsg, error) {
 	d := wire.NewDecoder(b)
 	m := execMsg{SQL: d.String()}
-	nNamed := d.Uint32()
-	if err := d.Err(); err != nil {
+	var err error
+	m.Named, m.Positional, err = decodeArgs(d)
+	if err != nil {
 		return m, err
-	}
-	if nNamed > 0 {
-		m.Named = make(map[string]sqlmini.Value, nNamed)
-		for i := uint32(0); i < nNamed; i++ {
-			k := d.String()
-			v, err := sqlmini.DecodeValue(d)
-			if err != nil {
-				return m, err
-			}
-			m.Named[k] = v
-		}
-	}
-	nPos := d.Uint32()
-	if err := d.Err(); err != nil {
-		return m, err
-	}
-	for i := uint32(0); i < nPos; i++ {
-		v, err := sqlmini.DecodeValue(d)
-		if err != nil {
-			return m, err
-		}
-		m.Positional = append(m.Positional, v)
 	}
 	return m, d.Err()
 }
@@ -190,6 +320,9 @@ func decodeResult(b []byte) (*sqlmini.Result, error) {
 		nCols := d.Uint32()
 		if err := d.Err(); err != nil {
 			return nil, err
+		}
+		if uint64(nCols) > uint64(d.Remaining()) { // each value ≥ 1 byte
+			return nil, fmt.Errorf("%w: column count %d exceeds payload", wire.ErrShortBuffer, nCols)
 		}
 		row := make([]sqlmini.Value, 0, nCols)
 		for j := uint32(0); j < nCols; j++ {
@@ -300,4 +433,138 @@ func decodeError(b []byte) (uint16, string, error) {
 	code := d.Uint16()
 	msg := d.String()
 	return code, msg, d.Err()
+}
+
+// prepareMsg is msgPrepare: register one statement server-side.
+type prepareMsg struct {
+	SQL string
+}
+
+func (m prepareMsg) encode() []byte {
+	e := wire.NewEncoder(len(m.SQL) + 8)
+	e.String(m.SQL)
+	return e.Bytes()
+}
+
+func decodePrepare(b []byte) (prepareMsg, error) {
+	d := wire.NewDecoder(b)
+	m := prepareMsg{SQL: d.String()}
+	return m, d.Err()
+}
+
+// prepareOKMsg is msgPrepareOK: the session-scoped handle id plus the
+// server's mutation classification (diagnostic; the read-only gate is
+// enforced server-side at execution time).
+type prepareOKMsg struct {
+	Handle   uint64
+	Mutating bool
+}
+
+func (m prepareOKMsg) encode() []byte {
+	e := wire.NewEncoder(16)
+	e.Uint64(m.Handle)
+	e.Bool(m.Mutating)
+	return e.Bytes()
+}
+
+func decodePrepareOK(b []byte) (prepareOKMsg, error) {
+	d := wire.NewDecoder(b)
+	m := prepareOKMsg{Handle: d.Uint64(), Mutating: d.Bool()}
+	return m, d.Err()
+}
+
+// execStmtMsg is msgExecStmt: a prepared handle plus this call's
+// arguments, in the same argument encoding as msgExec. Answered by
+// msgResult or msgError, exactly like msgExec.
+type execStmtMsg struct {
+	Handle     uint64
+	Named      map[string]sqlmini.Value
+	Positional []sqlmini.Value
+}
+
+func (m execStmtMsg) encode() []byte {
+	e := wire.NewEncoder(128)
+	e.Uint64(m.Handle)
+	encodeArgs(e, m.Named, m.Positional)
+	return e.Bytes()
+}
+
+func decodeExecStmt(b []byte) (execStmtMsg, error) {
+	d := wire.NewDecoder(b)
+	m := execStmtMsg{Handle: d.Uint64()}
+	var err error
+	m.Named, m.Positional, err = decodeArgs(d)
+	if err != nil {
+		return m, err
+	}
+	return m, d.Err()
+}
+
+// closeStmtMsg is msgCloseStmt: release one handle (msgCloseStmtOK
+// acknowledges; closing an unknown handle is not an error, so client
+// caches may close fire-and-forget on eviction races).
+type closeStmtMsg struct {
+	Handle uint64
+}
+
+func (m closeStmtMsg) encode() []byte {
+	e := wire.NewEncoder(8)
+	e.Uint64(m.Handle)
+	return e.Bytes()
+}
+
+func decodeCloseStmt(b []byte) (closeStmtMsg, error) {
+	d := wire.NewDecoder(b)
+	m := closeStmtMsg{Handle: d.Uint64()}
+	return m, d.Err()
+}
+
+// tableVersionsMsg is msgTableVersions: probe the per-table mutation
+// counters of the session's database, one round trip for any number of
+// tables.
+type tableVersionsMsg struct {
+	Names []string
+}
+
+func (m tableVersionsMsg) encode() []byte {
+	e := wire.NewEncoder(16 * (len(m.Names) + 1))
+	e.StringSlice(m.Names)
+	return e.Bytes()
+}
+
+func decodeTableVersions(b []byte) (tableVersionsMsg, error) {
+	d := wire.NewDecoder(b)
+	m := tableVersionsMsg{Names: d.StringSlice()}
+	return m, d.Err()
+}
+
+// tableVersionsOKMsg is msgTableVersionsOK: counters parallel to the
+// probed names (0 for tables the database does not hold).
+type tableVersionsOKMsg struct {
+	Versions []uint64
+}
+
+func (m tableVersionsOKMsg) encode() []byte {
+	e := wire.NewEncoder(8 * (len(m.Versions) + 1))
+	e.Uint32(uint32(len(m.Versions)))
+	for _, v := range m.Versions {
+		e.Uint64(v)
+	}
+	return e.Bytes()
+}
+
+func decodeTableVersionsOK(b []byte) (tableVersionsOKMsg, error) {
+	d := wire.NewDecoder(b)
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return tableVersionsOKMsg{}, err
+	}
+	if uint64(n)*8 > uint64(d.Remaining()) {
+		return tableVersionsOKMsg{}, fmt.Errorf("%w: version count %d exceeds payload", wire.ErrShortBuffer, n)
+	}
+	m := tableVersionsOKMsg{Versions: make([]uint64, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		m.Versions = append(m.Versions, d.Uint64())
+	}
+	return m, d.Err()
 }

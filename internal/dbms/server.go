@@ -20,7 +20,8 @@ import (
 type Server struct {
 	name          string
 	engineVersion dbver.Version
-	protoVersion  uint16
+	protoMin      uint16 // lowest wire-protocol version accepted
+	protoMax      uint16 // highest wire-protocol version spoken
 	users         map[string]string
 	logf          func(format string, args ...any)
 
@@ -37,8 +38,11 @@ type Server struct {
 	wg sync.WaitGroup
 
 	// counters for benchmarks and experiments
-	queries atomic.Int64
-	batches atomic.Int64
+	queries       atomic.Int64
+	batches       atomic.Int64
+	prepares      atomic.Int64
+	stmtExecs     atomic.Int64
+	versionProbes atomic.Int64
 }
 
 // ServerOption configures a Server.
@@ -49,10 +53,25 @@ func WithEngineVersion(v dbver.Version) ServerOption {
 	return func(s *Server) { s.engineVersion = v }
 }
 
-// WithProtocolVersion sets the wire-protocol version the engine speaks.
-// Clients presenting a different version are rejected at connect time.
+// WithProtocolVersion pins the engine to exactly one wire-protocol
+// version: clients whose offered range does not include it are rejected
+// at connect time — the paper's step-5 incompatibility. (The default
+// server instead speaks the [ProtocolV1, ProtocolV2] range and
+// negotiates down for old drivers.)
 func WithProtocolVersion(v uint16) ServerOption {
-	return func(s *Server) { s.protoVersion = v }
+	return func(s *Server) { s.protoMin, s.protoMax = v, v }
+}
+
+// WithProtocolRange makes the engine accept any client whose offered
+// version range overlaps [min, max], negotiating the highest version
+// both sides share.
+func WithProtocolRange(min, max uint16) ServerOption {
+	return func(s *Server) {
+		s.protoMin, s.protoMax = min, max
+		if s.protoMax < s.protoMin {
+			s.protoMax = s.protoMin
+		}
+	}
 }
 
 // WithUser adds an authentication entry.
@@ -77,7 +96,8 @@ func NewServer(name string, opts ...ServerOption) *Server {
 	s := &Server{
 		name:          name,
 		engineVersion: dbver.V(1, 0, 0),
-		protoVersion:  1,
+		protoMin:      ProtocolV1,
+		protoMax:      ProtocolV2,
 		users:         map[string]string{},
 		dbs:           map[string]*sqlmini.DB{},
 		sessions:      map[*session]struct{}{},
@@ -96,8 +116,12 @@ func (s *Server) Name() string { return s.name }
 // EngineVersion returns the engine version.
 func (s *Server) EngineVersion() dbver.Version { return s.engineVersion }
 
-// ProtocolVersion returns the wire-protocol version this engine speaks.
-func (s *Server) ProtocolVersion() uint16 { return s.protoVersion }
+// ProtocolVersion returns the highest wire-protocol version this engine
+// speaks (see ProtocolRange for the full accepted range).
+func (s *Server) ProtocolVersion() uint16 { return s.protoMax }
+
+// ProtocolRange returns the accepted wire-protocol version range.
+func (s *Server) ProtocolRange() (min, max uint16) { return s.protoMin, s.protoMax }
 
 // AddDatabase attaches db under the given name.
 func (s *Server) AddDatabase(name string, db *sqlmini.DB) {
@@ -259,6 +283,21 @@ func (s *Server) QueriesServed() int64 { return s.queries.Load() }
 // each one a single wire round trip regardless of statement count.
 func (s *Server) BatchesServed() int64 { return s.batches.Load() }
 
+// PreparesServed reports msgPrepare frames handled — each one a
+// server-side parse that every subsequent msgExecStmt of the handle
+// skips.
+func (s *Server) PreparesServed() int64 { return s.prepares.Load() }
+
+// StmtExecsServed reports prepared-handle executions (msgExecStmt).
+// These also count in QueriesServed: they are statements executed,
+// just without the per-call parse.
+func (s *Server) StmtExecsServed() int64 { return s.stmtExecs.Load() }
+
+// VersionProbesServed reports msgTableVersions probes. Probes read
+// in-memory counters and execute no SQL, so they do NOT count in
+// QueriesServed.
+func (s *Server) VersionProbesServed() int64 { return s.versionProbes.Load() }
+
 // DisconnectUser force-closes every session authenticated as user and
 // returns how many were closed — the paper's §3.2 option of enforcing
 // connection revocation "in the database server, if the Drivolution
@@ -279,11 +318,53 @@ func (s *Server) DisconnectUser(user string) int {
 }
 
 type session struct {
-	id   uint64
-	conn *wire.Conn
-	user string
-	db   string
-	sql  *sqlmini.Session
+	id    uint64
+	conn  *wire.Conn
+	user  string
+	db    string
+	sql   *sqlmini.Session
+	proto uint16 // negotiated protocol version
+	caps  uint32 // negotiated capability mask
+
+	// stmts is the session's prepared-handle table: server-side cached
+	// sqlmini.Prepared keyed by handle id. Only the session's serve
+	// goroutine touches it, it is bounded at maxSessionStmts, and it is
+	// swept wholesale on disconnect (serveConn return drops the map and
+	// every handle with it).
+	stmts    map[uint64]*sessStmt
+	nextStmt uint64
+}
+
+// sessStmt is one server-side prepared handle: the reusable engine
+// handle plus the statement's text (replication ships SQL) and its
+// mutation classification (read-only gate, replication trigger).
+type sessStmt struct {
+	p        *sqlmini.Prepared
+	sql      string
+	mutating bool
+}
+
+// maxSessionStmts bounds one session's prepared-handle table. The
+// statement vocabulary of a real client is small (the Drivolution
+// server's fits in a few dozen); the bound exists so a leaky client
+// cannot grow server memory without limit.
+const maxSessionStmts = 256
+
+// negotiateVersion intersects the client's offered version range with
+// the server's: the highest version inside both ranges wins.
+func negotiateVersion(cMin, cMax, sMin, sMax uint16) (uint16, bool) {
+	neg := cMax
+	if sMax < neg {
+		neg = sMax
+	}
+	lo := cMin
+	if sMin > lo {
+		lo = sMin
+	}
+	if neg < lo {
+		return 0, false
+	}
+	return neg, true
 }
 
 func (s *Server) serveConn(nc net.Conn) {
@@ -304,12 +385,18 @@ func (s *Server) serveConn(nc net.Conn) {
 		_ = conn.Send(msgError, encodeError(codeProtocolMismatch, "malformed hello"))
 		return
 	}
-	if hello.ProtocolVersion != s.protoVersion {
+	cMin, cMax := hello.MinProtocolVersion, hello.ProtocolVersion
+	if cMin > cMax {
+		cMin = cMax // defensive: a confused client still gets a sane range
+	}
+	neg, ok := negotiateVersion(cMin, cMax, s.protoMin, s.protoMax)
+	if !ok {
 		_ = conn.Send(msgError, encodeError(codeProtocolMismatch,
-			fmt.Sprintf("server %s speaks protocol %d, driver sent %d (%s)",
-				s.name, s.protoVersion, hello.ProtocolVersion, hello.ClientInfo)))
+			fmt.Sprintf("server %s speaks protocols %d..%d, driver offered %d..%d (%s)",
+				s.name, s.protoMin, s.protoMax, cMin, cMax, hello.ClientInfo)))
 		return
 	}
+	caps := capsForVersion(neg) & hello.Capabilities
 	if pw, ok := s.users[hello.User]; !ok || pw != hello.Password {
 		_ = conn.Send(msgError, encodeError(codeAuthFailed,
 			fmt.Sprintf("authentication failed for user %q", hello.User)))
@@ -322,7 +409,8 @@ func (s *Server) serveConn(nc net.Conn) {
 		return
 	}
 
-	sess := &session{conn: conn, user: hello.User, db: hello.Database, sql: db.NewSession()}
+	sess := &session{conn: conn, user: hello.User, db: hello.Database,
+		sql: db.NewSession(), proto: neg, caps: caps}
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -346,8 +434,9 @@ func (s *Server) serveConn(nc net.Conn) {
 	if err := conn.Send(msgHelloOK, helloOKMsg{
 		ServerName:      s.name,
 		ServerVersion:   s.engineVersion.String(),
-		ProtocolVersion: s.protoVersion,
+		ProtocolVersion: sess.proto,
 		SessionID:       sess.id,
+		Capabilities:    sess.caps,
 	}.encode()); err != nil {
 		return
 	}
@@ -371,6 +460,22 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 		case msgExecBatch:
 			if err := s.handleExecBatch(sess, f.Payload); err != nil {
+				return
+			}
+		case msgPrepare:
+			if err := s.handlePrepare(sess, f.Payload); err != nil {
+				return
+			}
+		case msgExecStmt:
+			if err := s.handleExecStmt(sess, f.Payload); err != nil {
+				return
+			}
+		case msgCloseStmt:
+			if err := s.handleCloseStmt(sess, f.Payload); err != nil {
+				return
+			}
+		case msgTableVersions:
+			if err := s.handleTableVersions(sess, f.Payload); err != nil {
 				return
 			}
 		default:
@@ -513,6 +618,124 @@ func toBatchStmt(m execMsg) sqlmini.BatchStmt {
 	return sqlmini.BatchStmt{SQL: m.SQL, Args: m.args()}
 }
 
+// handlePrepare registers one statement in the session's handle table:
+// parsed (and plan-analyzed lazily) once server-side, so every
+// msgExecStmt of the handle skips the per-call parse that makes plain
+// msgExec re-do the whole statement. Capability-gated: only sessions
+// that negotiated CapPreparedStatements may grow server state.
+func (s *Server) handlePrepare(sess *session, payload []byte) error {
+	if sess.caps&CapPreparedStatements == 0 {
+		return sess.conn.Send(msgError, encodeError(codeNotSupported,
+			"prepared statements were not negotiated on this session"))
+	}
+	m, err := decodePrepare(payload)
+	if err != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, "malformed prepare: "+err.Error()))
+	}
+	if len(sess.stmts) >= maxSessionStmts {
+		return sess.conn.Send(msgError, encodeError(codeQueryError,
+			fmt.Sprintf("session already holds %d prepared statements (limit)", maxSessionStmts)))
+	}
+	mutating, perr := isMutating(m.SQL)
+	if perr != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, perr.Error()))
+	}
+	db := s.Database(sess.db)
+	if db == nil {
+		return sess.conn.Send(msgError, encodeError(codeNoDatabase,
+			fmt.Sprintf("database %q was detached", sess.db)))
+	}
+	p, perr := db.Prepare(m.SQL)
+	if perr != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, perr.Error()))
+	}
+	s.prepares.Add(1)
+	if sess.stmts == nil {
+		sess.stmts = make(map[uint64]*sessStmt)
+	}
+	sess.nextStmt++
+	sess.stmts[sess.nextStmt] = &sessStmt{p: p, sql: m.SQL, mutating: mutating}
+	return sess.conn.Send(msgPrepareOK, prepareOKMsg{Handle: sess.nextStmt, Mutating: mutating}.encode())
+}
+
+// handleExecStmt executes one prepared handle with this call's
+// arguments. Semantics match msgExec of the same SQL exactly: the
+// statement joins the session's open transaction if any, the read-only
+// gate applies at execution time (the replica flag can flip between
+// prepare and exec), mutations replicate by statement text, and the
+// reply is msgResult/msgError in the same shapes.
+func (s *Server) handleExecStmt(sess *session, payload []byte) error {
+	if sess.caps&CapPreparedStatements == 0 {
+		return sess.conn.Send(msgError, encodeError(codeNotSupported,
+			"prepared statements were not negotiated on this session"))
+	}
+	m, err := decodeExecStmt(payload)
+	if err != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, "malformed exec-stmt: "+err.Error()))
+	}
+	h, ok := sess.stmts[m.Handle]
+	if !ok {
+		return sess.conn.Send(msgError, encodeError(codeBadHandle,
+			fmt.Sprintf("no prepared statement with handle %d on this session", m.Handle)))
+	}
+	s.queries.Add(1)
+	s.stmtExecs.Add(1)
+	if h.mutating && s.isReadOnly() {
+		return sess.conn.Send(msgError, encodeError(codeReadOnly,
+			fmt.Sprintf("server %s is a read-only replica", s.name)))
+	}
+	res, execErr := sess.sql.ExecPrepared(h.p, wireArgs(m.Named, m.Positional)...)
+	if execErr != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, execErr.Error()))
+	}
+	if h.mutating {
+		s.replicate(sess.db, execMsg{SQL: h.sql, Named: m.Named, Positional: m.Positional})
+	}
+	return sess.conn.Send(msgResult, encodeResult(res))
+}
+
+// handleCloseStmt drops one handle from the session table. Closing an
+// unknown handle succeeds: client caches close fire-and-forget on
+// eviction, and a double-close race must not kill the session.
+func (s *Server) handleCloseStmt(sess *session, payload []byte) error {
+	if sess.caps&CapPreparedStatements == 0 {
+		return sess.conn.Send(msgError, encodeError(codeNotSupported,
+			"prepared statements were not negotiated on this session"))
+	}
+	m, err := decodeCloseStmt(payload)
+	if err != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, "malformed close-stmt: "+err.Error()))
+	}
+	delete(sess.stmts, m.Handle)
+	return sess.conn.Send(msgCloseStmtOK, nil)
+}
+
+// handleTableVersions answers a generation probe: the per-table
+// mutation counters of the session's database, read from in-memory
+// state — no SQL executes, so a cache-validation round trip costs the
+// legacy DBMS nothing but a frame.
+func (s *Server) handleTableVersions(sess *session, payload []byte) error {
+	if sess.caps&CapTableVersions == 0 {
+		return sess.conn.Send(msgError, encodeError(codeNotSupported,
+			"table-version probes were not negotiated on this session"))
+	}
+	m, err := decodeTableVersions(payload)
+	if err != nil {
+		return sess.conn.Send(msgError, encodeError(codeQueryError, "malformed table-versions: "+err.Error()))
+	}
+	db := s.Database(sess.db)
+	if db == nil {
+		return sess.conn.Send(msgError, encodeError(codeNoDatabase,
+			fmt.Sprintf("database %q was detached", sess.db)))
+	}
+	s.versionProbes.Add(1)
+	reply := tableVersionsOKMsg{Versions: make([]uint64, len(m.Names))}
+	for i, name := range m.Names {
+		reply.Versions[i] = db.TableVersion(name)
+	}
+	return sess.conn.Send(msgTableVersionsOK, reply.encode())
+}
+
 func (s *Server) isReadOnly() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -527,22 +750,25 @@ func (s *Server) SetReadOnly(ro bool) {
 	s.readOnly = ro
 }
 
-// args converts the wire parameters to the engine's argument form —
-// the single conversion both per-frame and batch execution go through.
-func (m execMsg) args() []any {
-	if len(m.Named) > 0 {
+// wireArgs converts wire parameters to the engine's argument form —
+// the single conversion exec, batch, and prepared-handle execution all
+// go through.
+func wireArgs(named map[string]sqlmini.Value, positional []sqlmini.Value) []any {
+	if len(named) > 0 {
 		args := sqlmini.Args{}
-		for k, v := range m.Named {
+		for k, v := range named {
 			args[k] = v
 		}
 		return []any{args}
 	}
-	args := make([]any, len(m.Positional))
-	for i, v := range m.Positional {
+	args := make([]any, len(positional))
+	for i, v := range positional {
 		args[i] = v
 	}
 	return args
 }
+
+func (m execMsg) args() []any { return wireArgs(m.Named, m.Positional) }
 
 func execOn(sess *sqlmini.Session, m execMsg) (*sqlmini.Result, error) {
 	return sess.Exec(m.SQL, m.args()...)

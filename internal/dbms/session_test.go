@@ -1,0 +1,458 @@
+package dbms
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dbver"
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// Tests for the v2 session protocol: capability negotiation, remote
+// prepared statements, and table-version probes.
+
+// dialV2 connects with a driver that speaks the full v2 range.
+func dialV2(t *testing.T, s *Server) client.Conn {
+	t.Helper()
+	d := NewNativeDriver(dbver.V(2, 0, 0), ProtocolV2, WithProtocolFloor(ProtocolV1))
+	c, err := d.Connect("dbms://"+s.Addr()+"/app", client.Props{"user": "alice", "password": "secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestNegotiationMatrix covers the mixed-version handshake: ranged and
+// pinned clients against ranged and pinned servers.
+func TestNegotiationMatrix(t *testing.T) {
+	rangedSrv := startServer(t) // default: [ProtocolV1, ProtocolV2]
+	v1Srv := startServer(t, WithProtocolVersion(1))
+	v2Srv := startServer(t, WithProtocolVersion(2))
+
+	cases := []struct {
+		name      string
+		driver    *NativeDriver
+		server    *Server
+		wantProto uint16
+		wantCaps  bool
+		wantFail  bool
+	}{
+		{"ranged vs ranged", NewNativeDriver(dbver.V(2, 0, 0), 2, WithProtocolFloor(1)), rangedSrv, 2, true, false},
+		{"ranged v2 client vs pinned v1 server", NewNativeDriver(dbver.V(2, 0, 0), 2, WithProtocolFloor(1)), v1Srv, 1, false, false},
+		{"pinned v1 client vs ranged server", NewNativeDriver(dbver.V(1, 0, 0), 1), rangedSrv, 1, false, false},
+		{"pinned v2 client vs ranged server", NewNativeDriver(dbver.V(2, 0, 0), 2), rangedSrv, 2, true, false},
+		{"pinned v1 client vs pinned v2 server", NewNativeDriver(dbver.V(1, 0, 0), 1), v2Srv, 0, false, true},
+		{"pinned v2 client vs pinned v1 server", NewNativeDriver(dbver.V(2, 0, 0), 2), v1Srv, 0, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := tc.driver.Connect("dbms://"+tc.server.Addr()+"/app",
+				client.Props{"user": "alice", "password": "secret"})
+			if tc.wantFail {
+				if !errors.Is(err, client.ErrProtocolMismatch) {
+					t.Fatalf("err = %v, want ErrProtocolMismatch", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			nc := c.(*nativeConn)
+			if nc.NegotiatedProtocol() != tc.wantProto {
+				t.Fatalf("negotiated %d, want %d", nc.NegotiatedProtocol(), tc.wantProto)
+			}
+			fc := c.(client.FeatureConn)
+			if fc.Supports(client.FeaturePreparedStatements) != tc.wantCaps ||
+				fc.Supports(client.FeatureTableVersions) != tc.wantCaps {
+				t.Fatalf("capabilities = %v, want %v", !tc.wantCaps, tc.wantCaps)
+			}
+			// The session must actually work at the negotiated version.
+			if _, err := c.Query("SELECT count(*) FROM accounts"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestNegotiatedDownDisablesCapabilities: a v2 driver downgraded to a
+// v1 session gets ErrNotSupported from capability methods without any
+// wire traffic, so pooled stores can fall back cheaply.
+func TestNegotiatedDownDisablesCapabilities(t *testing.T) {
+	s := startServer(t, WithProtocolVersion(1))
+	d := NewNativeDriver(dbver.V(2, 0, 0), 2, WithProtocolFloor(1))
+	c, err := d.Connect("dbms://"+s.Addr()+"/app", client.Props{"user": "alice", "password": "secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	queriesBefore := s.QueriesServed()
+	if _, err := c.(client.StmtConn).Prepare("SELECT 1"); !errors.Is(err, client.ErrNotSupported) {
+		t.Fatalf("Prepare on v1 session: err = %v, want ErrNotSupported", err)
+	}
+	if _, err := c.(client.TableVersionConn).TableVersions("accounts"); !errors.Is(err, client.ErrNotSupported) {
+		t.Fatalf("TableVersions on v1 session: err = %v, want ErrNotSupported", err)
+	}
+	if got := s.QueriesServed() - queriesBefore; got != 0 {
+		t.Fatalf("capability refusal cost %d server statements, want 0", got)
+	}
+}
+
+// TestPreparedEquivalence: a remote prepared handle returns exactly
+// what the same SQL returns ad hoc — results and errors — while the
+// server parses once, not per call.
+func TestPreparedEquivalence(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	sc := c.(client.StmtConn)
+
+	st, err := sc.Prepare("SELECT balance FROM accounts WHERE id = $id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 2, 1} {
+		pr, err := st.Exec(sqlmini.Args{"id": id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := c.Query("SELECT balance FROM accounts WHERE id = $id", sqlmini.Args{"id": id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Rows[0][0].Int() != ar.Rows[0][0].Int() {
+			t.Fatalf("id %d: prepared %v != ad hoc %v", id, pr.Rows[0][0], ar.Rows[0][0])
+		}
+	}
+	if got := s.PreparesServed(); got != 1 {
+		t.Fatalf("PreparesServed = %d, want 1", got)
+	}
+	if got := s.StmtExecsServed(); got != 3 {
+		t.Fatalf("StmtExecsServed = %d, want 3", got)
+	}
+
+	// Errors surface in the same shape: a divide-by-zero style runtime
+	// error through the handle matches the ad-hoc one.
+	bad, err := sc.Prepare("SELECT balance FROM nowhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prepErr := bad.Exec()
+	_, adhocErr := c.Query("SELECT balance FROM nowhere")
+	if prepErr == nil || adhocErr == nil {
+		t.Fatalf("both paths must fail: prepared %v, ad hoc %v", prepErr, adhocErr)
+	}
+	if prepErr.Error() != adhocErr.Error() {
+		t.Fatalf("error drift: prepared %q vs ad hoc %q", prepErr, adhocErr)
+	}
+}
+
+// TestPrepareRejectsBadSQL: parse errors surface at prepare time.
+func TestPrepareRejectsBadSQL(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	if _, err := c.(client.StmtConn).Prepare("SELEKT 1"); err == nil {
+		t.Fatal("prepare of invalid SQL must fail")
+	}
+	// Transaction control is session state and unpreparable.
+	if _, err := c.(client.StmtConn).Prepare("BEGIN"); err == nil {
+		t.Fatal("prepare of BEGIN must fail")
+	}
+}
+
+// TestPreparedJoinsTransaction: a prepared mutation executed inside an
+// open client transaction joins it — rollback reverts it, exactly as
+// the same SQL sent ad hoc would behave.
+func TestPreparedJoinsTransaction(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	st, err := c.(client.StmtConn).Prepare("INSERT INTO accounts (id, balance) VALUES ($id, $b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(sqlmini.Args{"id": 77, "b": 700}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("SELECT count(*) FROM accounts WHERE id = 77")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("rolled-back prepared INSERT must not survive")
+	}
+
+	// And commit publishes.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(sqlmini.Args{"id": 78, "b": 800}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.Query("SELECT count(*) FROM accounts WHERE id = 78")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("committed prepared INSERT must survive")
+	}
+}
+
+// TestPreparedReplicates: mutations through a prepared handle reach
+// attached replicas like their ad-hoc equivalents (replication ships
+// the statement text recorded at prepare time).
+func TestPreparedReplicates(t *testing.T) {
+	master := startServer(t)
+	replicaDB := sqlmini.NewDB()
+	replica := NewServer("replica", WithUser("alice", "secret"), WithReadOnly())
+	replica.AddDatabase("app", replicaDB)
+	if err := master.SyncReplica(replica); err != nil {
+		t.Fatal(err)
+	}
+	master.AttachReplica(replica)
+
+	c := dialV2(t, master)
+	st, err := c.(client.StmtConn).Prepare("UPDATE accounts SET balance = balance + $d WHERE id = $id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(sqlmini.Args{"d": 11, "id": 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := replicaDB.Query("SELECT balance FROM accounts WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 111 {
+		t.Fatalf("replica balance = %d, want 111", res.Rows[0][0].Int())
+	}
+}
+
+// TestPreparedReadOnlyGate: the replica flag is enforced at execution
+// time, so a handle prepared before promotion/demotion behaves like
+// fresh SQL would.
+func TestPreparedReadOnlyGate(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	st, err := c.(client.StmtConn).Prepare("UPDATE accounts SET balance = 0 WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetReadOnly(true)
+	if _, err := st.Exec(); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("prepared mutation on read-only replica: err = %v", err)
+	}
+	// Reads still work, and demotion back re-enables the handle.
+	rd, err := c.(client.StmtConn).Prepare("SELECT count(*) FROM accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Exec(); err != nil {
+		t.Fatalf("prepared read on read-only replica: %v", err)
+	}
+	s.SetReadOnly(false)
+	if _, err := st.Exec(); err != nil {
+		t.Fatalf("prepared mutation after demotion: %v", err)
+	}
+}
+
+// TestCloseStmt: a closed handle is gone server-side (bad-handle error
+// on reuse through a fresh frame), re-closing is a no-op, and closing
+// an unknown handle does not kill the session.
+func TestCloseStmt(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	st, err := c.(client.StmtConn).Prepare("SELECT count(*) FROM accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// The handle id is dead on the server: replay its exec frame raw.
+	nc := c.(*nativeConn)
+	handle := st.(*nativeStmt).handle
+	f, err := nc.roundTrip(msgExecStmt, execStmtMsg{Handle: handle}.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != msgError {
+		t.Fatalf("exec of closed handle answered 0x%04x, want msgError", f.Type)
+	}
+	code, _, derr := decodeError(f.Payload)
+	if derr != nil || code != codeBadHandle {
+		t.Fatalf("code = %d (%v), want codeBadHandle", code, derr)
+	}
+	// The session survived and still serves.
+	if _, err := c.Query("SELECT count(*) FROM accounts"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionStmtLimit: the per-session handle table is bounded.
+func TestSessionStmtLimit(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	sc := c.(client.StmtConn)
+	for i := 0; i < maxSessionStmts; i++ {
+		if _, err := sc.Prepare(fmt.Sprintf("SELECT %d FROM accounts", i)); err != nil {
+			t.Fatalf("prepare %d: %v", i, err)
+		}
+	}
+	if _, err := sc.Prepare("SELECT count(*) FROM accounts"); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Fatalf("prepare beyond the session limit: err = %v", err)
+	}
+}
+
+// TestSessionStmtLimitFreesOnClose: closing a handle makes room.
+func TestSessionStmtLimitFreesOnClose(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	sc := c.(client.StmtConn)
+	handles := make([]client.ConnStmt, 0, maxSessionStmts)
+	for i := 0; i < maxSessionStmts; i++ {
+		h, err := sc.Prepare(fmt.Sprintf("SELECT %d FROM accounts", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := handles[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Prepare("SELECT count(*) FROM accounts"); err != nil {
+		t.Fatalf("prepare after a close must fit again: %v", err)
+	}
+}
+
+// TestTableVersionsProbe: the probe reports live per-table counters,
+// moves with mutations, costs zero SQL statements, and reports 0 for
+// unknown tables.
+func TestTableVersionsProbe(t *testing.T) {
+	s := startServer(t)
+	c := dialV2(t, s)
+	tvc := c.(client.TableVersionConn)
+
+	queriesBefore := s.QueriesServed()
+	v1, err := tvc.TableVersions("accounts", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1[1] != 0 {
+		t.Fatalf("unknown table version = %d, want 0", v1[1])
+	}
+	if _, err := c.Exec("UPDATE accounts SET balance = balance + 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := tvc.TableVersions("accounts", "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2[0] <= v1[0] {
+		t.Fatalf("accounts version must move: %d then %d", v1[0], v2[0])
+	}
+	if got := s.VersionProbesServed(); got != 2 {
+		t.Fatalf("VersionProbesServed = %d, want 2", got)
+	}
+	// Probes are not statements: only the UPDATE counted.
+	if got := s.QueriesServed() - queriesBefore; got != 1 {
+		t.Fatalf("probes leaked into QueriesServed: %d statements, want 1", got)
+	}
+}
+
+// TestServerGatesUnnegotiatedFrames: a session that negotiated v1 on
+// the wire cannot smuggle v2 frames past the handshake — the server
+// enforces the capability mask, not just the client library.
+func TestServerGatesUnnegotiatedFrames(t *testing.T) {
+	s := startServer(t)
+	conn, err := wire.Dial(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A v1 hello: no capability bits.
+	hello := helloMsg{ProtocolVersion: 1, MinProtocolVersion: 1, Database: "app",
+		User: "alice", Password: "secret", ClientInfo: "raw"}
+	if err := conn.Send(msgHello, hello.encode()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := conn.RecvTimeout(2 * time.Second)
+	if err != nil || f.Type != msgHelloOK {
+		t.Fatalf("handshake: %v / 0x%04x", err, f.Type)
+	}
+	for _, probe := range []struct {
+		name string
+		typ  uint16
+		body []byte
+	}{
+		{"prepare", msgPrepare, prepareMsg{SQL: "SELECT 1"}.encode()},
+		{"execStmt", msgExecStmt, execStmtMsg{Handle: 1}.encode()},
+		{"closeStmt", msgCloseStmt, closeStmtMsg{Handle: 1}.encode()},
+		{"tableVersions", msgTableVersions, tableVersionsMsg{Names: []string{"accounts"}}.encode()},
+	} {
+		if err := conn.Send(probe.typ, probe.body); err != nil {
+			t.Fatal(err)
+		}
+		f, err := conn.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != msgError {
+			t.Fatalf("%s on v1 session answered 0x%04x, want msgError", probe.name, f.Type)
+		}
+		code, _, derr := decodeError(f.Payload)
+		if derr != nil || code != codeNotSupported {
+			t.Fatalf("%s: code = %d (%v), want codeNotSupported", probe.name, code, derr)
+		}
+	}
+	// The session is still alive for negotiated traffic.
+	if err := conn.Send(msgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := conn.RecvTimeout(2 * time.Second); err != nil || f.Type != msgPong {
+		t.Fatalf("ping after refusals: %v / 0x%04x", err, f.Type)
+	}
+}
+
+// TestHandleSweepOnDisconnect: handles do not outlive their session —
+// a new connection starts with a fresh handle space (handle ids
+// restart, and the old session's table was dropped with it).
+func TestHandleSweepOnDisconnect(t *testing.T) {
+	s := startServer(t)
+	c1 := dialV2(t, s)
+	st, err := c1.(client.StmtConn).Prepare("SELECT count(*) FROM accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := st.(*nativeStmt).handle
+	c1.Close()
+
+	c2 := dialV2(t, s)
+	st2, err := c2.(client.StmtConn).Prepare("SELECT count(*) FROM accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.(*nativeStmt).handle; got != h1 {
+		t.Fatalf("fresh session's first handle = %d, want %d (per-session id space)", got, h1)
+	}
+	if _, err := st2.Exec(); err != nil {
+		t.Fatal(err)
+	}
+}

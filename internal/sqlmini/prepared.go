@@ -239,6 +239,22 @@ func (p *Prepared) planTarget() (table string, where Expr, ok bool) {
 // exactly as in DB.Exec: a single Args map binds by name, anything
 // else binds positionally.
 func (p *Prepared) Exec(args ...any) (*Result, error) {
+	return p.exec(nil, args...)
+}
+
+// ExecPrepared runs a prepared handle inside this session: when the
+// session holds an open transaction the statement joins its undo log,
+// exactly as the same SQL through Session.Exec would (transaction
+// control itself is unpreparable, so a handle can never manipulate
+// session state). The handle must belong to the session's database.
+func (s *Session) ExecPrepared(p *Prepared, args ...any) (*Result, error) {
+	if p.db != s.db {
+		return nil, fmt.Errorf("sqlmini: prepared statement belongs to a different database")
+	}
+	return p.exec(s.tx, args...)
+}
+
+func (p *Prepared) exec(tx *undoLog, args ...any) (*Result, error) {
 	named, positional, err := bindArgs(args)
 	if err != nil {
 		return nil, err
@@ -259,7 +275,7 @@ func (p *Prepared) Exec(args ...any) (*Result, error) {
 		// A missing table falls through: execLocked reports the same
 		// ErrNoSuchTable the ad-hoc path would.
 	}
-	return db.execLocked(p.st, env, nil)
+	return db.execLocked(p.st, env, tx)
 }
 
 // Query is Exec for row-returning statements.

@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 MODE="${1:-compare}"
 COUNT="${BENCH_COUNT:-5}"
 TIME="${BENCH_TIME:-1s}"
-FILTER="${BENCH_FILTER:-BenchmarkMatchmaking|BenchmarkLeaseRenewalNoChange|BenchmarkLeaseRenewalUpgrade|BenchmarkLeaseRenewalAt100Leases|BenchmarkLeaseRenewalAt10000Leases|BenchmarkLicenseCheckAt10000Leases|BenchmarkExpirySweepAt100Leases|BenchmarkExpirySweepAt10000Leases|BenchmarkLicenseUsageCountAt10000Leases|BenchmarkExternalLeaseRenewal|BenchmarkExternalReapAt1000Leases|BenchmarkBootstrapProtocol|BenchmarkConcurrentBootstrap|BenchmarkFrameRoundTrip|BenchmarkEncoder|BenchmarkDecoder|BenchmarkFileChunkFraming}"
+FILTER="${BENCH_FILTER:-BenchmarkMatchmaking|BenchmarkLeaseRenewalNoChange|BenchmarkLeaseRenewalUpgrade|BenchmarkLeaseRenewalAt100Leases|BenchmarkLeaseRenewalAt10000Leases|BenchmarkLicenseCheckAt10000Leases|BenchmarkExpirySweepAt100Leases|BenchmarkExpirySweepAt10000Leases|BenchmarkLicenseUsageCountAt10000Leases|BenchmarkExternalLeaseRenewal|BenchmarkExternalReapAt1000Leases|BenchmarkExternalMatchmaking|BenchmarkExternalPreparedRenewal|BenchmarkBootstrapProtocol|BenchmarkConcurrentBootstrap|BenchmarkFrameRoundTrip|BenchmarkEncoder|BenchmarkDecoder|BenchmarkFileChunkFraming}"
 PKGS="${BENCH_PKGS:-. ./internal/wire}"
 BASELINE="${BASELINE:-BENCH_baseline.json}"
 RAW="$(mktemp)"
