@@ -5,6 +5,7 @@
 #   make tier1           # build + tests only (what scripts/bench.sh gates on)
 #   make race            # grant-path packages under the race detector
 #   make doclint         # every internal/ package must have a package comment
+#   make chaos           # longer fault-injection soak across several seeds
 #   make bench           # run the perf-tracked benchmark set
 #   make bench-baseline  # tier1 + benches, refresh BENCH_baseline.json
 #   make bench-compare   # tier1 + benches, diff against BENCH_baseline.json
@@ -13,7 +14,7 @@
 # BENCH_FILTER ('.'' = full suite, includes slow lease-traffic sweeps),
 # BENCH_PKGS.
 
-.PHONY: check check-race tier1 race doclint bench bench-baseline bench-compare
+.PHONY: check check-race tier1 race doclint chaos bench bench-baseline bench-compare
 
 # check is the documented tier-1 entry point: everything CI (and the
 # next PR) must keep green.
@@ -24,10 +25,21 @@ check:
 	go test ./...
 
 # check-race is the tier-1 gate with the race detector on: slower, so
-# it is a separate target, but it covers every package.
+# it is a separate target, but it covers every package — including a
+# short chaos soak (TestChaosSoak injects resets/partitions plus a
+# server restart; ~2s at the default duration).
 check-race:
 	go build ./...
 	go test -race ./...
+
+# chaos runs the randomized fault-injection soak longer and across
+# several fresh seeds (each run logs its seed; rerun one exactly with
+# CHAOS_SEED=<n>). Knobs: CHAOS_SEEDS (runs), CHAOS_DURATION (storm
+# length per run).
+CHAOS_SEEDS ?= 5
+CHAOS_DURATION ?= 5s
+chaos:
+	CHAOS_DURATION=$(CHAOS_DURATION) go test -race -run 'TestChaosSoak' -count=$(CHAOS_SEEDS) -v ./internal/core/
 
 tier1:
 	go build ./...

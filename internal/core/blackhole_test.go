@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dbver"
+	"repro/internal/faultnet"
+)
+
+// TestServerHandshakeTimeoutCutsBlackHole pins the server half of the
+// failure contract: a client that connects and then never speaks (a
+// black-holed uplink — the TCP accept succeeded but every byte is
+// swallowed) is cut off by the handshake read deadline instead of
+// holding a serveConn goroutine forever, and the server keeps serving
+// well-behaved clients throughout.
+func TestServerHandshakeTimeoutCutsBlackHole(t *testing.T) {
+	f := newFixture(t, 9, WithHandshakeTimeout(80*time.Millisecond))
+	f.addDriver(t, f.driverImage(dbver.V(1, 0, 0), 9, 256))
+
+	// Route a client through a faultnet proxy that swallows everything
+	// it sends: the server sees a live connection that never produces a
+	// first frame.
+	p, err := faultnet.NewProxy(f.drv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetPlanner(func(i int, rng *rand.Rand) faultnet.Plan {
+		return faultnet.Plan{Up: faultnet.Faults{BlackHole: true}}
+	})
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("hello that never arrives")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server must close the silent connection once the handshake
+	// deadline passes; the close propagates back through the proxy as
+	// EOF on our read side.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("black-holed connection was not cut by the server")
+	}
+	cut := time.Since(start)
+	if cut > time.Second {
+		t.Fatalf("server took %v to cut a silent connection; handshake deadline is 80ms", cut)
+	}
+
+	// The stalled connection must not have wedged the server: a normal
+	// bootstrap still completes.
+	b := f.bootloader(t)
+	conn := mustConnect(t, b, f.appURL())
+	if _, err := conn.Query("SELECT 1"); err != nil {
+		t.Fatalf("server unhealthy after cutting black-holed client: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dbms"
+	"repro/internal/dbver"
+	"repro/internal/faultnet"
+	"repro/internal/sqlmini"
+)
+
+// stormOutcome classifies one INSERT attempted during the redial storm.
+type stormOutcome struct {
+	id  int
+	err error
+}
+
+// TestConnStoreRedialStorm drives the pooled external store through a
+// faultnet proxy that resets connections at byte- and frame-boundaries,
+// and checks the PR 4 redial contract under sustained fire:
+//
+//   - a successful INSERT landed exactly once (its row exists);
+//   - client.ErrStatementNotSent is only ever surfaced when the row is
+//     provably absent (the statement really never executed);
+//   - every other lost mutation surfaces ErrExecOutcomeUnknown — a row
+//     may or may not exist, but it is never double-applied (the primary
+//     key would reject a replay, and that error class never appears);
+//   - read-only statements never surface ErrExecOutcomeUnknown at all:
+//     they are silently replayed on a fresh dial.
+func TestConnStoreRedialStorm(t *testing.T) {
+	db := sqlmini.NewDB()
+	db.MustExec(`CREATE TABLE ops (id INTEGER NOT NULL PRIMARY KEY)`)
+	srv := dbms.NewServer("legacy", dbms.WithUser("svc", "pw"))
+	srv.AddDatabase("meta", db)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+
+	p, err := faultnet.NewProxy(srv.Addr(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Every other connection is doomed: odd accepts die on the uplink a
+	// few frames in (the statement may never reach the server), accepts
+	// ≡ 2 (mod 4) die on the downlink mid-reply (the statement executed
+	// but the client cannot know).
+	p.SetPlanner(func(i int, rng *rand.Rand) faultnet.Plan {
+		switch i % 4 {
+		case 1, 3:
+			return faultnet.Plan{Up: faultnet.Faults{CutAfterFrames: 2 + rng.Intn(3)}}
+		case 2:
+			return faultnet.Plan{Down: faultnet.Faults{CutAfterBytes: int64(30 + rng.Intn(300))}}
+		default:
+			return faultnet.Plan{}
+		}
+	})
+
+	drv := dbms.NewNativeDriver(dbver.V(1, 0, 0), 1, dbms.WithProtocolFloor(1),
+		dbms.WithOpTimeout(2*time.Second))
+	store := NewConnStore(func() (client.Conn, error) {
+		return drv.Connect("dbms://"+p.Addr()+"/meta", client.Props{"user": "svc", "password": "pw"})
+	}, WithPoolSize(4))
+	t.Cleanup(store.Close)
+
+	const workers, perWorker = 4, 30
+	var wg sync.WaitGroup
+	outCh := make(chan stormOutcome, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := w*1000 + i
+				_, err := store.Exec(fmt.Sprintf(`INSERT INTO ops (id) VALUES (%d)`, id))
+				outCh <- stormOutcome{id: id, err: err}
+				if i%8 == 0 {
+					// Reads ride the same storm but must never be
+					// ambiguous: the contract replays them instead.
+					if _, rerr := store.Exec(`SELECT count(*) FROM ops`); rerr != nil &&
+						errors.Is(rerr, ErrExecOutcomeUnknown) {
+						t.Errorf("read-only statement surfaced ErrExecOutcomeUnknown: %v", rerr)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(outCh)
+
+	// Heal the network and read back what actually landed.
+	p.SetPlanner(func(i int, rng *rand.Rand) faultnet.Plan { return faultnet.Plan{} })
+	res, err := store.Exec(`SELECT id FROM ops`)
+	if err != nil {
+		// One retry against a pool full of dead connections can lose;
+		// a second statement dials entirely fresh.
+		res, err = store.Exec(`SELECT id FROM ops`)
+	}
+	if err != nil {
+		t.Fatalf("post-storm readback failed: %v", err)
+	}
+	landed := make(map[int]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		landed[int(row[0].Int())] = true
+	}
+
+	var successes, notSent, unknown, other int
+	unknownIDs := make(map[int]bool)
+	for o := range outCh {
+		switch {
+		case o.err == nil:
+			successes++
+			if !landed[o.id] {
+				t.Errorf("INSERT %d reported success but the row is missing", o.id)
+			}
+		case errors.Is(o.err, ErrExecOutcomeUnknown):
+			unknown++
+			unknownIDs[o.id] = true // either outcome is honest
+		case errors.Is(o.err, client.ErrStatementNotSent):
+			notSent++
+			if landed[o.id] {
+				t.Errorf("INSERT %d claimed ErrStatementNotSent but the row exists: %v", o.id, o.err)
+			}
+		default:
+			// Dial/handshake failures: the statement never had a
+			// connection, so it cannot have landed.
+			other++
+			if landed[o.id] {
+				t.Errorf("INSERT %d failed before send (%v) but the row exists", o.id, o.err)
+			}
+		}
+	}
+	// No ghost rows: everything in the table traces back to a success
+	// or an honestly-ambiguous outcome (the per-id checks above already
+	// rejected rows from notSent/pre-send failures).
+	if len(landed) > successes+unknown {
+		t.Errorf("%d rows landed but only %d successes + %d ambiguous outcomes", len(landed), successes, unknown)
+	}
+
+	// The storm must actually have stormed: the planner dooms half of
+	// all connections, so at least some mutations have to fail, and at
+	// least one of them ambiguously.
+	if notSent+unknown+other == 0 {
+		t.Fatal("fault plan injected no failures; storm did not exercise the contract")
+	}
+	t.Logf("storm: %d ok, %d not-sent, %d outcome-unknown, %d pre-send failures, %d rows landed",
+		successes, notSent, unknown, other, len(landed))
+}

@@ -3,15 +3,37 @@ package core
 import (
 	"errors"
 	"time"
+
+	"repro/internal/faultnet"
 )
+
+// newLoopBackoff builds the Backoff driving the persistent renewal
+// and push loops. The default policy starts at retryInterval (so test
+// cadences stay fast) and grows to 16× with jitter; attempt and time
+// budgets are stripped either way, because a bootloader cut off from
+// every server keeps serving its driver and keeps retrying (§4.1.3) —
+// it never gives up.
+func (b *Bootloader) newLoopBackoff() *faultnet.Backoff {
+	p := b.backoffPol
+	if p == (faultnet.Policy{}) {
+		p = faultnet.Policy{Initial: b.retryInterval, Max: 16 * b.retryInterval,
+			Factor: 2, Jitter: 0.5}
+	}
+	p.MaxAttempts, p.Budget = 0, 0
+	return faultnet.NewBackoff(p)
+}
 
 // renewLoop is the bootloader's dedicated timer thread (paper §3.4.2:
 // "bootloaders can use a dedicated thread as a timer to contact the
 // Drivolution Server as soon as the timer expires"). It wakes at the
 // renew-ahead point of the lease, on push notifications, and on explicit
-// ForceRenew calls.
+// ForceRenew calls. Consecutive failures retry on the shared jittered
+// backoff schedule instead of hammering the (already passed) renew-ahead
+// point; a success resets the schedule.
 func (b *Bootloader) renewLoop(database string) {
 	defer b.wg.Done()
+	bo := b.newLoopBackoff()
+	var backoffWait time.Duration // >0 while in a failure streak
 	for {
 		b.mu.Lock()
 		var wait time.Duration
@@ -26,6 +48,9 @@ func (b *Bootloader) renewLoop(database string) {
 		if revoked {
 			return
 		}
+		if backoffWait > 0 {
+			wait = backoffWait
+		}
 		if wait < time.Millisecond {
 			wait = time.Millisecond
 		}
@@ -38,7 +63,14 @@ func (b *Bootloader) renewLoop(database string) {
 			timer.Stop()
 		case <-timer.C:
 		}
-		b.renewOnce(database)
+		if err := b.renewOnce(database); err != nil {
+			if d, ok := bo.Next(); ok {
+				backoffWait = d
+			}
+		} else {
+			bo.Reset()
+			backoffWait = 0
+		}
 	}
 }
 
@@ -207,9 +239,12 @@ func (b *Bootloader) revokeCurrent(cause error) {
 }
 
 // pushLoop maintains the dedicated update channel (§3.2). A NOTIFY wakes
-// the renew loop immediately.
+// the renew loop immediately. Re-subscription after failures follows the
+// shared jittered backoff so a restarting server is not met by a
+// lockstep subscriber storm.
 func (b *Bootloader) pushLoop(database string) {
 	defer b.wg.Done()
+	bo := b.newLoopBackoff()
 	for {
 		select {
 		case <-b.stopCh:
@@ -225,14 +260,14 @@ func (b *Bootloader) pushLoop(database string) {
 		}
 		b.mu.Unlock()
 		if addr == "" {
-			if !b.sleepInterruptible(b.retryInterval) {
+			if !bo.Sleep(b.stopCh) {
 				return
 			}
 			continue
 		}
 		conn, err := b.dialServer(addr)
 		if err != nil {
-			if !b.sleepInterruptible(b.retryInterval) {
+			if !bo.Sleep(b.stopCh) {
 				return
 			}
 			continue
@@ -240,8 +275,13 @@ func (b *Bootloader) pushLoop(database string) {
 		sub := subscribeMsg{Database: database, API: b.api.Name}
 		if err := conn.Send(msgSubscribe, sub.encode()); err != nil {
 			conn.Close()
+			if !bo.Sleep(b.stopCh) {
+				return
+			}
 			continue
 		}
+		// Channel is up: the next failure starts the schedule over.
+		bo.Reset()
 		// Reader: each notify triggers an immediate renewal.
 		closed := make(chan struct{})
 		go func() {
@@ -266,20 +306,9 @@ func (b *Bootloader) pushLoop(database string) {
 				}
 			}
 		}
-		if !b.sleepInterruptible(b.retryInterval) {
+		if !bo.Sleep(b.stopCh) {
 			return
 		}
-	}
-}
-
-func (b *Bootloader) sleepInterruptible(d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-b.stopCh:
-		return false
-	case <-t.C:
-		return true
 	}
 }
 

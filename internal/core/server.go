@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/driverimg"
+	"repro/internal/faultnet"
 	"repro/internal/sqlmini"
 	"repro/internal/wire"
 )
@@ -35,11 +36,19 @@ type Server struct {
 	signKey     ed25519.PrivateKey
 	packages    *driverimg.PackageStore
 	licenseMode bool
+	licenseMu   sync.Mutex // serializes license-mode grants (see grantSerialized)
 
 	defaultLease      time.Duration
 	defaultRenew      RenewPolicy
 	defaultExpiration ExpirationPolicy
 	defaultTransfer   TransferMethod
+
+	// Failure-contract deadlines (see faultnet and the ARCHITECTURE.md
+	// "Failure model" section): the first frame of every accepted
+	// connection is bounded by handshakeTimeout, every outbound frame
+	// by writeTimeout.
+	handshakeTimeout time.Duration
+	writeTimeout     time.Duration
 
 	// Independent locks for independent state, so concurrent bootstraps
 	// don't serialize: lease-id allocation, pending transfers, and the
@@ -137,6 +146,23 @@ func WithLicenseMode() ServerOption {
 	return func(s *Server) { s.licenseMode = true }
 }
 
+// WithHandshakeTimeout bounds how long an accepted connection may take
+// to deliver its first frame. A peer that connects and stalls (or
+// trickles bytes) is cut off after d instead of pinning a connection
+// goroutine forever. Default faultnet.DefaultHandshakeTimeout.
+func WithHandshakeTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.handshakeTimeout = d }
+}
+
+// WithWriteTimeout bounds every frame the server sends — offers,
+// FILE_DATA chunks, push notifications. A subscriber or transfer peer
+// that stops reading fails its Send within d and is dropped, instead
+// of wedging the broadcast or transfer path. Default
+// faultnet.DefaultWriteTimeout.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
 // NewServer creates a Drivolution server over the given store. Call
 // EnsureSchema (or let NewServer do it) before serving.
 func NewServer(name string, store Store, opts ...ServerOption) (*Server, error) {
@@ -148,6 +174,8 @@ func NewServer(name string, store Store, opts ...ServerOption) (*Server, error) 
 		defaultRenew:      RenewUpgrade,
 		defaultExpiration: AfterCommit,
 		defaultTransfer:   TransferAny,
+		handshakeTimeout:  faultnet.DefaultHandshakeTimeout,
+		writeTimeout:      faultnet.DefaultWriteTimeout,
 		pending:           make(map[uint64]pendingTransfer),
 		subscribers:       make(map[*wire.Conn]subscribeMsg),
 		conns:             make(map[*wire.Conn]struct{}),
@@ -309,6 +337,7 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 	s.conns[conn] = struct{}{}
 	s.connsMu.Unlock()
+	conn.SetWriteTimeout(s.writeTimeout)
 	subscribed := false
 	defer func() {
 		s.connsMu.Lock()
@@ -316,8 +345,18 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.connsMu.Unlock()
 		conn.Close()
 	}()
-	for {
-		f, err := conn.Recv()
+	for first := true; ; first = false {
+		var f wire.Frame
+		var err error
+		if first {
+			// Hello deadline: a connect-and-stall (or byte-trickling)
+			// peer is cut off instead of holding this goroutine. Later
+			// frames are unbounded — a bootloader's renewal connection
+			// legitimately idles between lease terms.
+			f, err = conn.RecvTimeout(s.handshakeTimeout)
+		} else {
+			f, err = conn.Recv()
+		}
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				// Best effort: protocol errors just end the session.
@@ -409,13 +448,29 @@ func (s *Server) handleRequest(conn *wire.Conn, payload []byte) {
 			return
 		}
 	}
-	offer, perr := s.grant(req, conn.IsTLS())
+	offer, perr := s.grantSerialized(req, conn.IsTLS())
 	if perr != nil {
 		s.sendError(conn, perr.Code, perr.Message)
 		return
 	}
 	s.offers.Add(1)
 	s.sendOffer(conn, offer)
+}
+
+// grantSerialized runs grant, serialized in license mode: the
+// license-free check and the lease insert are separate store
+// statements, so without a grant-order lock two concurrent bootstraps
+// could both see a driver free and double-grant its license (§5.4.2
+// cap breach). Outside license mode grants stay concurrent. Servers
+// sharing one store (Figure 6 replication) serialize only their own
+// grants; cross-server license enforcement would need a store-side
+// transaction.
+func (s *Server) grantSerialized(req Request, isTLS bool) (Offer, *ProtocolError) {
+	if s.licenseMode {
+		s.licenseMu.Lock()
+		defer s.licenseMu.Unlock()
+	}
+	return s.grant(req, isTLS)
 }
 
 func (s *Server) handleFileRequest(conn *wire.Conn, payload []byte) {
@@ -505,8 +560,15 @@ func (s *Server) NotifyUpdate(database, api string) {
 	s.subMu.Unlock()
 	payload := subscribeMsg{Database: database, API: api}.encode()
 	for _, c := range conns {
-		if err := c.Send(msgNotify, payload); err == nil {
-			s.notifies.Add(1)
+		if err := c.Send(msgNotify, payload); err != nil {
+			// The conn's write timeout already bounded how long this
+			// send could stall the broadcast; a failed subscriber is
+			// dead or wedged either way, so drop it and close — its
+			// bootloader's push loop redials with backoff.
+			s.dropSubscriber(c)
+			_ = c.Close()
+			continue
 		}
+		s.notifies.Add(1)
 	}
 }

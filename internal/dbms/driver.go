@@ -9,6 +9,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/dbver"
 	"repro/internal/driverimg"
+	"repro/internal/faultnet"
 	"repro/internal/sqlmini"
 	"repro/internal/wire"
 )
@@ -26,6 +27,7 @@ type NativeDriver struct {
 	protoVersion uint16 // highest protocol version offered
 	protoMin     uint16 // lowest acceptable protocol version
 	dialTimeout  time.Duration
+	opTimeout    time.Duration // per-exchange reply deadline
 }
 
 // NativeDriverOption configures a NativeDriver.
@@ -34,6 +36,14 @@ type NativeDriverOption func(*NativeDriver)
 // WithDialTimeout bounds connection establishment.
 func WithDialTimeout(d time.Duration) NativeDriverOption {
 	return func(n *NativeDriver) { n.dialTimeout = d }
+}
+
+// WithOpTimeout bounds each request/response exchange: a reply that
+// does not arrive within d fails the operation (and poisons the
+// connection — the late reply would desynchronize the stream).
+// Default faultnet.DefaultOpTimeout; zero disables.
+func WithOpTimeout(d time.Duration) NativeDriverOption {
+	return func(n *NativeDriver) { n.opTimeout = d }
 }
 
 // WithProtocolFloor lets the driver negotiate down to min when the
@@ -49,7 +59,8 @@ func WithProtocolFloor(min uint16) NativeDriverOption {
 // the given wire-protocol version.
 func NewNativeDriver(version dbver.Version, protoVersion uint16, opts ...NativeDriverOption) *NativeDriver {
 	d := &NativeDriver{version: version, protoVersion: protoVersion,
-		protoMin: protoVersion, dialTimeout: 5 * time.Second}
+		protoMin: protoVersion, dialTimeout: 5 * time.Second,
+		opTimeout: faultnet.DefaultOpTimeout}
 	for _, o := range opts {
 		o(d)
 	}
@@ -110,7 +121,8 @@ func (d *NativeDriver) Connect(rawURL string, props client.Props) (client.Conn, 
 			return nil, fmt.Errorf("dbms: handshake: %w", err)
 		}
 		return &nativeConn{conn: conn, server: ok.ServerName, sessionID: ok.SessionID,
-			proto: ok.ProtocolVersion, caps: ok.Capabilities}, nil
+			proto: ok.ProtocolVersion, caps: ok.Capabilities,
+			opTimeout: d.opTimeout}, nil
 	case msgError:
 		code, msg, derr := decodeError(f.Payload)
 		conn.Close()
@@ -153,8 +165,9 @@ type nativeConn struct {
 	conn      *wire.Conn
 	server    string
 	sessionID uint64
-	proto     uint16 // negotiated protocol version
-	caps      uint32 // negotiated capability mask
+	proto     uint16        // negotiated protocol version
+	caps      uint32        // negotiated capability mask
+	opTimeout time.Duration // per-exchange reply deadline
 	inTx      bool
 	closed    bool
 }
@@ -189,11 +202,13 @@ func (c *nativeConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
 		c.closed = true
 		return wire.Frame{}, fmt.Errorf("%w (%w): %v", client.ErrClosed, client.ErrStatementNotSent, err)
 	}
-	f, err := c.conn.Recv()
+	f, err := c.conn.RecvTimeout(c.opTimeout)
 	if err != nil {
 		// The frame was (at least partially) transmitted but no reply
-		// came back — the server may or may not have executed it. NOT
-		// marked ErrStatementNotSent: the outcome is ambiguous.
+		// came back — a transport failure or the op deadline firing.
+		// Either way the server may or may not have executed it, so NOT
+		// marked ErrStatementNotSent: the outcome is ambiguous, and the
+		// store layer's redial contract (ErrExecOutcomeUnknown) owns it.
 		c.closed = true
 		return wire.Frame{}, fmt.Errorf("%w: %v", client.ErrClosed, err)
 	}

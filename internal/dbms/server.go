@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dbver"
+	"repro/internal/faultnet"
 	"repro/internal/sqlmini"
 	"repro/internal/wire"
 )
@@ -24,6 +25,9 @@ type Server struct {
 	protoMax      uint16 // highest wire-protocol version spoken
 	users         map[string]string
 	logf          func(format string, args ...any)
+
+	handshakeTimeout time.Duration // first-frame deadline per connection
+	writeTimeout     time.Duration // per-frame send deadline
 
 	mu        sync.Mutex
 	dbs       map[string]*sqlmini.DB
@@ -90,14 +94,29 @@ func WithLogger(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithHandshakeTimeout bounds how long an accepted connection may take
+// to deliver its hello; default faultnet.DefaultHandshakeTimeout.
+func WithHandshakeTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.handshakeTimeout = d }
+}
+
+// WithWriteTimeout bounds every frame the server sends, so a client
+// that stops reading mid-result cannot wedge its session goroutine;
+// default faultnet.DefaultWriteTimeout.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
 // NewServer creates a DBMS instance named name. At least one database
 // must be attached with AddDatabase before clients can connect to it.
 func NewServer(name string, opts ...ServerOption) *Server {
 	s := &Server{
-		name:          name,
-		engineVersion: dbver.V(1, 0, 0),
-		protoMin:      ProtocolV1,
-		protoMax:      ProtocolV2,
+		name:             name,
+		engineVersion:    dbver.V(1, 0, 0),
+		protoMin:         ProtocolV1,
+		protoMax:         ProtocolV2,
+		handshakeTimeout: faultnet.DefaultHandshakeTimeout,
+		writeTimeout:     faultnet.DefaultWriteTimeout,
 		users:         map[string]string{},
 		dbs:           map[string]*sqlmini.DB{},
 		sessions:      map[*session]struct{}{},
@@ -370,9 +389,10 @@ func negotiateVersion(cMin, cMax, sMin, sMax uint16) (uint16, bool) {
 func (s *Server) serveConn(nc net.Conn) {
 	conn := wire.NewConn(nc)
 	defer conn.Close()
+	conn.SetWriteTimeout(s.writeTimeout)
 
 	// Handshake with a deadline so stalled dialers can't pin goroutines.
-	f, err := conn.RecvTimeout(10 * time.Second)
+	f, err := conn.RecvTimeout(s.handshakeTimeout)
 	if err != nil {
 		return
 	}

@@ -1,0 +1,87 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := NewBackoff(Policy{Initial: 10 * time.Millisecond, Max: 40 * time.Millisecond,
+		Factor: 2, Jitter: -1, MaxAttempts: 4})
+	want := []time.Duration{10, 20, 40, 40}
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("attempt %d: schedule exhausted early", i)
+		}
+		if d != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("schedule should be exhausted after MaxAttempts")
+	}
+	b.Reset()
+	if d, ok := b.Next(); !ok || d != 10*time.Millisecond {
+		t.Fatalf("after Reset: got (%v, %v), want (10ms, true)", d, ok)
+	}
+}
+
+func TestBackoffJitterRange(t *testing.T) {
+	b := NewBackoff(Policy{Initial: 100 * time.Millisecond, Max: 100 * time.Millisecond,
+		Factor: 1, Jitter: 0.5})
+	for i := 0; i < 50; i++ {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatal("unbounded schedule exhausted")
+		}
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("attempt %d: jittered delay %v outside [50ms, 100ms]", i, d)
+		}
+	}
+}
+
+func TestBackoffBudget(t *testing.T) {
+	b := NewBackoff(Policy{Initial: 40 * time.Millisecond, Max: 40 * time.Millisecond,
+		Factor: 1, Jitter: -1, Budget: 100 * time.Millisecond})
+	var total time.Duration
+	for {
+		d, ok := b.Next()
+		if !ok {
+			break
+		}
+		total += d
+	}
+	if total != 100*time.Millisecond {
+		t.Fatalf("budgeted schedule slept %v total, want exactly 100ms", total)
+	}
+}
+
+func TestBackoffSleepStop(t *testing.T) {
+	b := NewBackoff(Policy{Initial: time.Minute, Jitter: -1})
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if b.Sleep(stop) {
+		t.Fatal("Sleep should report interruption on closed stop channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on stop")
+	}
+}
+
+func TestBackoffSleepContext(t *testing.T) {
+	b := NewBackoff(Policy{Initial: time.Minute, Jitter: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.SleepContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SleepContext on canceled ctx: %v, want context.Canceled", err)
+	}
+	exhausted := NewBackoff(Policy{Initial: time.Millisecond, MaxAttempts: 1, Jitter: -1})
+	_, _ = exhausted.Next()
+	if err := exhausted.SleepContext(context.Background()); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("SleepContext past budget: %v, want ErrBudgetExhausted", err)
+	}
+}

@@ -1,0 +1,176 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by a wrapped connection once
+// an injected cut has fired: the faultnet analogue of "connection
+// reset by peer".
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// FaultyConn wraps a single net.Conn with read- and write-side
+// faults — the in-process counterpart of Proxy for code that hands
+// out net.Conns directly (net.Pipe tests, custom dialers). Cuts fired
+// on either side kill the whole connection, with the underlying
+// socket reset where possible.
+type FaultyConn struct {
+	net.Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	rmu    sync.Mutex
+	rf     Faults
+	rtr    frameTracker
+	rbytes int64
+	rdead  bool
+
+	wmu    sync.Mutex
+	wf     Faults
+	wtr    frameTracker
+	wbytes int64
+	wdead  bool
+}
+
+// WrapConn wraps nc, applying read to inbound data and write to
+// outbound data.
+func WrapConn(nc net.Conn, read, write Faults) *FaultyConn {
+	return &FaultyConn{Conn: nc, rf: read, wf: write, closed: make(chan struct{})}
+}
+
+// Read implements net.Conn.
+func (c *FaultyConn) Read(b []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.rdead {
+		return 0, ErrInjectedReset
+	}
+	if c.rf.BlackHole {
+		<-c.closed
+		return 0, net.ErrClosed
+	}
+	if c.rf.CutAfterBytes > 0 {
+		// Never consume past the cut point from the underlying stream.
+		if rem := c.rf.CutAfterBytes - c.rbytes; rem < int64(len(b)) {
+			b = b[:rem]
+		}
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		if c.rf.Latency > 0 {
+			time.Sleep(c.rf.Latency)
+		}
+		if c.rf.Bandwidth > 0 {
+			time.Sleep(time.Duration(float64(n) / float64(c.rf.Bandwidth) * float64(time.Second)))
+		}
+		allowed := n
+		if c.rf.CutAfterFrames > 0 {
+			a := c.rtr.admit(b[:n], c.rf.CutAfterFrames)
+			if a < allowed || c.rtr.frames >= c.rf.CutAfterFrames {
+				allowed = a // bytes past the boundary die with the reset
+				c.rdead = true
+			}
+		}
+		c.rbytes += int64(allowed)
+		if c.rf.CutAfterBytes > 0 && c.rbytes >= c.rf.CutAfterBytes {
+			c.rdead = true
+		}
+		if c.rdead {
+			c.kill()
+			if allowed == 0 {
+				return 0, ErrInjectedReset
+			}
+		}
+		return allowed, nil
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *FaultyConn) Write(b []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.wdead {
+		return 0, ErrInjectedReset
+	}
+	if c.wf.BlackHole {
+		// Swallowed silently: the bytes "left" this host and vanished.
+		return len(b), nil
+	}
+	if c.wf.Latency > 0 {
+		time.Sleep(c.wf.Latency)
+	}
+	if c.wf.Bandwidth > 0 {
+		time.Sleep(time.Duration(float64(len(b)) / float64(c.wf.Bandwidth) * float64(time.Second)))
+	}
+	allowed := len(b)
+	if c.wf.CutAfterBytes > 0 {
+		if rem := c.wf.CutAfterBytes - c.wbytes; int64(allowed) >= rem {
+			allowed = int(rem)
+			c.wdead = true
+		}
+	}
+	if c.wf.CutAfterFrames > 0 {
+		a := c.wtr.admit(b[:allowed], c.wf.CutAfterFrames)
+		if a < allowed || c.wtr.frames >= c.wf.CutAfterFrames {
+			allowed = a
+			c.wdead = true
+		}
+	}
+	n := 0
+	if allowed > 0 {
+		if !c.writeChunks(b[:allowed]) {
+			c.wdead = true
+		}
+		n = allowed
+	}
+	c.wbytes += int64(n)
+	if c.wdead {
+		c.kill()
+		return n, ErrInjectedReset
+	}
+	return n, nil
+}
+
+func (c *FaultyConn) writeChunks(b []byte) bool {
+	max := c.wf.MaxChunk
+	if max <= 0 {
+		max = len(b)
+	}
+	for len(b) > 0 {
+		n := max
+		if n > len(b) {
+			n = len(b)
+		}
+		if _, err := c.Conn.Write(b[:n]); err != nil {
+			return false
+		}
+		b = b[n:]
+	}
+	return true
+}
+
+// kill resets the underlying socket (RST when TCP) after a cut.
+func (c *FaultyConn) kill() {
+	c.closeOnce.Do(func() {
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		_ = c.Conn.Close()
+		close(c.closed)
+	})
+}
+
+// Close implements net.Conn.
+func (c *FaultyConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		err = c.Conn.Close()
+		close(c.closed)
+	})
+	return err
+}

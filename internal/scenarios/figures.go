@@ -337,8 +337,8 @@ func F4() (*Report, error) {
 	r.logf("step 2: DBmaster marked expired, DBslave provided (central, 2 admin ops)")
 	r.logf("step 3: clients re-pointed to %q in %v (driver swap, no app reconfiguration)", after, swap.Round(time.Microsecond))
 	r.logf("master stopped for maintenance after swap")
-	r.logf("workload: %d requests, %d errors, error window %v",
-		stats.Total, stats.Errors, stats.ErrorWindow.Round(time.Microsecond))
+	r.logf("workload: %d requests, %d errors (%d reconnect retries, %d timeouts), error window %v",
+		stats.Total, stats.Errors, stats.Retries, stats.Timeouts, stats.ErrorWindow.Round(time.Microsecond))
 	// The swap itself must be clean: clients end on the slave. Requests
 	// in flight during the AFTER_COMMIT transition may see revocation
 	// errors; the runner reconnects, so the window stays tiny.
@@ -423,8 +423,8 @@ func F5() (*Report, error) {
 	r.logf("cluster: 2 controllers x 2 backends, all writes replicated")
 	r.logf("Sequoia driver upgrade via standalone server: bootloader now v%s %v", b.Version(), mark(upgraded))
 	r.logf("rolling restart of controller-1 under load, backends resynced from journal")
-	r.logf("workload: %d requests, %d errors, error window %v",
-		stats.Total, stats.Errors, stats.ErrorWindow.Round(time.Microsecond))
+	r.logf("workload: %d requests, %d errors (%d reconnect retries, %d timeouts), error window %v",
+		stats.Total, stats.Errors, stats.Retries, stats.Timeouts, stats.ErrorWindow.Round(time.Microsecond))
 	consistent, detail := cl.BackendsConsistent()
 	r.logf("all backends consistent after resync: %v %s", mark(consistent), detail)
 	r.Pass = upgraded && stats.Total > 0 && consistent && stats.ErrorWindow < 500*time.Millisecond

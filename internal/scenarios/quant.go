@@ -94,10 +94,10 @@ func Q1() (*Report, error) {
 		return r, err
 	}
 
-	r.logf("traditional: %5d requests, %4d errors, error window %8v  (app stopped for driver change)",
-		tradStats.Total, tradStats.Errors, tradStats.ErrorWindow.Round(time.Millisecond))
-	r.logf("drivolution: %5d requests, %4d errors, error window %8v  (hot swap in %v, AFTER_COMMIT)",
-		drvStats.Total, drvStats.Errors, drvStats.ErrorWindow.Round(time.Millisecond), swapDur.Round(time.Microsecond))
+	r.logf("traditional: %5d requests, %4d errors (%d retries), error window %8v  (app stopped for driver change)",
+		tradStats.Total, tradStats.Errors, tradStats.Retries, tradStats.ErrorWindow.Round(time.Millisecond))
+	r.logf("drivolution: %5d requests, %4d errors (%d retries), error window %8v  (hot swap in %v, AFTER_COMMIT)",
+		drvStats.Total, drvStats.Errors, drvStats.Retries, drvStats.ErrorWindow.Round(time.Millisecond), swapDur.Round(time.Microsecond))
 	shape := tradStats.ErrorWindow > 50*time.Millisecond &&
 		drvStats.ErrorWindow < tradStats.ErrorWindow/2
 	r.logf("paper's shape (hard outage vs transparent upgrade): %v", mark(shape))

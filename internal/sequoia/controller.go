@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/faultnet"
 	"repro/internal/sqlmini"
 	"repro/internal/wire"
 )
@@ -179,6 +180,9 @@ type Controller struct {
 	users        map[string]string
 	database     string // virtual database name served to clients
 
+	handshakeTimeout time.Duration // first-frame deadline per connection
+	writeTimeout     time.Duration // per-frame send deadline
+
 	mu       sync.Mutex
 	backends []*Backend
 	rr       int
@@ -203,16 +207,31 @@ func WithControllerUser(user, password string) ControllerOption {
 	return func(c *Controller) { c.users[user] = password }
 }
 
+// WithControllerHandshakeTimeout bounds how long an accepted
+// connection may take to deliver its hello; default
+// faultnet.DefaultHandshakeTimeout.
+func WithControllerHandshakeTimeout(d time.Duration) ControllerOption {
+	return func(c *Controller) { c.handshakeTimeout = d }
+}
+
+// WithControllerWriteTimeout bounds every frame the controller sends;
+// default faultnet.DefaultWriteTimeout.
+func WithControllerWriteTimeout(d time.Duration) ControllerOption {
+	return func(c *Controller) { c.writeTimeout = d }
+}
+
 // NewController creates a controller serving the named virtual database
 // and joins it to the group.
 func NewController(name, database string, group *Group, opts ...ControllerOption) *Controller {
 	c := &Controller{
-		name:         name,
-		protoVersion: 1,
-		group:        group,
-		users:        map[string]string{},
-		database:     database,
-		sessions:     map[*wire.Conn]struct{}{},
+		name:             name,
+		protoVersion:     1,
+		group:            group,
+		users:            map[string]string{},
+		database:         database,
+		sessions:         map[*wire.Conn]struct{}{},
+		handshakeTimeout: faultnet.DefaultHandshakeTimeout,
+		writeTimeout:     faultnet.DefaultWriteTimeout,
 	}
 	for _, o := range opts {
 		o(c)
@@ -448,8 +467,9 @@ func (c *Controller) Stop() {
 func (c *Controller) serveConn(nc net.Conn) {
 	conn := wire.NewConn(nc)
 	defer conn.Close()
+	conn.SetWriteTimeout(c.writeTimeout)
 
-	f, err := conn.RecvTimeout(10 * time.Second)
+	f, err := conn.RecvTimeout(c.handshakeTimeout)
 	if err != nil || f.Type != msgHello {
 		return
 	}

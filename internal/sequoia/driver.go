@@ -1,6 +1,7 @@
 package sequoia
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/dbver"
 	"repro/internal/driverimg"
+	"repro/internal/faultnet"
 	"repro/internal/sqlmini"
 	"repro/internal/wire"
 )
@@ -25,12 +27,49 @@ type Driver struct {
 	version      dbver.Version
 	protoVersion uint16
 	dialTimeout  time.Duration
+	opTimeout    time.Duration   // per-exchange reply deadline
+	retry        faultnet.Policy // mid-connection failover schedule
+}
+
+// DriverOption configures a Driver.
+type DriverOption func(*Driver)
+
+// WithDriverDialTimeout bounds controller dials (and the handshake
+// reply during reconnect).
+func WithDriverDialTimeout(d time.Duration) DriverOption {
+	return func(drv *Driver) { drv.dialTimeout = d }
+}
+
+// WithDriverOpTimeout bounds each request/response exchange; default
+// faultnet.DefaultOpTimeout.
+func WithDriverOpTimeout(d time.Duration) DriverOption {
+	return func(drv *Driver) { drv.opTimeout = d }
+}
+
+// WithDriverRetry sets the transparent-failover schedule: how many
+// times a failed exchange is retried against surviving controllers
+// (Policy.MaxAttempts, 0 = until the connection is closed) and the
+// jittered delays between retries. The default makes three attempts
+// starting at 25ms.
+func WithDriverRetry(p faultnet.Policy) DriverOption {
+	return func(drv *Driver) { drv.retry = p }
 }
 
 // NewDriver builds a Sequoia driver speaking the given controller
 // protocol version.
-func NewDriver(version dbver.Version, protoVersion uint16) *Driver {
-	return &Driver{version: version, protoVersion: protoVersion, dialTimeout: 5 * time.Second}
+func NewDriver(version dbver.Version, protoVersion uint16, opts ...DriverOption) *Driver {
+	d := &Driver{
+		version:      version,
+		protoVersion: protoVersion,
+		dialTimeout:  5 * time.Second,
+		opTimeout:    faultnet.DefaultOpTimeout,
+		retry: faultnet.Policy{Initial: 25 * time.Millisecond, Max: 500 * time.Millisecond,
+			Factor: 2, Jitter: 0.5, MaxAttempts: 3},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
 }
 
 // Name implements client.Driver.
@@ -151,10 +190,28 @@ func mapError(code uint16, msg string) error {
 	}
 }
 
-// roundTrip sends a frame and reads the reply, failing over to another
-// controller and retrying once if the connection died.
+// fatalConnectErr reports connect errors that retrying cannot fix —
+// the controller answered and said no (auth, protocol, wrong
+// database), as opposed to not answering at all.
+func fatalConnectErr(err error) bool {
+	return errors.Is(err, client.ErrProtocolMismatch) ||
+		errors.Is(err, client.ErrAuth) ||
+		errors.Is(err, client.ErrNoDatabase)
+}
+
+// roundTrip sends a frame and reads the reply (bounded by the op
+// timeout), transparently failing over to surviving controllers on
+// transport failure. Retries follow the driver's shared backoff
+// policy: jittered delays between attempts, bounded by
+// Policy.MaxAttempts.
 func (sc *seqConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
-	for attempt := 0; attempt < 2; attempt++ {
+	bo := faultnet.NewBackoff(sc.driver.retry)
+	tries := sc.driver.retry.MaxAttempts
+	var lastErr error
+	for attempt := 0; tries <= 0 || attempt < tries; attempt++ {
+		if attempt > 0 && !bo.Sleep(nil) {
+			break
+		}
 		sc.mu.Lock()
 		if sc.closed {
 			sc.mu.Unlock()
@@ -165,15 +222,21 @@ func (sc *seqConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
 		sc.mu.Unlock()
 		if conn == nil {
 			if err := sc.reconnect(nil); err != nil {
-				return wire.Frame{}, err
+				if fatalConnectErr(err) {
+					return wire.Frame{}, err
+				}
+				lastErr = err
 			}
 			continue
 		}
 		if err := conn.Send(typ, payload); err == nil {
-			f, rerr := conn.Recv()
+			f, rerr := conn.RecvTimeout(sc.driver.opTimeout)
 			if rerr == nil {
 				return f, nil
 			}
+			lastErr = rerr
+		} else {
+			lastErr = err
 		}
 		// Connection failed: drop it and fail over away from this host.
 		conn.Close()
@@ -182,12 +245,12 @@ func (sc *seqConn) roundTrip(typ uint16, payload []byte) (wire.Frame, error) {
 		sc.mu.Unlock()
 		if err := sc.reconnect(map[string]bool{host: true}); err != nil {
 			// Last resort: maybe the failed host came back.
-			if err2 := sc.reconnect(nil); err2 != nil {
-				return wire.Frame{}, fmt.Errorf("%w: failover exhausted: %v", client.ErrClosed, err)
+			if err2 := sc.reconnect(nil); err2 != nil && fatalConnectErr(err2) {
+				return wire.Frame{}, err2
 			}
 		}
 	}
-	return wire.Frame{}, fmt.Errorf("%w: failover retry exhausted", client.ErrClosed)
+	return wire.Frame{}, fmt.Errorf("%w: failover retry budget exhausted: %v", client.ErrClosed, lastErr)
 }
 
 func (sc *seqConn) exec(sql string, args []any) (*client.Result, error) {

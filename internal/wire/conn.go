@@ -16,8 +16,10 @@ type Conn struct {
 	nc net.Conn
 	br *bufio.Reader
 
-	wmu sync.Mutex
-	bw  *bufio.Writer
+	wmu      sync.Mutex
+	bw       *bufio.Writer
+	wtimeout time.Duration // per-Send write deadline; 0 = none
+	warmed   bool          // a write deadline is currently set on nc
 }
 
 // connBufSize sizes the per-connection bufio buffers. Frames larger
@@ -36,10 +38,32 @@ func NewConn(nc net.Conn) *Conn {
 	}
 }
 
+// SetWriteTimeout bounds every subsequent Send: the frame must be
+// fully flushed to the socket within d or the Send fails with a
+// timeout error. Zero disables the bound. Servers set this on every
+// accepted connection so a stalled reader (a black-holed peer, a
+// full receive window that never drains) cannot wedge broadcast or
+// transfer paths; a timed-out connection must be closed — the stream
+// position after a partial flush is unknown.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.wmu.Lock()
+	c.wtimeout = d
+	c.wmu.Unlock()
+}
+
 // Send writes and flushes one frame.
 func (c *Conn) Send(typ uint16, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.wtimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.wtimeout)); err != nil {
+			return fmt.Errorf("wire: set write deadline: %w", err)
+		}
+		c.warmed = true
+	} else if c.warmed {
+		_ = c.nc.SetWriteDeadline(time.Time{})
+		c.warmed = false
+	}
 	if err := WriteFrame(c.bw, Frame{Type: typ, Payload: payload}); err != nil {
 		return err
 	}

@@ -392,3 +392,21 @@ func TestEncoderPoolReuse(t *testing.T) {
 		t.Fatal("oversized buffer was retained by the pool")
 	}
 }
+
+func TestConnSendWriteTimeout(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	conn := NewConn(c1)
+	defer conn.Close()
+	conn.SetWriteTimeout(50 * time.Millisecond)
+	// c2 never reads and net.Pipe has no buffering: the flush can only
+	// end by deadline.
+	err := conn.Send(1, make([]byte, 64<<10))
+	if err == nil {
+		t.Fatal("Send to a never-reading peer returned nil")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+}

@@ -6,11 +6,14 @@
 package workload
 
 import (
+	"errors"
+	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/faultnet"
 )
 
 // Outcome is one recorded request.
@@ -18,6 +21,9 @@ type Outcome struct {
 	Start   time.Time
 	Latency time.Duration
 	Err     error
+	// ConnectFail marks outcomes where the connection could not even be
+	// established (as opposed to an established connection failing an op).
+	ConnectFail bool
 }
 
 // Recorder accumulates outcomes from concurrent workers.
@@ -57,6 +63,12 @@ type Stats struct {
 	ErrorWindow time.Duration
 	// P50, P95, Max are latencies of successful requests.
 	P50, P95, Max time.Duration
+	// Retries counts connect attempts that failed and were retried on
+	// the backoff schedule.
+	Retries int
+	// Timeouts counts errors that were deadline expiries (net.Error
+	// with Timeout() true) rather than hard failures.
+	Timeouts int
 }
 
 // Stats computes the summary.
@@ -68,6 +80,13 @@ func (r *Recorder) Stats() Stats {
 	for _, o := range outs {
 		if o.Err != nil {
 			s.Errors++
+			if o.ConnectFail {
+				s.Retries++
+			}
+			var ne net.Error
+			if errors.As(o.Err, &ne) && ne.Timeout() {
+				s.Timeouts++
+			}
 			end := o.Start.Add(o.Latency)
 			if firstFail.IsZero() || end.Before(firstFail) {
 				firstFail = end
@@ -107,6 +126,11 @@ type Runner struct {
 	Workers int
 	// Think is the inter-request delay per worker (default 1ms).
 	Think time.Duration
+	// Backoff is the reconnect schedule after connect failures. Zero
+	// value derives a jittered exponential schedule from Think, so a
+	// dead server is probed at the workload's own cadence at first and
+	// progressively less often, never in lockstep across workers.
+	Backoff faultnet.Policy
 
 	rec    *Recorder
 	stopCh chan struct{}
@@ -161,6 +185,15 @@ func (r *Runner) RunFor(d time.Duration) Stats {
 	return r.rec.Stats()
 }
 
+// backoffPolicy resolves the reconnect schedule, deriving one from
+// Think when the Backoff field is left zero.
+func (r *Runner) backoffPolicy() faultnet.Policy {
+	if r.Backoff != (faultnet.Policy{}) {
+		return r.Backoff
+	}
+	return faultnet.Policy{Initial: r.Think, Max: 32 * r.Think, Factor: 2, Jitter: 0.5}
+}
+
 func (r *Runner) worker(id int) {
 	defer r.wg.Done()
 	var conn client.Conn
@@ -169,6 +202,7 @@ func (r *Runner) worker(id int) {
 			_ = conn.Close()
 		}
 	}()
+	bo := faultnet.NewBackoff(r.backoffPolicy())
 	for iter := 0; ; iter++ {
 		select {
 		case <-r.stopCh:
@@ -177,25 +211,29 @@ func (r *Runner) worker(id int) {
 		}
 		start := time.Now()
 		var err error
-		if conn == nil {
+		connectAttempt := conn == nil
+		if connectAttempt {
 			conn, err = r.Driver.Connect(r.URL, r.Props)
 		}
 		if err == nil {
 			err = r.Op(conn, id, iter)
 		}
-		r.rec.Record(Outcome{Start: start, Latency: time.Since(start), Err: err})
+		r.rec.Record(Outcome{Start: start, Latency: time.Since(start), Err: err,
+			ConnectFail: connectAttempt && conn == nil})
 		if err != nil && conn != nil {
 			_ = conn.Close()
 			conn = nil // reconnect next loop
 		}
 		if err != nil && conn == nil {
-			// Connect failed: brief backoff so a dead server doesn't spin.
-			select {
-			case <-r.stopCh:
+			// Connect failed: back off on the shared jittered schedule so
+			// a dead server isn't hammered, then go straight to the next
+			// attempt (the backoff already replaces the think pause).
+			if !bo.Sleep(r.stopCh) {
 				return
-			case <-time.After(r.Think):
 			}
+			continue
 		}
+		bo.Reset()
 		select {
 		case <-r.stopCh:
 			return
