@@ -249,6 +249,105 @@ func BenchmarkMatchmaking(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentMatchmaking hammers one server with parallel
+// DISCOVER probes against a 50-driver table — the read-only hot path.
+// Matchmaking runs entirely on lock-free catalog and MVCC snapshot
+// reads (no write latch anywhere on the path), so aggregate throughput
+// should scale near-linearly with GOMAXPROCS; run with -cpu=1,4,8 to
+// see the curve (see scripts/bench.sh BENCH_CPU).
+func BenchmarkConcurrentMatchmaking(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	for i := 0; i < 50; i++ {
+		addDriverB(b, s, dbver.V(1, i, 0), 1, 1<<10)
+	}
+	req := core.Request{
+		Database:       "prod",
+		User:           "app",
+		Password:       "app-pw",
+		API:            dbver.APIOf("JDBC", 3, 0),
+		ClientPlatform: dbver.PlatformLinuxAMD64,
+		ClientID:       "bench",
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := core.Probe(s.Drv.Addr(), req, 5*time.Second); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentRenewal measures parallel no-change renewals, each
+// goroutine owning its own bootloader and therefore its own lease row.
+// The renewals' guarded UPDATEs all target the leases table, so the
+// per-table write latch is the serialization point; everything else on
+// the path (wire handling, matchmaking reads, plan binding) runs
+// concurrently, which is what lets aggregate throughput grow with
+// GOMAXPROCS even though the writes themselves serialize.
+func BenchmarkConcurrentRenewal(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	addDriverB(b, s, dbver.V(1, 0, 0), 1, 16<<10)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		bl := s.Bootloader()
+		defer bl.Close()
+		if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			if err := bl.ForceRenew("prod"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentMixed is the 90/10 read/write blend: per worker,
+// nine DISCOVER probes for every lease renewal — roughly the steady
+// state of a fleet that renews occasionally while matchmaking traffic
+// dominates. Snapshot reads never wait on the 10% writer slice, so the
+// blend should track the read-only benchmark's scaling closely.
+func BenchmarkConcurrentMixed(b *testing.B) {
+	s := newStackB(b, scenarios.StackConfig{})
+	addDriverB(b, s, dbver.V(1, 0, 0), 1, 4<<10)
+	req := core.Request{
+		Database:       "prod",
+		User:           "app",
+		Password:       "app-pw",
+		API:            dbver.APIOf("JDBC", 3, 0),
+		ClientPlatform: dbver.PlatformLinuxAMD64,
+		ClientID:       "bench",
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		bl := s.Bootloader()
+		defer bl.Close()
+		if _, err := bl.Connect(s.AppURL(), nil); err != nil {
+			b.Error(err)
+			return
+		}
+		op := 0
+		for pb.Next() {
+			op++
+			if op%10 == 0 {
+				if err := bl.ForceRenew("prod"); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			if _, err := core.Probe(s.Drv.Addr(), req, 5*time.Second); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkConcurrentBootstrap hammers one server with parallel fresh
 // bootstraps (the cluster-restart stampede after an outage). It
 // exercises the grant path's concurrency: catalog reads are lock-free,

@@ -62,13 +62,18 @@
 // (CREATE INDEX ... USING ORDERED / DB.EnsureOrderedIndex) additionally
 // serve range conjuncts — col > k, >=, <, <=, BETWEEN, including
 // statement-stable now() bounds — as an O(log n) boundary seek plus an
-// in-order walk of just the matching window. The schema declares hash
-// indexes on leases(driver_id) and driver_permission(driver_id) and an
-// ordered index on leases(expires_at), and the lease_id and driver_id
-// primary keys drive execution, so renewals, releases, lease lookups,
-// blob point-fetches, the §5.4.2 license-mode count(*), the license
-// usage count (Server.LicensesInUse, `expires_at > now()`), and the
-// lease-expiry sweep (Server.ReapExpiredLeases, `expires_at <= $now`)
+// in-order walk of just the matching window; ordered indexes may span
+// several columns (CREATE INDEX ... (a, b) USING ORDERED), and a plan
+// that consumes every WHERE conjunct runs residual-free. The schema
+// declares hash indexes on leases(driver_id) and
+// driver_permission(driver_id), an ordered index on leases(expires_at),
+// and a composite ordered index on leases(driver_id, expires_at), and
+// the lease_id and driver_id primary keys drive execution, so renewals,
+// releases, lease lookups, blob point-fetches, the §5.4.2 license-mode
+// driver-free probe (one residual-free seek into a driver's unexpired
+// window), the license usage count (Server.LicensesInUse,
+// `expires_at > now()`), and the lease-expiry sweep
+// (Server.ReapExpiredLeases, `expires_at <= $now`)
 // are all flat or near-flat in the lease population
 // (BenchmarkLeaseRenewalAt*Leases, BenchmarkLicenseCheckAt10000Leases,
 // and BenchmarkExpirySweepAt*Leases track this at the 10k scale). The
@@ -88,8 +93,9 @@
 // pattern: TxStore (Begin/Commit/Rollback with atomic multi-statement
 // semantics), StmtStore (Prepare returning reusable handles that carry
 // their cached AST and plan skeleton), and BatchStore (ExecBatch — one
-// wire round trip on the external store, one atomic engine-lock
-// acquisition on the embedded one). LocalStore implements all three;
+// wire round trip on the external store; on the embedded one the batch
+// holds every referenced table's write latch for its whole run, so it
+// is atomic and isolated). LocalStore implements all three;
 // ConnStore implements TxStore and BatchStore over a small connection
 // pool with per-transaction connection affinity (a long transaction no
 // longer head-of-line blocks unrelated statements). The RunAtomic,

@@ -364,20 +364,36 @@ func driverMatchesRequest(rec DriverRecord, req Request) bool {
 	return true
 }
 
+// driverLeaseFreeSQL carries exactly the two conjuncts the composite
+// (driver_id, expires_at) index consumes, so the planner runs it
+// residual-free: one seek into the requested driver's unexpired window,
+// no WHERE re-evaluation. TestHotStatementsPlanIndexed pins the plan.
+const driverLeaseFreeSQL = `SELECT lease_id, released FROM ` + LeasesTable + `
+	WHERE driver_id = $id AND expires_at > now()`
+
 // driverLeaseFree reports whether no *other* live lease holds driverID
 // (license mode). ownLease is the requesting client's lease id (0 for a
-// new client). The driver_id equality keeps this on the hash index (a
-// driver's bucket is at most a handful of rows in license mode), with
-// the expires_at window applied as a residual.
+// new client). The released flag and the own-lease exclusion are
+// filtered here rather than in SQL: keeping the statement to the two
+// index-consumed conjuncts makes the plan residual-free, and a driver's
+// unexpired window is at most a handful of rows in license mode.
 func (s *Server) driverLeaseFree(driverID int64, ownLease uint64) (bool, error) {
-	res, err := s.exec(`SELECT count(*) FROM `+LeasesTable+`
-		WHERE driver_id = $id AND released = FALSE
-		AND expires_at > now() AND lease_id <> $own`,
-		sqlmini.Args{"id": driverID, "own": int64(ownLease)})
+	res, err := s.exec(driverLeaseFreeSQL, sqlmini.Args{"id": driverID})
 	if err != nil {
 		return false, err
 	}
-	return res.Rows[0][0].Int() == 0, nil
+	idx := colIndex(res.Cols)
+	lid, rel := idx["lease_id"], idx["released"]
+	for _, row := range res.Rows {
+		if row[rel].Bool() {
+			continue
+		}
+		if uint64(row[lid].Int()) == ownLease {
+			continue
+		}
+		return false, nil
+	}
+	return true, nil
 }
 
 // licenseUsageSQL is the §5.4.2 license-accounting count: how many

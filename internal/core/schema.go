@@ -70,13 +70,19 @@ var schemaDDL = []string{
 	// 10k+ leases. The ordered expires_at index serves the time-window
 	// statements — expiry sweeps (`expires_at <= now()`) and the license
 	// usage count (`expires_at > now()`) — as O(log n) range seeks
-	// instead of full lease-log scans.
+	// instead of full lease-log scans. The composite
+	// (driver_id, expires_at) index serves the license-mode
+	// is-this-driver-free probe: the equality on driver_id plus the
+	// expires_at window are consumed by one index seek, so the planner
+	// runs it residual-free over exactly one driver's unexpired leases.
 	`CREATE INDEX IF NOT EXISTS leases_driver_id_idx
 		ON ` + LeasesTable + ` (driver_id)`,
 	`CREATE INDEX IF NOT EXISTS driver_permission_driver_id_idx
 		ON ` + PermissionTable + ` (driver_id)`,
 	`CREATE INDEX IF NOT EXISTS leases_expires_at_idx
 		ON ` + LeasesTable + ` (expires_at) USING ORDERED`,
+	`CREATE INDEX IF NOT EXISTS leases_driver_expires_idx
+		ON ` + LeasesTable + ` (driver_id, expires_at) USING ORDERED`,
 }
 
 // EnsureSchema creates the Drivolution tables if missing.

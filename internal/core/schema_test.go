@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -324,11 +325,12 @@ func TestHotStatementsPlanIndexed(t *testing.T) {
 		{"lease-by-id", `SELECT lease_id FROM ` + LeasesTable + ` WHERE lease_id = $id`,
 			sqlmini.Args{"id": int64(1)},
 			"point lookup on " + LeasesTable + "(lease_id) [primary key]"},
-		{"license-count", `SELECT count(*) FROM ` + LeasesTable + `
-			WHERE driver_id = $id AND released = FALSE
-			AND expires_at > now() AND lease_id <> $own`,
-			sqlmini.Args{"id": int64(1), "own": int64(0)},
-			"index lookup on " + LeasesTable + "(driver_id) [leases_driver_id_idx]"},
+		// The license-mode is-driver-free probe consumes both of its
+		// conjuncts on the composite (driver_id, expires_at) index: one
+		// seek into the driver's unexpired window, residual-free.
+		{"license-count", driverLeaseFreeSQL,
+			sqlmini.Args{"id": int64(1)},
+			"range scan on " + LeasesTable + "(driver_id, expires_at) [leases_driver_expires_idx] (driver_id = 1 AND expires_at > "},
 		{"driver-blob", driverBlobSQL,
 			sqlmini.Args{"id": int64(1)},
 			"point lookup on " + DriversTable + "(driver_id) [primary key]"},
@@ -358,6 +360,113 @@ func TestHotStatementsPlanIndexed(t *testing.T) {
 			t.Fatalf("%s plans as %q, want %q", tc.name, got, tc.want)
 		}
 	}
+	// The prefix match above cannot see the plan's tail; pin the
+	// residual-free stamp on the license probe separately.
+	got, err := db.Explain(driverLeaseFreeSQL, sqlmini.Args{"id": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(got, "(residual-free)") {
+		t.Fatalf("license probe plans as %q, want a residual-free plan", got)
+	}
+}
+
+// TestLeaseStatementsPlanAtScale re-verifies the three population-
+// sensitive lease statements — the expiry sweep, the §5.4.2 license
+// usage count, and the license-mode driver-free probe — against tables
+// actually holding 100 and then 10000 lease rows. The planner is
+// schema-driven, but this is the contract the flat-scaling benchmarks
+// (BenchmarkExpirySweepAt{100,10000}Leases) rest on: if row volume ever
+// started demoting these to scans, O(n) would creep back silently.
+func TestLeaseStatementsPlanAtScale(t *testing.T) {
+	db := sqlmini.NewDB()
+	store := NewLocalStore(db)
+	if err := EnsureSchema(store); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	seeded := 0
+	seedTo := func(n int) {
+		t.Helper()
+		args := sqlmini.Args{"g": now.Add(-time.Hour), "e": now.Add(24 * time.Hour)}
+		const batch = 200
+		for seeded < n {
+			hi := seeded + batch
+			if hi > n {
+				hi = n
+			}
+			var sb strings.Builder
+			sb.WriteString(`INSERT INTO ` + LeasesTable + ` (lease_id, driver_id,
+				database, user, client_id, granted_at, expires_at, released, renewals) VALUES `)
+			for i := seeded; i < hi; i++ {
+				if i > seeded {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "(%d, %d, 'prod', 'app', 'c%d', $g, $e, FALSE, 0)",
+					1_000_000+i, 1+int64(i%100), i)
+			}
+			if _, err := store.Exec(sb.String(), args); err != nil {
+				t.Fatal(err)
+			}
+			seeded = hi
+		}
+	}
+	for _, scale := range []int{100, 10000} {
+		seedTo(scale)
+		for _, tc := range []struct {
+			name string
+			sql  string
+			args sqlmini.Args
+			want string
+		}{
+			{"expiry-sweep", reapExpiredSQL, sqlmini.Args{"now": now},
+				"range scan on " + LeasesTable + "(expires_at) [leases_expires_at_idx] (expires_at <= "},
+			{"license-usage-count", licenseUsageSQL, nil,
+				"range scan on " + LeasesTable + "(expires_at) [leases_expires_at_idx] (expires_at > "},
+			{"driver-free-probe", driverLeaseFreeSQL, sqlmini.Args{"id": int64(7)},
+				"range scan on " + LeasesTable + "(driver_id, expires_at) [leases_driver_expires_idx] (driver_id = 7 AND expires_at > "},
+		} {
+			var got string
+			var err error
+			if tc.args != nil {
+				got, err = db.Explain(tc.sql, tc.args)
+			} else {
+				got, err = db.Explain(tc.sql)
+			}
+			if err != nil {
+				t.Fatalf("%s at %d leases: %v", tc.name, scale, err)
+			}
+			if !strings.HasPrefix(got, tc.want) {
+				t.Fatalf("%s at %d leases plans as %q, want prefix %q", tc.name, scale, got, tc.want)
+			}
+		}
+		// The probe's semantics must hold at scale too: driver 7 has
+		// live leases, a fresh driver id has none.
+		free, err := NewServerMust(t, store).driverLeaseFree(7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if free {
+			t.Fatalf("driver 7 reported free with %d seeded leases", scale)
+		}
+		free, err = NewServerMust(t, store).driverLeaseFree(999999, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !free {
+			t.Fatal("unleased driver reported busy")
+		}
+	}
+}
+
+// NewServerMust wraps NewServer for tests.
+func NewServerMust(t *testing.T, store Store) *Server {
+	t.Helper()
+	srv, err := NewServer("plan-scale-test", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
 }
 
 // TestReapExpiredLeases covers the lease-reaper helper: expired leases

@@ -48,14 +48,15 @@ func (k IndexKind) String() string {
 	return "HASH"
 }
 
-// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (col)
-// [USING HASH|ORDERED|BTREE]. Indexes are single-column and non-unique;
-// the planner (plan.go) uses hash indexes for equality point-lookups and
-// ordered indexes additionally for range scans.
+// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table
+// (col[, col...]) [USING HASH|ORDERED|BTREE]. Indexes are non-unique;
+// composite (multi-column) indexes must be ORDERED. The planner
+// (plan.go) uses hash indexes for equality point-lookups and ordered
+// indexes additionally for range scans and prefix probes.
 type CreateIndexStmt struct {
 	Name        string
 	Table       string
-	Col         string
+	Cols        []string
 	IfNotExists bool
 	Kind        IndexKind
 }

@@ -1,6 +1,9 @@
 package sqlmini
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // BatchStmt is one statement of an atomic batch: SQL text plus its
 // arguments, bound exactly as in DB.Exec (a single Args map binds by
@@ -10,17 +13,21 @@ type BatchStmt struct {
 	Args []any
 }
 
-// ExecBatchAtomic runs stmts in order under a single engine-lock
-// acquisition, as one implicit transaction: either every statement
-// applies or — when any statement fails — the shared undo log reverts
-// them all and the error (annotated with the failing statement's
-// 1-based position) is returned. Results are returned only on full
-// success.
+// ExecBatchAtomic runs stmts in order as one implicit transaction:
+// either every statement applies or — when any statement fails — the
+// shared undo log reverts them all and the error (annotated with the
+// failing statement's 1-based position) is returned. Results are
+// returned only on full success.
 //
-// Because the lock is held across the whole batch, no other session
-// can interleave: a batch is both atomic AND isolated, which explicit
-// BEGIN/COMMIT sessions (which release the lock between statements)
-// are not.
+// The batch latches every table it references up front, in sorted name
+// order (the canonical multi-latch order, see docs/ARCHITECTURE.md), and
+// holds the latches across the whole batch, so no other writer can
+// interleave: a batch is both atomic AND isolated, which explicit
+// BEGIN/COMMIT sessions (which release latches between statements) are
+// not. Snapshot readers are never blocked; they see either none or all
+// of the batch's effects, because every row version the batch stamps
+// stays above each table's published watermark until the single publish
+// at the end.
 //
 // Transaction control is implicit and therefore rejected inside a
 // batch; DDL is rejected because CREATE/DROP cannot roll back.
@@ -30,16 +37,27 @@ func (db *DB) ExecBatchAtomic(stmts []BatchStmt) ([]*Result, error) {
 		env *evalEnv
 	}
 	bound := make([]boundStmt, len(stmts))
+	tableSet := make(map[string]bool)
 	for i, bs := range stmts {
 		st, err := db.parseCached(bs.SQL)
 		if err != nil {
 			return nil, fmt.Errorf("sqlmini: batch statement %d: %w", i+1, err)
 		}
-		switch st.(type) {
+		switch st := st.(type) {
 		case *BeginStmt, *CommitStmt, *RollbackStmt:
 			return nil, fmt.Errorf("sqlmini: batch statement %d: transaction control is implicit in an atomic batch", i+1)
 		case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt:
 			return nil, fmt.Errorf("sqlmini: batch statement %d: DDL cannot roll back and is not batchable", i+1)
+		case *SelectStmt:
+			if st.Table != "" {
+				tableSet[st.Table] = true
+			}
+		case *InsertStmt:
+			tableSet[st.Table] = true
+		case *UpdateStmt:
+			tableSet[st.Table] = true
+		case *DeleteStmt:
+			tableSet[st.Table] = true
 		}
 		named, positional, err := bindArgs(bs.Args)
 		if err != nil {
@@ -47,17 +65,137 @@ func (db *DB) ExecBatchAtomic(stmts []BatchStmt) ([]*Result, error) {
 		}
 		bound[i] = boundStmt{st: st, env: &evalEnv{clock: db.clock, named: named, positional: positional}}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+
+	locked, order := db.lockTablesByName(tableSet)
+	w := &writeCtx{db: db}
 	tx := &undoLog{}
+	release := func() {
+		w.publish()
+		for _, t := range order {
+			t.maybeGCLocked(db)
+			t.latch.Unlock()
+		}
+	}
+
 	out := make([]*Result, 0, len(stmts))
 	for i, b := range bound {
-		res, err := db.execLocked(b.st, b.env, tx)
+		w.nextStmt()
+		res, err := db.execBatchStmt(b.st, b.env, tx, w, locked)
 		if err != nil {
-			tx.revert(db)
+			// Revert under the latches we already hold: one fresh commit
+			// number stamps the whole rollback, and marking the reverted
+			// tables in the writeCtx folds their watermark/version
+			// publication into the shared publish below.
+			if len(tx.entries) > 0 {
+				w.c = db.commits.Add(1)
+				db.changeSeq.Add(1)
+				tx.applyEntries(w.c)
+				for _, t := range tx.entryTables() {
+					w.commit(t)
+				}
+			}
+			release()
 			return nil, fmt.Errorf("sqlmini: batch statement %d: %w", i+1, err)
+		}
+		if w.c != 0 {
+			db.changeSeq.Add(1)
 		}
 		out = append(out, res)
 	}
+	release()
 	return out, nil
+}
+
+// lockTablesByName latches the named tables in sorted name order and
+// returns them keyed by name plus the ordered unlock list. Names that
+// don't resolve are skipped — the referencing statement fails at
+// execution with the canonical ErrNoSuchTable. After latching, every
+// name is re-resolved; if any latched table was swapped (DROP or
+// Restore) or any missing name has appeared, all latches are released
+// and acquisition restarts against the new schema.
+func (db *DB) lockTablesByName(nameSet map[string]bool) (map[string]*Table, []*Table) {
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for {
+		order := make([]*Table, 0, len(names))
+		for _, n := range names {
+			if t, err := db.lookupTable(n); err == nil {
+				order = append(order, t)
+			}
+		}
+		for _, t := range order {
+			t.latch.Lock()
+		}
+		stable := true
+		byName := make(map[string]*Table, len(order))
+		for _, t := range order {
+			byName[t.Name] = t
+		}
+		for _, n := range names {
+			cur, err := db.lookupTable(n)
+			if err != nil {
+				if _, had := byName[n]; had {
+					stable = false // dropped after we latched it
+				}
+				continue
+			}
+			if byName[n] != cur {
+				stable = false // swapped, or created after the first pass
+			}
+		}
+		if stable {
+			return byName, order
+		}
+		for _, t := range order {
+			t.latch.Unlock()
+		}
+	}
+}
+
+// execBatchStmt dispatches one batch statement against the pre-latched
+// table set. SELECTs run in the writer view — the batch holds the
+// latch, so current chain heads ARE its consistent view, including its
+// own uncommitted-to-readers writes (read-your-writes within the
+// batch).
+func (db *DB) execBatchStmt(st Statement, env *evalEnv, tx *undoLog, w *writeCtx, locked map[string]*Table) (*Result, error) {
+	get := func(name string) (*Table, error) {
+		if t, ok := locked[name]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	switch st := st.(type) {
+	case *SelectStmt:
+		if st.Table == "" {
+			return execConstSelect(st, env)
+		}
+		t, err := get(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return db.execSelect(t, tableView{t: t, writer: true}, st, env)
+	case *InsertStmt:
+		t, err := get(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return db.execInsert(t, st, env, tx, w)
+	case *UpdateStmt:
+		t, err := get(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return db.execUpdate(t, st, env, tx, w)
+	case *DeleteStmt:
+		t, err := get(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return db.execDelete(t, st, env, tx, w)
+	default:
+		return nil, fmt.Errorf("sqlmini: unsupported statement %T", st)
+	}
 }

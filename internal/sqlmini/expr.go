@@ -36,21 +36,24 @@ func (env *evalEnv) now() time.Time {
 	return env.nowT
 }
 
-// eval evaluates e against row r of table t (both may be nil for
-// row-free contexts such as INSERT values).
-func (env *evalEnv) eval(e Expr, t *Table, r *Row) (Value, error) {
+// eval evaluates e against one row's values vals of table t (both may
+// be nil for row-free contexts such as INSERT values). vals is the
+// statement's view of the row — current values on the write path, a
+// snapshot version's values on the read path — which is what keeps
+// expression evaluation oblivious to MVCC.
+func (env *evalEnv) eval(e Expr, t *Table, vals []Value) (Value, error) {
 	switch e := e.(type) {
 	case *LiteralExpr:
 		return e.Val, nil
 	case *ColumnExpr:
-		if t == nil || r == nil {
+		if t == nil || vals == nil {
 			return Null, fmt.Errorf("%w: %q (no row context)", ErrNoSuchColumn, e.Name)
 		}
 		i, ok := t.columnIndex(e.Name)
 		if !ok {
 			return Null, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, e.Name, t.Name)
 		}
-		return r.Vals[i], nil
+		return vals[i], nil
 	case *ParamExpr:
 		if e.Name != "" {
 			v, ok := env.named[e.Name]
@@ -64,7 +67,7 @@ func (env *evalEnv) eval(e Expr, t *Table, r *Row) (Value, error) {
 		}
 		return env.positional[e.Index], nil
 	case *UnaryExpr:
-		v, err := env.eval(e.E, t, r)
+		v, err := env.eval(e.E, t, vals)
 		if err != nil {
 			return Null, err
 		}
@@ -86,21 +89,21 @@ func (env *evalEnv) eval(e Expr, t *Table, r *Row) (Value, error) {
 			return Null, fmt.Errorf("sqlmini: unknown unary operator %q", e.Op)
 		}
 	case *IsNullExpr:
-		v, err := env.eval(e.E, t, r)
+		v, err := env.eval(e.E, t, vals)
 		if err != nil {
 			return Null, err
 		}
 		return NewBool(v.IsNull() != e.Not), nil
 	case *BetweenExpr:
-		v, err := env.eval(e.E, t, r)
+		v, err := env.eval(e.E, t, vals)
 		if err != nil {
 			return Null, err
 		}
-		lo, err := env.eval(e.Lo, t, r)
+		lo, err := env.eval(e.Lo, t, vals)
 		if err != nil {
 			return Null, err
 		}
-		hi, err := env.eval(e.Hi, t, r)
+		hi, err := env.eval(e.Hi, t, vals)
 		if err != nil {
 			return Null, err
 		}
@@ -112,7 +115,7 @@ func (env *evalEnv) eval(e Expr, t *Table, r *Row) (Value, error) {
 		in := cLo >= 0 && cHi <= 0
 		return NewBool(in != e.Not), nil
 	case *InExpr:
-		v, err := env.eval(e.E, t, r)
+		v, err := env.eval(e.E, t, vals)
 		if err != nil {
 			return Null, err
 		}
@@ -121,7 +124,7 @@ func (env *evalEnv) eval(e Expr, t *Table, r *Row) (Value, error) {
 		}
 		sawNull := false
 		for _, le := range e.List {
-			lv, err := env.eval(le, t, r)
+			lv, err := env.eval(le, t, vals)
 			if err != nil {
 				return Null, err
 			}
@@ -138,26 +141,26 @@ func (env *evalEnv) eval(e Expr, t *Table, r *Row) (Value, error) {
 		}
 		return NewBool(e.Not), nil
 	case *BinaryExpr:
-		return env.evalBinary(e, t, r)
+		return env.evalBinary(e, t, vals)
 	case *CallExpr:
-		return env.evalCall(e, t, r)
+		return env.evalCall(e, t, vals)
 	default:
 		return Null, fmt.Errorf("sqlmini: unsupported expression %T", e)
 	}
 }
 
-func (env *evalEnv) evalBinary(e *BinaryExpr, t *Table, r *Row) (Value, error) {
+func (env *evalEnv) evalBinary(e *BinaryExpr, t *Table, vals []Value) (Value, error) {
 	// Short-circuit Kleene logic for AND/OR.
 	switch e.Op {
 	case "AND":
-		l, err := env.eval(e.L, t, r)
+		l, err := env.eval(e.L, t, vals)
 		if err != nil {
 			return Null, err
 		}
 		if !l.IsNull() && !l.Bool() {
 			return NewBool(false), nil
 		}
-		rv, err := env.eval(e.R, t, r)
+		rv, err := env.eval(e.R, t, vals)
 		if err != nil {
 			return Null, err
 		}
@@ -169,14 +172,14 @@ func (env *evalEnv) evalBinary(e *BinaryExpr, t *Table, r *Row) (Value, error) {
 		}
 		return NewBool(true), nil
 	case "OR":
-		l, err := env.eval(e.L, t, r)
+		l, err := env.eval(e.L, t, vals)
 		if err != nil {
 			return Null, err
 		}
 		if !l.IsNull() && l.Bool() {
 			return NewBool(true), nil
 		}
-		rv, err := env.eval(e.R, t, r)
+		rv, err := env.eval(e.R, t, vals)
 		if err != nil {
 			return Null, err
 		}
@@ -189,11 +192,11 @@ func (env *evalEnv) evalBinary(e *BinaryExpr, t *Table, r *Row) (Value, error) {
 		return NewBool(false), nil
 	}
 
-	l, err := env.eval(e.L, t, r)
+	l, err := env.eval(e.L, t, vals)
 	if err != nil {
 		return Null, err
 	}
-	rv, err := env.eval(e.R, t, r)
+	rv, err := env.eval(e.R, t, vals)
 	if err != nil {
 		return Null, err
 	}
@@ -264,7 +267,7 @@ func (env *evalEnv) evalBinary(e *BinaryExpr, t *Table, r *Row) (Value, error) {
 	return Null, fmt.Errorf("sqlmini: unknown operator %q", e.Op)
 }
 
-func (env *evalEnv) evalCall(e *CallExpr, t *Table, r *Row) (Value, error) {
+func (env *evalEnv) evalCall(e *CallExpr, t *Table, vals []Value) (Value, error) {
 	switch e.Fn {
 	case "NOW", "CURRENT_TIMESTAMP":
 		return NewTime(env.now()), nil
@@ -272,7 +275,7 @@ func (env *evalEnv) evalCall(e *CallExpr, t *Table, r *Row) (Value, error) {
 		if len(e.Args) != 1 {
 			return Null, fmt.Errorf("sqlmini: %s expects 1 argument", e.Fn)
 		}
-		v, err := env.eval(e.Args[0], t, r)
+		v, err := env.eval(e.Args[0], t, vals)
 		if err != nil {
 			return Null, err
 		}
@@ -291,7 +294,7 @@ func (env *evalEnv) evalCall(e *CallExpr, t *Table, r *Row) (Value, error) {
 		}
 	case "COALESCE":
 		for _, a := range e.Args {
-			v, err := env.eval(a, t, r)
+			v, err := env.eval(a, t, vals)
 			if err != nil {
 				return Null, err
 			}
@@ -304,7 +307,7 @@ func (env *evalEnv) evalCall(e *CallExpr, t *Table, r *Row) (Value, error) {
 		if len(e.Args) != 1 {
 			return Null, fmt.Errorf("sqlmini: ABS expects 1 argument")
 		}
-		v, err := env.eval(e.Args[0], t, r)
+		v, err := env.eval(e.Args[0], t, vals)
 		if err != nil {
 			return Null, err
 		}
@@ -330,8 +333,8 @@ func (env *evalEnv) evalCall(e *CallExpr, t *Table, r *Row) (Value, error) {
 	}
 }
 
-// evalAggregate computes one aggregate over the matched rows.
-func (env *evalEnv) evalAggregate(e *CallExpr, t *Table, rows []*Row) (Value, error) {
+// evalAggregate computes one aggregate over the matched rows' values.
+func (env *evalEnv) evalAggregate(e *CallExpr, t *Table, rows [][]Value) (Value, error) {
 	if e.Fn == "COUNT" && e.Star {
 		return NewInt(int64(len(rows))), nil
 	}
@@ -345,8 +348,8 @@ func (env *evalEnv) evalAggregate(e *CallExpr, t *Table, rows []*Row) (Value, er
 		sumI  int64
 		best  Value
 	)
-	for _, r := range rows {
-		v, err := env.eval(e.Args[0], t, r)
+	for _, vals := range rows {
+		v, err := env.eval(e.Args[0], t, vals)
 		if err != nil {
 			return Null, err
 		}

@@ -1,32 +1,39 @@
 package sqlmini
 
-import "sort"
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
 
-// Indexes. Every table with a PRIMARY KEY column keeps a map from the
-// key's canonical string to its row, so uniqueness checks and equality
-// point-lookups are O(1) instead of a full scan. Tables may additionally
-// carry secondary indexes (declared with CREATE INDEX or
-// DB.EnsureIndex/EnsureOrderedIndex) in one of two kinds:
+// Indexes. Every table with a PRIMARY KEY column keeps a hash index
+// from the key's canonical string to the rows that ever held it, so
+// uniqueness checks and equality point-lookups are O(1) instead of a
+// full scan. Tables may additionally carry secondary indexes (declared
+// with CREATE INDEX or DB.EnsureIndex/EnsureOrderedIndex) in one of
+// two kinds:
 //
-//   - hash (the default): a map from a column's canonical key to the
-//     bucket of rows holding that value, in insertion order. Serves
-//     equality point-lookups.
-//   - ordered: a sorted list of key groups over the column, each group
-//     holding its rows in insertion order. Serves equality seeks in
-//     O(log n) and, through the planner, range scans (col > k, BETWEEN,
-//     expiry sweeps) by seeking the boundary and walking groups in key
-//     order. Inserting into the middle is O(groups) due to the slice
-//     shift; lease-style workloads append near the end.
+//   - hash (the default, single-column): a concurrent map from a
+//     column's canonical key to the bucket of rows holding that value,
+//     in insertion order. Serves equality point-lookups.
+//   - ordered (single- or multi-column): a skiplist of key groups over
+//     the column tuple, each group holding its rows in insertion
+//     order. Serves equality seeks in O(log n) and, through the
+//     planner, range scans — including composite plans that pin a
+//     prefix of the columns by equality and range over the next one.
 //
-// All indexes are maintained by every mutation path — INSERT, UPDATE,
-// DELETE, transaction rollback, and snapshot restore; `go test
-// ./internal/sqlmini -run 'TestPK|TestSecondary|TestOrdered'` and the
-// property suites cover the invariants. The query planner (plan.go)
-// drives SELECT/UPDATE/DELETE off these indexes when the WHERE clause
-// has a usable equality or range conjunct.
+// MVCC index contract: entries are inserted eagerly (INSERT, UPDATE
+// key moves, rollback re-registration) but removed lazily — a key
+// change keeps the old entry because readers at older snapshots still
+// reach the row through it. Index lookups therefore return a superset
+// of the matching rows; execution always filters candidates by version
+// visibility and the statement's predicate, and range/multi-group
+// gathers deduplicate (one row can legitimately sit in two groups).
+// The deferred-GC queue (mvcc.go) drops entries once no live version
+// carries the key and no registered reader can need them.
 //
 // Ordered-index grouping invariant: rows are grouped by Compare == 0
-// over the stored column values. Stored values are uniformly typed
+// over the stored tuples. Stored values are uniformly typed per column
 // (post-coercion), where Compare is a total order, so all rows of one
 // group compare identically against any probe key — which is what lets
 // the planner treat a group as one unit when cutting range boundaries.
@@ -47,9 +54,22 @@ func (t *Table) pkCol() int {
 func (t *Table) initIndex() {
 	t.pk = t.pkCol()
 	if t.pk >= 0 {
-		t.pkIdx = make(map[string]*Row)
+		t.pkIx = newHashIndex([]int{t.pk})
+	}
+	if t.rows.Load() == nil {
+		t.rows.Store(newRowArr(8))
+	}
+	if t.indexes.Load() == nil {
+		empty := []*secondaryIndex{}
+		t.indexes.Store(&empty)
 	}
 }
+
+// loadIndexes returns the published secondary-index set.
+func (t *Table) loadIndexes() []*secondaryIndex { return *t.indexes.Load() }
+
+// storeIndexes publishes a new secondary-index set (DDL only).
+func (t *Table) storeIndexes(ixs []*secondaryIndex) { t.indexes.Store(&ixs) }
 
 // pkKey canonicalizes a key value for hashing. Values are stored
 // post-coercion, so one column holds one type and Str() is injective
@@ -62,67 +82,236 @@ func pkKey(v Value) string {
 	return v.Str()
 }
 
-// orderedGroup is one key group of an ordered index: the rows whose
-// column value compares equal to key, in insertion order. key is the
-// value of the first row that opened the group.
-type orderedGroup struct {
-	key  Value
-	rows []*Row
+// tupleKey canonicalizes a key tuple: single-column keys use pkKey
+// directly (the hot path), longer tuples length-prefix each part so no
+// byte sequence is ambiguous.
+func tupleKey(key []Value) string {
+	if len(key) == 1 {
+		return pkKey(key[0])
+	}
+	var sb strings.Builder
+	for _, v := range key {
+		p := pkKey(v)
+		sb.WriteString(strconv.Itoa(len(p)))
+		sb.WriteByte(':')
+		sb.WriteString(p)
+	}
+	return sb.String()
 }
 
-// secondaryIndex is one non-unique single-column index, hash or ordered
-// (kind). Exactly one of buckets/groups is live. Buckets and groups keep
-// rows in insertion order; removal preserves it. groups holds pointers
-// so the O(n) slice shifts of group insertion/removal move 8-byte
-// words, not Value-carrying structs.
+// tupleEqualAt reports whether vals projected through cols equals key
+// by Compare (NULL components never match).
+func tupleEqualAt(vals []Value, cols []int, key []Value) bool {
+	for i, ci := range cols {
+		v := vals[ci]
+		if v.IsNull() || key[i].IsNull() {
+			return false
+		}
+		c, ok := Compare(v, key[i])
+		if !ok || c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hashIndex is a concurrent non-unique hash index: a sync.Map from the
+// canonical tuple key to an immutable bucket slice. Readers Load
+// lock-free; the single writer (table latch held) replaces buckets
+// copy-on-write.
+type hashIndex struct {
+	cols []int
+	m    sync.Map // string -> []*Row (immutable)
+}
+
+func newHashIndex(cols []int) *hashIndex { return &hashIndex{cols: cols} }
+
+// lookup returns the bucket for key; the slice is immutable.
+func (h *hashIndex) lookup(key []Value) []*Row {
+	v, ok := h.m.Load(tupleKey(key))
+	if !ok {
+		return nil
+	}
+	return v.([]*Row)
+}
+
+// insert adds r to key's bucket if absent. Caller holds the latch.
+func (h *hashIndex) insert(key []Value, r *Row) {
+	ks := tupleKey(key)
+	var old []*Row
+	if v, ok := h.m.Load(ks); ok {
+		old = v.([]*Row)
+	}
+	for _, br := range old {
+		if br == r {
+			return
+		}
+	}
+	grown := make([]*Row, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = r
+	h.m.Store(ks, grown)
+}
+
+// remove drops r from key's bucket. Caller holds the latch.
+func (h *hashIndex) remove(key []Value, r *Row) {
+	ks := tupleKey(key)
+	v, ok := h.m.Load(ks)
+	if !ok {
+		return
+	}
+	old := v.([]*Row)
+	for i, br := range old {
+		if br != r {
+			continue
+		}
+		if len(old) == 1 {
+			h.m.Delete(ks)
+			return
+		}
+		rest := make([]*Row, 0, len(old)-1)
+		rest = append(rest, old[:i]...)
+		rest = append(rest, old[i+1:]...)
+		h.m.Store(ks, rest)
+		return
+	}
+}
+
+// each visits every (key, bucket) pair; writer-side helper for
+// consistency checks.
+func (h *hashIndex) each(fn func(key string, rows []*Row)) {
+	h.m.Range(func(k, v any) bool {
+		fn(k.(string), v.([]*Row))
+		return true
+	})
+}
+
+// secondaryIndex is one non-unique index, hash (single-column) or
+// ordered (single- or multi-column skiplist).
 type secondaryIndex struct {
 	name string
-	col  int
+	cols []int
 	kind IndexKind
 
-	buckets map[string][]*Row // kind == IndexHash
-	groups  []*orderedGroup   // kind == IndexOrdered, sorted by key
+	hash *hashIndex // kind == IndexHash
+	skip *skipList  // kind == IndexOrdered
+
+	// shadow is the hash structure this ordered index superseded via the
+	// in-place upgrade path (declareIndex). A prepared plan bound just
+	// before the upgrade may still probe it, so inserts keep feeding it;
+	// entries are never GC'd from a shadow (lookups tolerate supersets,
+	// and upgrades are rare enough that the leak is acceptable).
+	shadow *hashIndex
 }
 
 // newSecondaryIndex allocates the backing structure for the given kind.
-func newSecondaryIndex(name string, col int, kind IndexKind) *secondaryIndex {
-	ix := &secondaryIndex{name: name, col: col, kind: kind}
-	ix.reset()
+func newSecondaryIndex(name string, cols []int, kind IndexKind) *secondaryIndex {
+	ix := &secondaryIndex{name: name, cols: append([]int(nil), cols...), kind: kind}
+	if kind == IndexOrdered {
+		ix.skip = newSkipList(ix.cols)
+	} else {
+		ix.hash = newHashIndex(ix.cols)
+	}
 	return ix
 }
 
-// reset clears the index to empty (rebuildIndex repopulates it).
-func (ix *secondaryIndex) reset() {
-	if ix.kind == IndexOrdered {
-		ix.groups = nil
-		return
+// colNames renders the indexed column list for Explain and snapshots.
+func (ix *secondaryIndex) colNames(t *Table) []string {
+	out := make([]string, len(ix.cols))
+	for i, ci := range ix.cols {
+		out[i] = t.Cols[ci].Name
 	}
-	ix.buckets = make(map[string][]*Row)
+	return out
 }
 
-// indexOn returns the secondary index covering column col, if any.
+// keyFor projects a row's values into the index's tuple key; ok=false
+// when any component is NULL (NULL tuples are not indexed — no
+// equality or range predicate matches them).
+func (ix *secondaryIndex) keyFor(vals []Value) ([]Value, bool) {
+	key := make([]Value, len(ix.cols))
+	for i, ci := range ix.cols {
+		v := vals[ci]
+		if v.IsNull() {
+			return nil, false
+		}
+		key[i] = v
+	}
+	return key, true
+}
+
+// insertFor registers vals' key for r (no-op on a NULL component or if
+// already present). Caller holds the latch.
+func (ix *secondaryIndex) insertFor(vals []Value, r *Row) {
+	key, ok := ix.keyFor(vals)
+	if !ok {
+		return
+	}
+	if ix.kind == IndexHash {
+		ix.hash.insert(key, r)
+		return
+	}
+	ix.skip.insert(key, r)
+	if ix.shadow != nil {
+		ix.shadow.insert(key, r)
+	}
+}
+
+// removeFor unregisters vals' key for r. Caller holds the latch (GC
+// paths only; normal key changes are deferred via the GC queue).
+func (ix *secondaryIndex) removeFor(vals []Value, r *Row) {
+	key, ok := ix.keyFor(vals)
+	if !ok {
+		return
+	}
+	if ix.kind == IndexHash {
+		ix.hash.remove(key, r)
+		return
+	}
+	ix.skip.remove(key, r)
+}
+
+// lookup returns the candidate rows for an equality probe on the full
+// tuple. The result may be a superset (stale entries) and, for ordered
+// indexes, may contain duplicates across adjacent groups; callers
+// filter and deduplicate. Lock-free.
+func (ix *secondaryIndex) lookup(key []Value) []*Row {
+	if ix.kind == IndexHash {
+		return ix.hash.lookup(key)
+	}
+	return ix.skip.lookupEqual(key, nil)
+}
+
+// sameKey reports whether two keys land in the same bucket/group, i.e.
+// no index movement is needed. Hash buckets key on the canonical
+// string; ordered groups key on Compare equality (Equal suffices for
+// uniformly typed stored values).
+func (ix *secondaryIndex) sameKey(a, b []Value) bool {
+	if ix.kind == IndexHash {
+		return tupleKey(a) == tupleKey(b)
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// indexOn returns the first secondary index whose leading column is
+// col; exact=true restricts to single-column indexes (hash candidates
+// must cover the whole tuple).
 func (t *Table) indexOn(col int) *secondaryIndex {
-	for _, ix := range t.indexes {
-		if ix.col == col {
+	for _, ix := range t.loadIndexes() {
+		if ix.cols[0] == col {
 			return ix
 		}
 	}
 	return nil
 }
 
-// removeIndex drops one secondary index (the hash→ordered upgrade path).
-func (t *Table) removeIndex(target *secondaryIndex) {
-	for i, ix := range t.indexes {
-		if ix == target {
-			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
-			return
-		}
-	}
-}
-
 // indexNamed returns the secondary index with the given name, if any.
 func (t *Table) indexNamed(name string) *secondaryIndex {
-	for _, ix := range t.indexes {
+	for _, ix := range t.loadIndexes() {
 		if ix.name == name {
 			return ix
 		}
@@ -130,243 +319,158 @@ func (t *Table) indexNamed(name string) *secondaryIndex {
 	return nil
 }
 
-// addIndex creates a secondary index over column col and backfills it
-// from the existing rows. Caller has validated name/column.
-func (t *Table) addIndex(name string, col int, kind IndexKind) {
-	ix := newSecondaryIndex(name, col, kind)
-	for _, r := range t.Rows {
-		ix.insert(r)
-	}
-	t.indexes = append(t.indexes, ix)
-}
-
-// seek returns the position of the first group whose key compares >= v
-// (== v exists iff the returned found is true). Caller guarantees v is
-// order-compatible with the column type (see orderedProbeOK).
-func (ix *secondaryIndex) seek(v Value) (pos int, found bool) {
-	pos = sort.Search(len(ix.groups), func(i int) bool {
-		c, _ := Compare(ix.groups[i].key, v)
-		return c >= 0
-	})
-	if pos < len(ix.groups) {
-		if c, ok := Compare(ix.groups[pos].key, v); ok && c == 0 {
-			found = true
+// indexWithCols returns the secondary index over exactly cols, if any.
+func (t *Table) indexWithCols(cols []int) *secondaryIndex {
+	for _, ix := range t.loadIndexes() {
+		if len(ix.cols) != len(cols) {
+			continue
+		}
+		same := true
+		for i := range cols {
+			if ix.cols[i] != cols[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return ix
 		}
 	}
-	return pos, found
+	return nil
 }
 
-func (ix *secondaryIndex) insert(r *Row) {
-	v := r.Vals[ix.col]
-	if v.IsNull() {
-		return // NULLs are not indexed; no predicate on the column matches them
+// removeIndex drops one secondary index (the hash→ordered upgrade
+// path). Caller holds ddlMu and the table latch.
+func (t *Table) removeIndex(target *secondaryIndex) {
+	old := t.loadIndexes()
+	out := make([]*secondaryIndex, 0, len(old))
+	for _, ix := range old {
+		if ix != target {
+			out = append(out, ix)
+		}
 	}
-	if ix.kind == IndexHash {
-		key := pkKey(v)
-		ix.buckets[key] = append(ix.buckets[key], r)
-		return
-	}
-	pos, found := ix.seek(v)
-	if found {
-		ix.groups[pos].rows = append(ix.groups[pos].rows, r)
-		return
-	}
-	ix.groups = append(ix.groups, nil)
-	copy(ix.groups[pos+1:], ix.groups[pos:])
-	ix.groups[pos] = &orderedGroup{key: v, rows: []*Row{r}}
+	t.storeIndexes(out)
 }
 
-func (ix *secondaryIndex) remove(r *Row, v Value) {
-	if v.IsNull() {
-		return
+// addIndex creates a secondary index over cols and backfills it from
+// every live version of every row — not just the current ones — so
+// readers at older snapshots can still find rows whose key has since
+// moved. Caller holds ddlMu and the table latch; name/columns are
+// validated.
+func (t *Table) addIndex(name string, cols []int, kind IndexKind) {
+	ix := newSecondaryIndex(name, cols, kind)
+	for _, r := range t.rows.Load().snapshot() {
+		for v := r.v.Load(); v != nil; v = v.prev.Load() {
+			if !v.dead {
+				ix.insertFor(v.vals, r)
+			}
+		}
 	}
-	if ix.kind == IndexHash {
-		key := pkKey(v)
-		removeRowFrom(ix.buckets[key], r, func(rest []*Row) {
-			if len(rest) == 0 {
-				delete(ix.buckets, key)
+	t.storeIndexes(append(append([]*secondaryIndex{}, t.loadIndexes()...), ix))
+}
+
+// indexInsert registers a freshly inserted row in the PK and all
+// secondary indexes; caller holds the latch and has checked
+// uniqueness.
+func (t *Table) indexInsert(r *Row, vals []Value) {
+	if t.pk >= 0 {
+		if v := vals[t.pk]; !v.IsNull() {
+			t.pkIx.insert(vals[t.pk:t.pk+1], r)
+		}
+	}
+	for _, ix := range t.loadIndexes() {
+		ix.insertFor(vals, r)
+	}
+}
+
+// indexEnsure re-registers a row under vals' keys if absent (rollback
+// restoring values whose entries GC may have dropped). Caller holds
+// the latch.
+func (t *Table) indexEnsure(r *Row, vals []Value) {
+	t.indexInsert(r, vals) // insert paths are add-if-absent
+}
+
+// indexUpdate registers a row's new keys after an update. Old entries
+// stay for older snapshots; each changed key enqueues a deferred
+// removal hint for GC. Caller holds the latch; c is the statement's
+// commit number.
+func (t *Table) indexUpdate(r *Row, oldVals, newVals []Value, c uint64) {
+	if t.pk >= 0 {
+		oldV, newV := oldVals[t.pk], newVals[t.pk]
+		oldOK, newOK := !oldV.IsNull(), !newV.IsNull()
+		moved := oldOK != newOK || (oldOK && newOK && tupleKey(oldVals[t.pk:t.pk+1]) != tupleKey(newVals[t.pk:t.pk+1]))
+		if moved {
+			if newOK {
+				t.pkIx.insert(newVals[t.pk:t.pk+1], r)
+			}
+			if oldOK {
+				t.gc.enqueue(gcItem{c: c, row: r, hash: t.pkIx, key: []Value{oldV}})
+			}
+		}
+	}
+	for _, ix := range t.loadIndexes() {
+		oldKey, oldOK := ix.keyFor(oldVals)
+		newKey, newOK := ix.keyFor(newVals)
+		if oldOK && newOK && ix.sameKey(oldKey, newKey) {
+			continue
+		}
+		if newOK {
+			ix.insertFor(newVals, r)
+		}
+		if oldOK {
+			it := gcItem{c: c, row: r, key: oldKey}
+			if ix.kind == IndexHash {
+				it.hash = ix.hash
 			} else {
-				ix.buckets[key] = rest
+				it.skip = ix.skip
 			}
-		})
-		return
-	}
-	pos, found := ix.seek(v)
-	if !found {
-		return
-	}
-	removeRowFrom(ix.groups[pos].rows, r, func(rest []*Row) {
-		if len(rest) == 0 {
-			n := len(ix.groups)
-			copy(ix.groups[pos:], ix.groups[pos+1:])
-			ix.groups[n-1] = nil // drop the tail's group reference
-			ix.groups = ix.groups[:n-1]
-		} else {
-			ix.groups[pos].rows = rest
-		}
-	})
-}
-
-// removeRowFrom deletes the pointer r from rows in place, preserving
-// order, and hands the shortened slice to commit. No-op if r is absent.
-func removeRowFrom(rows []*Row, r *Row, commit func([]*Row)) {
-	for i, br := range rows {
-		if br == r {
-			copy(rows[i:], rows[i+1:])
-			rows[len(rows)-1] = nil // drop the tail's row reference
-			commit(rows[:len(rows)-1])
-			return
+			t.gc.enqueue(it)
 		}
 	}
 }
 
-// lookup returns the rows holding a value equal to v, in insertion
-// order. The returned slice may alias the index; callers that mutate
-// rows while iterating must copy it first (plan.go does). For ordered
-// indexes the caller must have checked orderedProbeOK.
-func (ix *secondaryIndex) lookup(v Value) []*Row {
-	if v.IsNull() {
-		return nil
-	}
-	if ix.kind == IndexHash {
-		return ix.buckets[pkKey(v)]
-	}
-	pos, found := ix.seek(v)
-	if !found {
-		return nil
-	}
-	// Groups are distinct under the stored type's Compare, but a probe
-	// of another type can project several adjacent groups onto one value
-	// (a 2^53 DOUBLE equals two adjacent BIGINT keys), and the scan
-	// would match them all — so gather every Compare==0 group.
-	end := pos + 1
-	for end < len(ix.groups) {
-		if c, ok := Compare(ix.groups[end].key, v); !ok || c != 0 {
-			break
-		}
-		end++
-	}
-	if end == pos+1 {
-		return ix.groups[pos].rows
-	}
-	var out []*Row
-	for i := pos; i < end; i++ {
-		out = append(out, ix.groups[i].rows...)
-	}
-	return out
-}
-
-// rangeRows returns a fresh slice of all rows in groups within
-// [lo, hi], where a NULL bound means unbounded on that side. Bounds are
-// inclusive: the planner widens strict bounds to their group boundary
-// and lets the residual WHERE cut the exact edge, so candidate
-// completeness never depends on strictness handling here. Caller must
-// have checked orderedProbeOK for each non-NULL bound.
-func (ix *secondaryIndex) rangeRows(lo, hi Value) []*Row {
-	start := 0
-	if !lo.IsNull() {
-		start, _ = ix.seek(lo)
-	}
-	end := len(ix.groups)
-	if !hi.IsNull() {
-		end = sort.Search(len(ix.groups), func(i int) bool {
-			c, _ := Compare(ix.groups[i].key, hi)
-			return c > 0
-		})
-	}
-	var out []*Row
-	for i := start; i < end; i++ {
-		out = append(out, ix.groups[i].rows...)
-	}
-	return out
-}
-
-// indexInsert registers a row in the PK and all secondary indexes;
-// caller has already checked uniqueness.
-func (t *Table) indexInsert(r *Row) {
-	if t.pk >= 0 {
-		if v := r.Vals[t.pk]; !v.IsNull() {
-			t.pkIdx[pkKey(v)] = r
-		}
-	}
-	for _, ix := range t.indexes {
-		ix.insert(r)
-	}
-}
-
-// indexRemove unregisters a row from all indexes.
-func (t *Table) indexRemove(r *Row) {
-	if t.pk >= 0 {
-		if v := r.Vals[t.pk]; !v.IsNull() {
-			key := pkKey(v)
-			// Only remove if the slot still points at this row (a
-			// concurrent re-insert of the same key after a delete must not
-			// be clobbered by a late undo).
-			if t.pkIdx[key] == r {
-				delete(t.pkIdx, key)
-			}
-		}
-	}
-	for _, ix := range t.indexes {
-		ix.remove(r, r.Vals[ix.col])
-	}
-}
-
-// indexUpdate moves a row's registrations for keys that changed.
-func (t *Table) indexUpdate(r *Row, oldVals []Value) {
-	if t.pk >= 0 {
-		oldV, newV := oldVals[t.pk], r.Vals[t.pk]
-		if !Equal(oldV, newV) && !(oldV.IsNull() && newV.IsNull()) {
-			if !oldV.IsNull() {
-				key := pkKey(oldV)
-				if t.pkIdx[key] == r {
-					delete(t.pkIdx, key)
-				}
-			}
-			if !newV.IsNull() {
-				t.pkIdx[pkKey(newV)] = r
-			}
-		}
-	}
-	for _, ix := range t.indexes {
-		oldV, newV := oldVals[ix.col], r.Vals[ix.col]
-		switch {
-		case oldV.IsNull() && newV.IsNull():
-		case !oldV.IsNull() && !newV.IsNull() && sameIndexKey(ix.kind, oldV, newV):
-		default:
-			ix.remove(r, oldV)
-			ix.insert(r)
-		}
-	}
-}
-
-// sameIndexKey reports whether old and new (both non-NULL) land in the
-// same bucket/group, i.e. no index movement is needed. Hash buckets key
-// on the canonical string; ordered groups key on Compare equality.
-func sameIndexKey(kind IndexKind, oldV, newV Value) bool {
-	if kind == IndexHash {
-		return pkKey(oldV) == pkKey(newV)
-	}
-	return Equal(oldV, newV)
-}
-
-// lookupPK finds the row holding the given PK value, if any.
-func (t *Table) lookupPK(v Value) (*Row, bool) {
+// lookupPKCurrent finds the live row currently holding the given PK
+// value, if any. Caller holds the latch (uniqueness checks) or accepts
+// latest-committed semantics (FK existence checks).
+func (t *Table) lookupPKCurrent(v Value) (*Row, bool) {
 	if t.pk < 0 || v.IsNull() {
 		return nil, false
 	}
-	r, ok := t.pkIdx[pkKey(v)]
-	return r, ok
+	for _, r := range t.pkIx.lookup([]Value{v}) {
+		vals := r.curVals()
+		if vals != nil && Equal(vals[t.pk], v) {
+			return r, true
+		}
+	}
+	return nil, false
 }
 
-// rebuildIndex reconstructs the PK index and every secondary index from
-// the rows (snapshot restore).
-func (t *Table) rebuildIndex() {
-	t.initIndex()
-	for _, ix := range t.indexes {
-		ix.reset()
+// pkCandidates returns the PK bucket for a probe (a superset: stale
+// entries and dead rows filter out downstream). Lock-free.
+func (t *Table) pkCandidates(v Value) []*Row {
+	if t.pk < 0 || v.IsNull() {
+		return nil
 	}
-	for _, r := range t.Rows {
-		t.indexInsert(r)
+	return t.pkIx.lookup([]Value{v})
+}
+
+// rebuildIndex reconstructs the PK index and every secondary index
+// from the current rows (snapshot restore, on fresh tables).
+func (t *Table) rebuildIndex() {
+	t.pk = t.pkCol()
+	if t.pk >= 0 {
+		t.pkIx = newHashIndex([]int{t.pk})
+	}
+	ixs := t.loadIndexes()
+	fresh := make([]*secondaryIndex, len(ixs))
+	for i, ix := range ixs {
+		fresh[i] = newSecondaryIndex(ix.name, ix.cols, ix.kind)
+	}
+	t.storeIndexes(fresh)
+	for _, r := range t.rows.Load().snapshot() {
+		vals := r.curVals()
+		if vals != nil {
+			t.indexInsert(r, vals)
+		}
 	}
 }

@@ -96,9 +96,9 @@ func TestOrderedIndexUpgradeFromHash(t *testing.T) {
 	if err := db.EnsureOrderedIndex("t", "score"); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	db.mu.Lock()
-	n, name, kind := len(db.tables["t"].indexes), db.tables["t"].indexes[0].name, db.tables["t"].indexes[0].kind
-	db.mu.Unlock()
+	tbl, _ := db.lookupTable("t")
+	ixs := tbl.loadIndexes()
+	n, name, kind := len(ixs), ixs[0].name, ixs[0].kind
 	if n != 1 || kind != IndexOrdered || name != "t_score_idx" {
 		t.Fatalf("upgrade left %d indexes, kind %v, name %q", n, kind, name)
 	}
@@ -114,10 +114,7 @@ func TestOrderedIndexUpgradeFromHash(t *testing.T) {
 	if err := db.EnsureIndex("t", "score"); err != nil {
 		t.Fatal(err)
 	}
-	db.mu.Lock()
-	kind = db.tables["t"].indexes[0].kind
-	db.mu.Unlock()
-	if kind != IndexOrdered {
+	if kind = tbl.loadIndexes()[0].kind; kind != IndexOrdered {
 		t.Fatal("EnsureIndex downgraded an ordered index to hash")
 	}
 }
@@ -128,12 +125,11 @@ func TestCreateIndexUsingClause(t *testing.T) {
 	db.MustExec("CREATE INDEX t_a ON t (a) USING HASH")
 	db.MustExec("CREATE INDEX t_b ON t (b) USING BTREE") // alias for ORDERED
 	db.MustExec("CREATE INDEX t_c ON t (c) USING ORDERED")
-	db.mu.Lock()
+	tbl, _ := db.lookupTable("t")
 	kinds := []IndexKind{}
-	for _, ix := range db.tables["t"].indexes {
+	for _, ix := range tbl.loadIndexes() {
 		kinds = append(kinds, ix.kind)
 	}
-	db.mu.Unlock()
 	want := []IndexKind{IndexHash, IndexOrdered, IndexOrdered}
 	for i, k := range kinds {
 		if k != want[i] {

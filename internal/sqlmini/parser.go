@@ -272,8 +272,9 @@ func (p *parser) parseColumnDef() (ColumnDef, error) {
 	}
 }
 
-// parseCreateIndex parses CREATE INDEX [IF NOT EXISTS] name ON t (col)
-// [USING HASH|ORDERED|BTREE]; CREATE has already been consumed.
+// parseCreateIndex parses CREATE INDEX [IF NOT EXISTS] name ON t
+// (col[, col...]) [USING HASH|ORDERED|BTREE]; CREATE has already been
+// consumed.
 func (p *parser) parseCreateIndex() (Statement, error) {
 	p.next() // INDEX
 	st := &CreateIndexStmt{}
@@ -302,11 +303,17 @@ func (p *parser) parseCreateIndex() (Statement, error) {
 	if err := p.expectSym("("); err != nil {
 		return nil, err
 	}
-	col, err := p.ident()
-	if err != nil {
-		return nil, err
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, strings.ToLower(col))
+		if p.acceptSym(",") {
+			continue
+		}
+		break
 	}
-	st.Col = strings.ToLower(col)
 	if err := p.expectSym(")"); err != nil {
 		return nil, err
 	}

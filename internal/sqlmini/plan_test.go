@@ -221,10 +221,8 @@ func TestEnsureIndexIdempotent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	db.mu.Lock()
-	n := len(db.tables["t"].indexes)
-	db.mu.Unlock()
-	if n != 1 {
+	tbl, _ := db.lookupTable("t")
+	if n := len(tbl.loadIndexes()); n != 1 {
 		t.Fatalf("EnsureIndex created %d indexes, want 1", n)
 	}
 	if err := db.EnsureIndex("t", "nope"); err == nil {
@@ -234,10 +232,7 @@ func TestEnsureIndexIdempotent(t *testing.T) {
 	// redundant maintenance for lookups that would never consult it.
 	db.MustExec("CREATE INDEX IF NOT EXISTS t_grp2 ON t (grp)")
 	db.MustExec("CREATE INDEX t_grp3 ON t (grp)")
-	db.mu.Lock()
-	n = len(db.tables["t"].indexes)
-	db.mu.Unlock()
-	if n != 1 {
+	if n := len(tbl.loadIndexes()); n != 1 {
 		t.Fatalf("duplicate-column CREATE INDEX built %d indexes, want 1", n)
 	}
 	// A clashing NAME is still an error without IF NOT EXISTS (the name

@@ -6,196 +6,26 @@ import (
 )
 
 // Prepared statements: a handle that carries its parsed AST and the
-// arg-independent half of the planner's decision, so hot statements
-// skip the parse-cache lookup AND the per-call plan analysis. The
-// planner's work splits naturally:
-//
-//   - analysis (planAnalyze): which conjuncts reference which indexed
-//     columns, whether the WHERE is total, which ordered column may
-//     claim a range — depends only on the AST and the table's schema;
-//   - binding (stmtPlan.bind): evaluating the key/bound expressions
-//     against the call's parameters, NULL and lossy-key checks —
-//     depends on the arguments and must run per execution.
-//
-// A skeleton is valid exactly while DB.schemaSeq is unchanged (no
-// table or index structure changed); row churn never invalidates it.
-// bind mirrors planIndex decision-for-decision, so a prepared
-// execution is bit-identical to the ad-hoc one — the equivalence suite
-// in prepared_test.go pins this.
-
-// planCand is one equality-conjunct candidate, in conjunct order.
-type planCand struct {
-	col     int
-	pk      bool
-	ix      *secondaryIndex // nil for PK candidates
-	ordered bool            // ordered-index equality probe (lossy keys allowed)
-	key     Expr
-}
-
-// planBound is one range bound of the claimed range column, in the
-// order planRange would have evaluated it.
-type planBound struct {
-	expr Expr
-	op   string
-	hi   bool
-}
-
-// stmtPlan is the cached, arg-independent plan skeleton of one
-// statement over one concrete table.
-type stmtPlan struct {
-	seq  uint64 // DB.schemaSeq at analysis time
-	t    *Table
-	scan bool // analysis concluded the statement always scans
-
-	params    []*ParamExpr // parameters the WHERE references (bind check)
-	eq        []planCand
-	rngCol    int // -1 when no ordered column claimed a range
-	rngIx     *secondaryIndex
-	rngBounds []planBound
-}
-
-// planAnalyze runs the static half of planIndex over t's current
-// schema. Caller holds db.mu.
-func planAnalyze(db *DB, t *Table, where Expr) *stmtPlan {
-	sp := &stmtPlan{seq: db.schemaSeq, t: t, rngCol: -1}
-	if where == nil || (t.pk < 0 && len(t.indexes) == 0) {
-		sp.scan = true
-		return sp
-	}
-	if !whereTotalStatic(t, where, &sp.params) {
-		sp.scan = true
-		return sp
-	}
-	var conjuncts []Expr
-	collectConjuncts(where, &conjuncts)
-	for _, c := range conjuncts {
-		col, keyExpr := eqConjunct(t, c)
-		if col < 0 {
-			continue
-		}
-		isPK := col == t.pk
-		ix := t.indexOn(col)
-		if !isPK && ix == nil {
-			continue
-		}
-		sp.eq = append(sp.eq, planCand{
-			col:     col,
-			pk:      isPK,
-			ix:      ix,
-			ordered: !isPK && ix.kind == IndexOrdered,
-			key:     keyExpr,
-		})
-	}
-	for _, c := range conjuncts {
-		col, loExpr, loOp, hiExpr, hiOp := rangeConjunct(t, c)
-		if col < 0 {
-			continue
-		}
-		ix := t.indexOn(col)
-		if ix == nil || ix.kind != IndexOrdered {
-			continue
-		}
-		if sp.rngCol >= 0 && sp.rngCol != col {
-			continue // another ordered column already claimed the plan
-		}
-		if sp.rngCol < 0 {
-			sp.rngCol, sp.rngIx = col, ix
-		}
-		if loExpr != nil {
-			sp.rngBounds = append(sp.rngBounds, planBound{expr: loExpr, op: loOp})
-		}
-		if hiExpr != nil {
-			sp.rngBounds = append(sp.rngBounds, planBound{expr: hiExpr, op: hiOp, hi: true})
-		}
-	}
-	if len(sp.eq) == 0 && sp.rngCol < 0 {
-		sp.scan = true
-	}
-	return sp
-}
-
-// bind evaluates the skeleton's key expressions against one call's
-// parameters, reproducing planIndex's value-dependent decisions
-// exactly: NULL keys prove emptiness, lossy hash keys fall through to
-// the next candidate, a PK hit wins outright, equality beats range,
-// and any evaluation problem falls back to the scan (nil).
-func (sp *stmtPlan) bind(env *evalEnv) *indexPlan {
-	if sp.scan || !paramsBound(env, sp.params) {
-		return nil
-	}
-	var best *indexPlan
-	for i := range sp.eq {
-		cand := &sp.eq[i]
-		kv, err := env.eval(cand.key, nil, nil)
-		if err != nil {
-			return nil // mirrors planIndex: fail safe to scan
-		}
-		if kv.IsNull() {
-			return &indexPlan{col: cand.col, pk: cand.pk, ix: cand.ix, empty: true}
-		}
-		colType := sp.t.Cols[cand.col].Type
-		if cand.ordered {
-			if orderedProbeOK(colType, kv) && best == nil {
-				best = &indexPlan{col: cand.col, ix: cand.ix, key: kv}
-			}
-			continue
-		}
-		ck, ok := indexLookupKey(colType, kv)
-		if !ok {
-			continue // lossy key: another conjunct may still do
-		}
-		p := &indexPlan{col: cand.col, pk: cand.pk, ix: cand.ix, key: ck}
-		if cand.pk {
-			return p
-		}
-		if best == nil {
-			best = p
-		}
-	}
-	if best != nil {
-		return best
-	}
-	if sp.rngCol < 0 {
-		return nil
-	}
-	plan := &indexPlan{col: sp.rngCol, ix: sp.rngIx, rng: true}
-	colType := sp.t.Cols[sp.rngCol].Type
-	for _, b := range sp.rngBounds {
-		if (b.hi && plan.hiOp != "") || (!b.hi && plan.loOp != "") {
-			continue // one bound per side; later conjuncts stay residual
-		}
-		v, err := env.eval(b.expr, nil, nil)
-		if err != nil {
-			return nil
-		}
-		if v.IsNull() {
-			return &indexPlan{col: sp.rngCol, ix: sp.rngIx, empty: true}
-		}
-		if orderedProbeOK(colType, v) {
-			if b.hi {
-				plan.hi, plan.hiOp = v, b.op
-			} else {
-				plan.lo, plan.loOp = v, b.op
-			}
-		}
-	}
-	if plan.loOp == "" && plan.hiOp == "" {
-		return nil
-	}
-	return plan
-}
+// arg-independent half of the planner's decision (the stmtPlan skeleton,
+// plan.go), so hot statements skip the parse-cache lookup AND the
+// per-call plan analysis. A skeleton is valid exactly while DB.schemaSeq
+// is unchanged; row churn never invalidates it. Binding mirrors the
+// ad-hoc path decision-for-decision, so a prepared execution is
+// bit-identical to the ad-hoc one — the equivalence suite in
+// prepared_test.go pins this.
 
 // Prepared is a reusable statement handle: the AST is parsed once and
 // the plan skeleton is cached across executions (re-analyzed only when
-// the schema changes). Prepared handles are safe for concurrent use.
+// the schema changes). Prepared handles are safe for concurrent use —
+// the skeleton swap is an atomic pointer store, and concurrent
+// executions at worst analyze twice.
 type Prepared struct {
 	db  *DB
 	src string
 	st  Statement
 
 	// plan caches the skeleton for plannable statements; nil until the
-	// first execution and replaced wholesale when schemaSeq moves (all
-	// under db.mu, the atomic only guards the pointer load/store shape).
+	// first execution and replaced wholesale when schemaSeq moves.
 	plan atomic.Pointer[stmtPlan]
 }
 
@@ -261,21 +91,19 @@ func (p *Prepared) exec(tx *undoLog, args ...any) (*Result, error) {
 	}
 	env := &evalEnv{clock: p.db.clock, named: named, positional: positional}
 	db := p.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if table, where, ok := p.planTarget(); ok {
-		if t, err := db.table(table); err == nil {
+		if t, err := db.lookupTable(table); err == nil {
 			sp := p.plan.Load()
-			if sp == nil || sp.seq != db.schemaSeq || sp.t != t {
+			if sp == nil || sp.seq != db.schemaSeq.Load() || sp.t != t {
 				sp = planAnalyze(db, t, where)
 				p.plan.Store(sp)
 			}
 			env.prep = sp
 		}
-		// A missing table falls through: execLocked reports the same
+		// A missing table falls through: execStmt reports the same
 		// ErrNoSuchTable the ad-hoc path would.
 	}
-	return db.execLocked(p.st, env, tx)
+	return db.execStmt(p.st, env, tx)
 }
 
 // Query is Exec for row-returning statements.

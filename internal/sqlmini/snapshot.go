@@ -2,38 +2,56 @@ package sqlmini
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/wire"
 )
 
 // snapshotVersion guards the snapshot wire format. Version 2 added the
 // per-table secondary-index declarations; version 3 added the per-index
-// kind byte (hash vs ordered). Older blobs still restore: version 1 has
-// no index section (indexes are re-declared by the schema layer) and
-// version-2 indexes restore as hash, the only kind that format knew.
-const snapshotVersion = 3
+// kind byte (hash vs ordered); version 4 added multi-column index
+// declarations. Older blobs still restore: version 1 has no index
+// section (indexes are re-declared by the schema layer) and version-2
+// indexes restore as hash, the only kind that format knew. Snapshot
+// writes version 3 — byte-identical to earlier releases — whenever
+// every index is single-column, and only escalates to 4 when a
+// composite index exists.
+const snapshotVersion = 4
 
 // Snapshot serializes the entire database (schema + rows) into a
 // self-describing byte blob. Replication layers use it for backend
 // resynchronization around a checkpoint (Sequoia, §5.3.1 of the paper)
 // and for master/slave initial sync.
+//
+// It runs under ddlMu plus every table latch (acquired in sorted name
+// order), so the blob is a consistent cut: it contains exactly the
+// committed state, with no torn multi-table batch.
 func (db *DB) Snapshot() []byte {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		names = append(names, n)
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	tables := db.sortedTables()
+	for _, t := range tables {
+		t.latch.Lock()
 	}
-	sort.Strings(names)
+	defer func() {
+		for _, t := range tables {
+			t.latch.Unlock()
+		}
+	}()
+
+	ver := uint8(3)
+	for _, t := range tables {
+		for _, ix := range t.loadIndexes() {
+			if len(ix.cols) > 1 {
+				ver = snapshotVersion
+			}
+		}
+	}
 
 	e := wire.NewEncoder(4096)
-	e.Uint8(snapshotVersion)
-	e.Uint64(db.changeSeq)
-	e.Uint32(uint32(len(names)))
-	for _, n := range names {
-		t := db.tables[n]
+	e.Uint8(ver)
+	e.Uint64(db.changeSeq.Load())
+	e.Uint32(uint32(len(tables)))
+	for _, t := range tables {
 		e.String(t.Name)
 		e.Uint32(uint32(len(t.Cols)))
 		for _, c := range t.Cols {
@@ -44,15 +62,35 @@ func (db *DB) Snapshot() []byte {
 			e.String(c.RefTable)
 			e.String(c.RefColumn)
 		}
-		e.Uint32(uint32(len(t.indexes)))
-		for _, ix := range t.indexes {
-			e.String(ix.name)
-			e.String(t.Cols[ix.col].Name)
-			e.Uint8(uint8(ix.kind))
+		ixs := t.loadIndexes()
+		e.Uint32(uint32(len(ixs)))
+		for _, ix := range ixs {
+			if ver >= 4 {
+				e.String(ix.name)
+				e.Uint8(uint8(ix.kind))
+				e.Uint8(uint8(len(ix.cols)))
+				for _, ci := range ix.cols {
+					e.String(t.Cols[ci].Name)
+				}
+			} else {
+				e.String(ix.name)
+				e.String(t.Cols[ix.cols[0]].Name)
+				e.Uint8(uint8(ix.kind))
+			}
 		}
-		e.Uint32(uint32(len(t.Rows)))
-		for _, r := range t.Rows {
-			for _, v := range r.Vals {
+		// Only rows alive in the committed state are serialized: a
+		// tombstoned chain head means the row is deleted, however many
+		// prior versions GC has yet to reclaim.
+		rows := t.rowsSnapshot()
+		live := make([][]Value, 0, len(rows))
+		for _, r := range rows {
+			if vals := r.curVals(); vals != nil {
+				live = append(live, vals)
+			}
+		}
+		e.Uint32(uint32(len(live)))
+		for _, vals := range live {
+			for _, v := range vals {
 				encodeValue(e, v)
 			}
 		}
@@ -61,7 +99,10 @@ func (db *DB) Snapshot() []byte {
 }
 
 // Restore replaces the database contents with a snapshot produced by
-// Snapshot.
+// Snapshot. The replacement tables are built entirely off to the side;
+// the swap itself holds ddlMu plus every pre-restore table latch, so
+// in-flight statements complete against the old state and every
+// statement starting after the swap sees only the new one.
 func (db *DB) Restore(blob []byte) error {
 	d := wire.NewDecoder(blob)
 	ver := d.Uint8()
@@ -75,7 +116,7 @@ func (db *DB) Restore(blob []byte) error {
 	nTables := d.Uint32()
 	tables := make(map[string]*Table, nTables)
 	for i := uint32(0); i < nTables; i++ {
-		t := &Table{Name: d.String()}
+		t := &Table{Name: d.String(), tid: tableIDs.Add(1)}
 		nCols := d.Uint32()
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("sqlmini: restore: %w", err)
@@ -94,38 +135,66 @@ func (db *DB) Restore(blob []byte) error {
 			t.Cols[j] = c
 			t.colIdx[c.Name] = int(j)
 		}
+		var decls []*secondaryIndex
 		if ver >= 2 {
 			nIdx := d.Uint32()
 			if err := d.Err(); err != nil {
 				return fmt.Errorf("sqlmini: restore: %w", err)
 			}
 			for j := uint32(0); j < nIdx; j++ {
-				name, colName := d.String(), d.String()
-				kind := IndexHash // the only kind the v2 format knew
-				if ver >= 3 {
+				var (
+					name string
+					kind IndexKind
+					cols []int
+				)
+				if ver >= 4 {
+					name = d.String()
 					kind = IndexKind(d.Uint8())
-					if kind != IndexHash && kind != IndexOrdered {
+					nc := int(d.Uint8())
+					for k := 0; k < nc; k++ {
+						colName := d.String()
+						ci, ok := t.colIdx[colName]
+						if !ok {
+							if err := d.Err(); err != nil {
+								return fmt.Errorf("sqlmini: restore: %w", err)
+							}
+							return fmt.Errorf("sqlmini: restore: index %q on unknown column %q of %s", name, colName, t.Name)
+						}
+						cols = append(cols, ci)
+					}
+				} else {
+					name = d.String()
+					colName := d.String()
+					kind = IndexHash // the only kind the v2 format knew
+					if ver >= 3 {
+						kind = IndexKind(d.Uint8())
+					}
+					ci, ok := t.colIdx[colName]
+					if !ok {
 						if err := d.Err(); err != nil {
 							return fmt.Errorf("sqlmini: restore: %w", err)
 						}
-						return fmt.Errorf("sqlmini: restore: index %q has unknown kind %d", name, kind)
+						return fmt.Errorf("sqlmini: restore: index %q on unknown column %q of %s", name, colName, t.Name)
 					}
+					cols = []int{ci}
 				}
-				ci, ok := t.colIdx[colName]
-				if !ok {
+				if kind != IndexHash && kind != IndexOrdered {
 					if err := d.Err(); err != nil {
 						return fmt.Errorf("sqlmini: restore: %w", err)
 					}
-					return fmt.Errorf("sqlmini: restore: index %q on unknown column %q of %s", name, colName, t.Name)
+					return fmt.Errorf("sqlmini: restore: index %q has unknown kind %d", name, kind)
 				}
-				t.indexes = append(t.indexes, newSecondaryIndex(name, ci, kind))
+				if len(cols) == 0 {
+					return fmt.Errorf("sqlmini: restore: index %q of %s has no columns", name, t.Name)
+				}
+				decls = append(decls, newSecondaryIndex(name, cols, kind))
 			}
 		}
 		nRows := d.Uint32()
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("sqlmini: restore: %w", err)
 		}
-		t.Rows = make([]*Row, 0, nRows)
+		arr := newRowArr(int(nRows))
 		for j := uint32(0); j < nRows; j++ {
 			vals := make([]Value, len(t.Cols))
 			for k := range vals {
@@ -135,31 +204,56 @@ func (db *DB) Restore(blob []byte) error {
 				}
 				vals[k] = v
 			}
-			t.Rows = append(t.Rows, &Row{Vals: vals})
+			// Version 0 is below every possible snapshot point, so
+			// restored rows are visible to any reader immediately.
+			arr = arr.append(newRow(vals, 0))
+		}
+		t.rows.Store(arr)
+		t.initIndex()
+		if decls != nil {
+			t.storeIndexes(decls)
 		}
 		t.rebuildIndex()
+		t.watermark.Store(seq)
+		t.vers = db.tableCounter(t.Name)
 		tables[t.Name] = t
 	}
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("sqlmini: restore: %w", err)
 	}
 
-	db.mu.Lock()
+	db.ddlMu.Lock()
+	old := db.sortedTables()
+	for _, t := range old {
+		t.latch.Lock()
+	}
+	oldMap := *db.schema.Load()
+	// The commit clock never moves backwards (reader snapshots taken
+	// against the old state must stay well-formed numbers); it only
+	// catches up when the snapshot's sequence is ahead.
+	if db.commits.Load() < seq {
+		db.commits.Store(seq)
+	}
+	db.changeSeq.Store(seq)
+	db.schema.Store(&tables)
+	db.schemaSeq.Add(1)
 	// Every table that existed before or exists after counts as mutated:
 	// caches keyed on TableVersion must see a resync as a change (the
-	// GenerationStore contract in core/store.go rests on this).
-	for name := range db.tables {
-		db.bumpTable(name)
+	// GenerationStore contract in core/store.go rests on this). Bumps
+	// come after the schema swap so a generation probe can never observe
+	// the new version before the new data is resolvable.
+	for name := range oldMap {
+		db.tableCounter(name).Add(1)
 	}
 	for name := range tables {
-		if _, existed := db.tables[name]; !existed {
-			db.bumpTable(name)
+		if _, existed := oldMap[name]; !existed {
+			db.tableCounter(name).Add(1)
 		}
 	}
-	db.tables = tables
-	db.changeSeq = seq
-	db.schemaSeq++
-	db.mu.Unlock()
+	for _, t := range old {
+		t.latch.Unlock()
+	}
+	db.ddlMu.Unlock()
 	return nil
 }
 

@@ -9,9 +9,15 @@
 // surface: CREATE/DROP TABLE, INSERT, SELECT (with WHERE, ORDER BY,
 // LIMIT, aggregates), UPDATE, DELETE, BEGIN/COMMIT/ROLLBACK, LIKE,
 // IS [NOT] NULL, BETWEEN, IN, now(), and named ($name) plus positional
-// (?) parameters. Concurrency model: statements are atomic under an
-// engine-wide mutex; multi-statement transactions use an undo log and are
-// read-uncommitted (sufficient for the substrate; documented trade-off).
+// (?) parameters. Concurrency model: MVCC. Rows are immutable version
+// chains; read-only statements run lock-free against a stable snapshot
+// and never block writers, while writers serialize per table behind
+// short latches (there is no engine-wide lock) and publish each
+// statement's versions atomically. Multi-statement transactions use an
+// undo log and are read-uncommitted at transaction granularity — each
+// statement publishes when it completes, before COMMIT (sufficient for
+// the substrate; documented trade-off). See the "Engine concurrency"
+// section of docs/ARCHITECTURE.md for the full contract.
 package sqlmini
 
 import (

@@ -13,6 +13,12 @@
 #   BENCH_FILTER  go -bench regexp (default: the perf-tracked grant/wire set;
 #                 set to '.' for the full suite, which includes slow sweeps)
 #   BENCH_PKGS    packages to bench (default ". ./internal/wire")
+#   BENCH_CPU     go -cpu list (e.g. "1,4,8") for the GOMAXPROCS scaling
+#                 study of the BenchmarkConcurrent* family. Unset = the
+#                 machine's GOMAXPROCS. Baseline/compare JSON folds cpu
+#                 variants best-of under one name, so record baselines
+#                 with BENCH_CPU unset and read scaling curves from the
+#                 raw output of `BENCH_CPU=1,4,8 scripts/bench.sh run`.
 #   BASELINE      baseline path (default BENCH_baseline.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,8 +26,9 @@ cd "$(dirname "$0")/.."
 MODE="${1:-compare}"
 COUNT="${BENCH_COUNT:-5}"
 TIME="${BENCH_TIME:-1s}"
-FILTER="${BENCH_FILTER:-BenchmarkMatchmaking|BenchmarkLeaseRenewalNoChange|BenchmarkLeaseRenewalUpgrade|BenchmarkLeaseRenewalAt100Leases|BenchmarkLeaseRenewalAt10000Leases|BenchmarkLicenseCheckAt10000Leases|BenchmarkExpirySweepAt100Leases|BenchmarkExpirySweepAt10000Leases|BenchmarkLicenseUsageCountAt10000Leases|BenchmarkExternalLeaseRenewal|BenchmarkExternalReapAt1000Leases|BenchmarkExternalMatchmaking|BenchmarkExternalPreparedRenewal|BenchmarkBootstrapProtocol|BenchmarkConcurrentBootstrap|BenchmarkFrameRoundTrip|BenchmarkEncoder|BenchmarkDecoder|BenchmarkFileChunkFraming}"
+FILTER="${BENCH_FILTER:-BenchmarkMatchmaking|BenchmarkLeaseRenewalNoChange|BenchmarkLeaseRenewalUpgrade|BenchmarkLeaseRenewalAt100Leases|BenchmarkLeaseRenewalAt10000Leases|BenchmarkLicenseCheckAt10000Leases|BenchmarkExpirySweepAt100Leases|BenchmarkExpirySweepAt10000Leases|BenchmarkLicenseUsageCountAt10000Leases|BenchmarkExternalLeaseRenewal|BenchmarkExternalReapAt1000Leases|BenchmarkExternalMatchmaking|BenchmarkExternalPreparedRenewal|BenchmarkBootstrapProtocol|BenchmarkConcurrentBootstrap|BenchmarkConcurrentMatchmaking|BenchmarkConcurrentRenewal|BenchmarkConcurrentMixed|BenchmarkFrameRoundTrip|BenchmarkEncoder|BenchmarkDecoder|BenchmarkFileChunkFraming}"
 PKGS="${BENCH_PKGS:-. ./internal/wire}"
+CPU="${BENCH_CPU:-}"
 BASELINE="${BASELINE:-BENCH_baseline.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -33,9 +40,11 @@ tier1() {
 }
 
 run_benches() {
-    echo "== benchmarks: -bench='$FILTER' -benchmem -count=$COUNT -benchtime=$TIME"
+    local cpuflag=()
+    [ -n "$CPU" ] && cpuflag=(-cpu="$CPU")
+    echo "== benchmarks: -bench='$FILTER' -benchmem -count=$COUNT -benchtime=$TIME ${cpuflag[*]}"
     # shellcheck disable=SC2086
-    go test -run='^$' -bench="$FILTER" -benchmem -count="$COUNT" -benchtime="$TIME" $PKGS | tee "$RAW"
+    go test -run='^$' -bench="$FILTER" -benchmem -count="$COUNT" -benchtime="$TIME" "${cpuflag[@]}" $PKGS | tee "$RAW"
 }
 
 # emit_json RAW_FILE — best (minimum ns/op) result per benchmark name,
