@@ -9,12 +9,14 @@
 #   make bench           # run the perf-tracked benchmark set
 #   make bench-baseline  # tier1 + benches, refresh BENCH_baseline.json
 #   make bench-compare   # tier1 + benches, diff against BENCH_baseline.json
+#   make loadtest        # fleet-scale load tier: scaled tests + tail gate vs BENCH_tail.json
+#   make loadtest-baseline  # full-population load scenarios, refresh BENCH_tail.json
 #
 # Benchmark knobs (see scripts/README.md): BENCH_COUNT, BENCH_TIME,
 # BENCH_FILTER ('.'' = full suite, includes slow lease-traffic sweeps),
 # BENCH_PKGS.
 
-.PHONY: check check-race tier1 race doclint chaos bench bench-baseline bench-compare
+.PHONY: check check-race tier1 race doclint chaos bench bench-baseline bench-compare loadtest loadtest-baseline
 
 # check is the documented tier-1 entry point: everything CI (and the
 # next PR) must keep green.
@@ -59,3 +61,15 @@ bench-baseline:
 
 bench-compare:
 	scripts/bench.sh compare
+
+# loadtest is the fleet-scale tier, off the tier-1 critical path: the
+# scaled-down deterministic scenario tests, then the full-population
+# steady/storm scenarios gated against the committed BENCH_tail.json
+# tail baseline (p50/p95/p99 + statements/sec; see scripts/README.md
+# for thresholds and the refresh policy).
+loadtest:
+	scripts/loadtest.sh check
+	scripts/loadtest.sh compare
+
+loadtest-baseline:
+	scripts/loadtest.sh baseline

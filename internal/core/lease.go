@@ -37,6 +37,7 @@ func (s *Server) grant(req Request, isTLS bool) (Offer, *ProtocolError) {
 	if err != nil {
 		return Offer{}, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 	}
+	s.leasesGranted.Add(1)
 	// The clock is re-read after the INSERT, so the recorded expiry is
 	// an upper bound on the lease row's — the sweep never reclaims a
 	// staged blob before its lease really expired.
@@ -86,6 +87,7 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 		}
 		// The client's checksum acknowledges any staged transfer.
 		s.dropPending(req.LeaseID)
+		s.renewKeeps.Add(1)
 		return Offer{
 			LeaseID:          req.LeaseID,
 			LeaseTime:        g.leaseTime,
@@ -174,7 +176,9 @@ func (s *Server) renewLease(req Request, g *grantInfo, matchErr *ProtocolError) 
 	if !keep {
 		offer.Size = uint32(g.size)
 		s.stageTransfer(lease.LeaseID, g.blob, now.Add(g.leaseTime))
+		s.renewUpgrades.Add(1)
 	} else {
+		s.renewKeeps.Add(1)
 		// The renewal acknowledges the client runs the matched content:
 		// any staged blob from the original transfer (or an earlier
 		// upgrade) is no longer needed, so stop pinning it in memory.

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// LeaseClient is a minimal, single-goroutine client for the Drivolution
+// bootstrap protocol, built for load harnesses that multiplex many
+// *virtual* bootloaders over one physical connection. Unlike Bootloader
+// it owns no driver, no renewal timer, and no per-client goroutines: it
+// just runs protocol exchanges on behalf of whatever (lease, checksum)
+// identity the caller hands it, so 100k simulated clients can share a
+// bounded pool of these.
+//
+// Error contract: a *ProtocolError return means the exchange completed
+// cleanly (the server answered with DRIVOLUTION_ERROR) and the
+// connection remains usable. Any other error is a transport or framing
+// failure: the stream may be mid-frame, so the client poisons itself —
+// every later call fails fast with ErrLeaseClientPoisoned and the
+// caller must Close and dial a replacement. That mirrors ConnStore's
+// redial contract: never reuse a stream you cannot prove is on a frame
+// boundary.
+type LeaseClient struct {
+	conn     *wire.Conn
+	timeout  time.Duration
+	poisoned bool
+}
+
+// ErrLeaseClientPoisoned is returned by every call after a transport
+// failure; the caller must Close and dial a fresh client.
+var ErrLeaseClientPoisoned = fmt.Errorf("core: lease client poisoned by earlier transport failure")
+
+// DialLeaseClient connects to a Drivolution server. opTimeout bounds
+// every response wait (and is also the dial timeout when positive);
+// zero means no response deadline.
+func DialLeaseClient(addr string, opTimeout time.Duration) (*LeaseClient, error) {
+	dial := opTimeout
+	if dial <= 0 {
+		dial = 5 * time.Second
+	}
+	conn, err := wire.Dial(addr, dial)
+	if err != nil {
+		return nil, err
+	}
+	return &LeaseClient{conn: conn, timeout: opTimeout}, nil
+}
+
+// Close releases the connection. Safe on a poisoned client.
+func (c *LeaseClient) Close() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+func (c *LeaseClient) recv() (wire.Frame, error) {
+	if c.timeout > 0 {
+		return c.conn.RecvTimeout(c.timeout)
+	}
+	return c.conn.Recv()
+}
+
+// Request runs one REQUEST→OFFER exchange: a bootstrap when
+// req.LeaseID is zero, a renewal otherwise (Table 3 / Table 4 flows).
+// The returned Offer's HasDriver reports whether the server staged an
+// upgrade transfer for the lease; the caller may FetchFile it or let a
+// later checksum-acking renewal drop it.
+func (c *LeaseClient) Request(req Request) (Offer, error) {
+	if c.poisoned {
+		return Offer{}, ErrLeaseClientPoisoned
+	}
+	if err := c.conn.Send(msgRequest, req.encode()); err != nil {
+		c.poisoned = true
+		return Offer{}, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		c.poisoned = true
+		return Offer{}, err
+	}
+	switch f.Type {
+	case msgError:
+		pe, derr := decodeProtocolError(f.Payload)
+		if derr != nil {
+			c.poisoned = true
+			return Offer{}, derr
+		}
+		return Offer{}, pe
+	case msgOffer:
+		o, derr := decodeOffer(f.Payload)
+		if derr != nil {
+			c.poisoned = true
+			return Offer{}, derr
+		}
+		return o, nil
+	default:
+		c.poisoned = true
+		return Offer{}, fmt.Errorf("core: unexpected frame 0x%04x to lease request", f.Type)
+	}
+}
+
+// FetchFile downloads the driver blob staged for leaseID and returns
+// its size, discarding the content (a load harness measures transfer
+// cost; it does not run drivers). The checksum of what would have been
+// installed is already in the Offer that staged the transfer.
+func (c *LeaseClient) FetchFile(leaseID uint64) (int, error) {
+	if c.poisoned {
+		return 0, ErrLeaseClientPoisoned
+	}
+	if err := c.conn.Send(msgFileRequest, fileRequest{LeaseID: leaseID}.encode()); err != nil {
+		c.poisoned = true
+		return 0, err
+	}
+	got := 0
+	for {
+		f, err := c.recv()
+		if err != nil {
+			c.poisoned = true
+			return got, err
+		}
+		switch f.Type {
+		case msgError:
+			pe, derr := decodeProtocolError(f.Payload)
+			if derr != nil {
+				c.poisoned = true
+				return got, derr
+			}
+			return got, pe
+		case msgFileData:
+		default:
+			c.poisoned = true
+			return got, fmt.Errorf("core: unexpected frame 0x%04x during transfer", f.Type)
+		}
+		chunk, derr := decodeFileChunk(f.Payload)
+		if derr != nil {
+			c.poisoned = true
+			return got, derr
+		}
+		got += len(chunk.Data)
+		if chunk.Last {
+			return got, nil
+		}
+	}
+}
+
+// Release gives a lease back (msgRelease, license mode §5.4.2).
+func (c *LeaseClient) Release(leaseID uint64) error {
+	if c.poisoned {
+		return ErrLeaseClientPoisoned
+	}
+	if err := c.conn.Send(msgRelease, releaseMsg{LeaseID: leaseID}.encode()); err != nil {
+		c.poisoned = true
+		return err
+	}
+	f, err := c.recv()
+	if err != nil {
+		c.poisoned = true
+		return err
+	}
+	switch f.Type {
+	case msgReleaseOK:
+		return nil
+	case msgError:
+		pe, derr := decodeProtocolError(f.Payload)
+		if derr != nil {
+			c.poisoned = true
+			return derr
+		}
+		return pe
+	default:
+		c.poisoned = true
+		return fmt.Errorf("core: unexpected frame 0x%04x to release", f.Type)
+	}
+}

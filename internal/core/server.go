@@ -91,12 +91,15 @@ type Server struct {
 	wg sync.WaitGroup
 
 	// Metrics for experiments and benchmarks.
-	requests  atomic.Int64
-	offers    atomic.Int64
-	errsSent  atomic.Int64
-	transfers atomic.Int64
-	bytesOut  atomic.Int64
-	notifies  atomic.Int64
+	requests      atomic.Int64
+	offers        atomic.Int64
+	errsSent      atomic.Int64
+	transfers     atomic.Int64
+	bytesOut      atomic.Int64
+	notifies      atomic.Int64
+	leasesGranted atomic.Int64
+	renewKeeps    atomic.Int64
+	renewUpgrades atomic.Int64
 }
 
 // ServerOption configures a Server.
@@ -238,6 +241,43 @@ func (s *Server) Store() Store { return s.store }
 func (s *Server) Stats() (requests, offers, errsSent, transfers, bytesOut, notifies int64) {
 	return s.requests.Load(), s.offers.Load(), s.errsSent.Load(),
 		s.transfers.Load(), s.bytesOut.Load(), s.notifies.Load()
+}
+
+// ServerCounters is a named snapshot of the server's protocol counters
+// — the positional Stats() plus the grant-outcome split the load
+// harness asserts on: how many offers were fresh leases, same-driver
+// renewals, and upgrade renewals.
+type ServerCounters struct {
+	Requests   int64 // DISCOVER + REQUEST frames received
+	Offers     int64 // OFFER frames sent
+	ErrorsSent int64 // DRIVOLUTION_ERROR frames sent
+	Transfers  int64 // completed FILE_DATA streams
+	BytesOut   int64 // driver bytes transferred
+	Notifies   int64 // push notifications delivered
+
+	// LeasesGranted counts fresh leases created (Table 3 bootstraps).
+	LeasesGranted int64
+	// RenewKeeps counts renewals that kept the client's driver
+	// (Table 4 OFFER without data file).
+	RenewKeeps int64
+	// RenewUpgrades counts renewals offered a different driver — the
+	// fleet-wide hot-swap events of an upgrade storm.
+	RenewUpgrades int64
+}
+
+// Counters snapshots every protocol counter by name.
+func (s *Server) Counters() ServerCounters {
+	return ServerCounters{
+		Requests:      s.requests.Load(),
+		Offers:        s.offers.Load(),
+		ErrorsSent:    s.errsSent.Load(),
+		Transfers:     s.transfers.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		Notifies:      s.notifies.Load(),
+		LeasesGranted: s.leasesGranted.Load(),
+		RenewKeeps:    s.renewKeeps.Load(),
+		RenewUpgrades: s.renewUpgrades.Load(),
+	}
 }
 
 // Start listens for bootloader connections on addr.

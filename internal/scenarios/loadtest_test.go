@@ -1,0 +1,164 @@
+package scenarios
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dbver"
+)
+
+// These tests are the deterministic, scaled-down tier of the load
+// harness: the same scenario code cmd/experiments -load runs at 100k+
+// population, here at populations that finish in seconds and run in
+// `make check` / `make check-race`. scripts/loadtest.sh layers the
+// full-population runs and the BENCH_tail.json compare gate on top.
+
+func TestLoadScenarioNames(t *testing.T) {
+	names := LoadScenarios()
+	if len(names) != 4 {
+		t.Fatalf("scenarios = %v, want the 4 canonical ones", names)
+	}
+	if _, err := RunLoad("no-such-scenario", LoadConfig{}); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+func TestLoadSteadySmall(t *testing.T) {
+	res, err := RunLoad("steady", LoadConfig{
+		Population: 300, Workers: 4, Duration: 2 * time.Second, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Timeouts != 0 {
+		t.Fatalf("steady small: %+v", res)
+	}
+	// Every client bootstraps, and the run outlasts one renewal round.
+	if res.Requests < 2*300 {
+		t.Fatalf("requests = %d, want >= 600 (bootstraps + a renewal round)", res.Requests)
+	}
+	if res.P50Us <= 0 || res.P95Us < res.P50Us || res.P99Us < res.P95Us || res.MaxUs < res.P99Us {
+		t.Fatalf("tail stats inconsistent: %+v", res)
+	}
+	if res.RequestsPerSec <= 0 || res.StatementsPerSec <= 0 {
+		t.Fatalf("rates missing: %+v", res)
+	}
+}
+
+// TestLoadUpgradeStorm1k is the seeded ~1k-bootloader upgrade storm
+// that rides `make check-race`: one AddDriver triggers a fleet-wide
+// hot-swap. It pins three invariants: the server never holds more live
+// leases than clients (no double-grant during upgrade), every client
+// converges to the new driver generation, and the swap costs zero
+// availability (no errors, empty error window).
+func TestLoadUpgradeStorm1k(t *testing.T) {
+	cfg := LoadConfig{
+		Population: 1000, Workers: 8, Seed: 42,
+		Lease: 2 * time.Second, Duration: time.Second, Payload: 512,
+	}.withDefaults()
+
+	srv, _, err := loadServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if _, err := srv.AddDriver(loadImage(dbver.V(1, 0, 0), cfg.Payload), dbver.FormatImage); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fleetFor(cfg, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+	if err := settle(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Checksums()
+
+	if _, err := srv.AddDriver(loadImage(dbver.V(2, 0, 0), cfg.Payload), dbver.FormatImage); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample the server's live-lease count throughout the storm.
+	stop := make(chan struct{})
+	peakCh := make(chan int, 1)
+	go func() {
+		peak := 0
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			default:
+			}
+			if n, err := srv.LicensesInUse(); err == nil && n > peak {
+				peak = n
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	converge, err := waitConverged(f, cfg, before, 2*cfg.Lease+30*time.Second)
+	close(stop)
+	peak := <-peakCh
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+	rep := f.Report()
+	t.Logf("storm: converged in %v; %s", converge.Round(time.Millisecond), rep)
+
+	if peak > cfg.Population {
+		t.Fatalf("lease cap exceeded during storm: %d live leases for %d clients", peak, cfg.Population)
+	}
+	if rep.Upgrades < int64(cfg.Population) {
+		t.Fatalf("only %d/%d clients upgraded", rep.Upgrades, cfg.Population)
+	}
+	if rep.Stats.Errors != 0 {
+		t.Fatalf("hot-swap cost availability: %d errors, window %v", rep.Stats.Errors, rep.Stats.ErrorWindow)
+	}
+	if rep.Stats.ErrorWindow != 0 {
+		t.Fatalf("availability-loss window = %v, want 0 for a clean storm", rep.Stats.ErrorWindow)
+	}
+	if rep.TransferBytes < int64(cfg.Population*cfg.Payload) {
+		t.Fatalf("transfer bytes = %d, want >= %d (every client fetched the new blob)",
+			rep.TransferBytes, cfg.Population*cfg.Payload)
+	}
+}
+
+func TestLoadLicenseContentionSmall(t *testing.T) {
+	res, err := RunLoad("license", LoadConfig{
+		Population: 40, Workers: 4, Duration: 1200 * time.Millisecond, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LicenseCap != 20 {
+		t.Fatalf("cap = %d, want population/2 = 20", res.LicenseCap)
+	}
+	if res.PeakLicenses > res.LicenseCap {
+		t.Fatalf("peak %d > cap %d", res.PeakLicenses, res.LicenseCap)
+	}
+	if res.Denied == 0 {
+		t.Fatalf("no denials under contention: %+v", res)
+	}
+}
+
+func TestLoadRestartStormSmall(t *testing.T) {
+	res, err := RunLoad("restart", LoadConfig{
+		Population: 200, Workers: 4, Duration: time.Second, Seed: 11, Payload: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatalf("restart produced no client-visible errors: %+v", res)
+	}
+	if res.ConvergeMs <= 0 {
+		t.Fatalf("no convergence recorded: %+v", res)
+	}
+	if res.Upgrades < int64(res.Population) {
+		t.Fatalf("only %d/%d clients upgraded through the restart", res.Upgrades, res.Population)
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hist is a fixed-bucket latency histogram in the HDR style: bucket
+// boundaries are a pure function of the value (one octave per power of
+// two, histSub linear sub-buckets inside each octave), so histograms
+// recorded independently — one per worker, one per run — merge by
+// adding counts, and merging is associative and commutative. The
+// worst-case relative quantile error is 1/histSub (~3%); the exact
+// maximum is tracked separately so tail reports never under-state the
+// worst request.
+//
+// The layout is fixed at compile time (no dynamic resizing, no
+// allocation after creation), which is what lets a six-figure fleet
+// record latencies without the recorder becoming the bottleneck: one
+// Record is a bucket-index computation and two adds.
+//
+// Hist is NOT safe for concurrent use; give each worker its own and
+// merge on read (Recorder does exactly that).
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	max    int64
+}
+
+const (
+	// histSubBits fixes the sub-bucket resolution: 2^histSubBits
+	// linear buckets per octave, bounding relative error by
+	// 1/2^histSubBits.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histBuckets covers every non-negative int64 nanosecond value:
+	// values below histSub are exact; each of the (63-histSubBits)
+	// remaining octave positions contributes histSub buckets.
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// histBucketOf maps a nanosecond value to its bucket index. Values
+// < histSub map exactly; larger values share a bucket with all values
+// having the same top histSubBits+1 bits.
+func histBucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	u := uint64(ns)
+	if u < histSub {
+		return int(u)
+	}
+	shift := bits.Len64(u) - 1 - histSubBits
+	return shift<<histSubBits + int((u>>shift)&(histSub-1)) + histSub
+}
+
+// histBucketBounds returns the closed value range [lo, hi] collapsed
+// into bucket i — the exact inverse of histBucketOf (tests pin this).
+func histBucketBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i)
+	}
+	shift := (i - histSub) >> histSubBits
+	off := int64(i-histSub) & (histSub - 1)
+	lo = (histSub + off) << shift
+	hi = lo + (1 << shift) - 1
+	return lo, hi
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	h.counts[histBucketOf(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o into h. Merging is associative: any grouping of
+// per-worker histograms yields identical counts, sums, and maxima.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Max reports the exact largest recorded value (not a bucket bound).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean reports the exact arithmetic mean of recorded values.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the value at or below which a fraction q of the
+// recorded observations fall, reported as the upper bound of the
+// containing bucket (conservative for tail quantiles) and clamped to
+// the exact maximum. q outside [0,1] is clamped; an empty histogram
+// reports 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based position of the quantile observation in the
+	// sorted stream: ceil(q·count), at least 1, so Quantile(0) is the
+	// minimum bucket and Quantile(1) the maximum one.
+	rank := uint64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) || rank == 0 {
+		rank++
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			_, hi := histBucketBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return time.Duration(hi)
+		}
+	}
+	return time.Duration(h.max)
+}

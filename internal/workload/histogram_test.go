@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistExactBelowSub pins the exact-bucket region: every value below
+// histSub occupies its own bucket, so percentiles over such data are
+// exact, with no bucketing error at all.
+func TestHistExactBelowSub(t *testing.T) {
+	var h Hist
+	// 1..20 ns, one each: p50 = 10, p95 = 19, p99 = 20, max = 20.
+	for v := 1; v <= 20; v++ {
+		h.Record(time.Duration(v))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 10}, {0.95, 19}, {0.99, 20}, {1.0, 20}, {0, 1},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if h.Count() != 20 || h.Max() != 20 {
+		t.Fatalf("count=%d max=%v", h.Count(), h.Max())
+	}
+	if h.Mean() != 10 { // (1+..+20)/20 = 10.5 truncated
+		t.Fatalf("mean = %v, want 10", h.Mean())
+	}
+}
+
+// TestHistKnownDistribution feeds a known distribution through the
+// bucketed path and requires every quantile to land within the
+// histogram's documented relative error (1/histSub) of the exact
+// order-statistic value.
+func TestHistKnownDistribution(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over ~3 decades: 10µs .. 10ms, the shape of a
+		// real latency distribution with a stretched tail.
+		v := int64(10_000 * (1 + rng.Float64()*999))
+		vals = append(vals, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := vals[rank]
+		got := int64(h.Quantile(q))
+		// Upper-bound reporting: got must be >= a value no more than
+		// one bucket below exact, and within 1/histSub above it.
+		lo := exact - exact/histSub - 1
+		hi := exact + exact/histSub + 1
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%v) = %d, exact %d, want within [%d,%d]", q, got, exact, lo, hi)
+		}
+	}
+	if h.Max() != time.Duration(vals[len(vals)-1]) {
+		t.Fatalf("max = %v, want exact %d", h.Max(), vals[len(vals)-1])
+	}
+}
+
+// TestHistBucketEdges pins the bucket function at octave boundaries:
+// histBucketBounds must be the exact inverse of histBucketOf, and
+// adjacent buckets must tile the value space with no gap or overlap.
+func TestHistBucketEdges(t *testing.T) {
+	for _, v := range []int64{
+		0, 1, histSub - 1, histSub, histSub + 1,
+		2*histSub - 1, 2 * histSub, // first octave step: bucket width 2
+		1<<20 - 1, 1 << 20, 1<<20 + 1,
+		1<<62 - 1, 1 << 62, 1<<63 - 1,
+	} {
+		i := histBucketOf(v)
+		lo, hi := histBucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d,%d]", v, i, lo, hi)
+		}
+	}
+	// Tiling: across the first few octaves every bucket's hi+1 is the
+	// next bucket's lo.
+	prevHi := int64(-1)
+	for i := 0; i < 6*histSub; i++ {
+		lo, hi := histBucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", i, lo, prevHi)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d inverted: [%d,%d]", i, lo, hi)
+		}
+		prevHi = hi
+	}
+	// Negative durations (clock weirdness) clamp to bucket 0.
+	if histBucketOf(-5) != 0 {
+		t.Fatal("negative value must clamp to bucket 0")
+	}
+	var h Hist
+	h.Record(-time.Millisecond)
+	if h.Quantile(1) != 0 {
+		t.Fatalf("clamped negative = %v", h.Quantile(1))
+	}
+}
+
+// TestHistMergeAssociative proves cross-worker merging: splitting a
+// stream across k histograms and merging in any grouping yields the
+// same result as recording into one.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var whole Hist
+	parts := make([]Hist, 4)
+	for i := 0; i < 50000; i++ {
+		v := time.Duration(rng.Int63n(int64(100 * time.Millisecond)))
+		whole.Record(v)
+		parts[i%4].Record(v)
+	}
+	// Left fold: ((0+1)+2)+3.
+	var left Hist
+	for i := range parts {
+		left.Merge(&parts[i])
+	}
+	// Tree fold: (0+1)+(2+3).
+	var a, b, tree Hist
+	a.Merge(&parts[0])
+	a.Merge(&parts[1])
+	b.Merge(&parts[2])
+	b.Merge(&parts[3])
+	tree.Merge(&a)
+	tree.Merge(&b)
+	for _, m := range []*Hist{&left, &tree} {
+		if m.count != whole.count || m.sum != whole.sum || m.max != whole.max {
+			t.Fatalf("merge mismatch: count %d/%d sum %d/%d max %d/%d",
+				m.count, whole.count, m.sum, whole.sum, m.max, whole.max)
+		}
+		if m.counts != whole.counts {
+			t.Fatal("merged bucket counts differ from whole-stream counts")
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if m.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("Quantile(%v) differs after merge", q)
+			}
+		}
+	}
+}
+
+// TestHistEmpty pins zero-value behavior.
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

@@ -6,10 +6,12 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -26,29 +28,135 @@ type Outcome struct {
 	ConnectFail bool
 }
 
-// Recorder accumulates outcomes from concurrent workers.
+// Recorder accumulates outcomes from concurrent workers. State is
+// sharded — each shard has its own lock, histogram, and counters, and
+// shards merge on read — so a six-figure virtual-client fleet never
+// funnels every request through one mutex. In the default mode every
+// Outcome is also retained for post-hoc inspection (Outcomes); the
+// histogram-only mode (NewHistRecorder) keeps just the fixed-size
+// histogram and counters per shard, so memory stays flat no matter how
+// many requests a run records.
 type Recorder struct {
+	retain bool
+	shards []recShard
+	next   atomic.Uint64 // round-robin shard pick for unpinned Record calls
+}
+
+// recShard is one worker's slice of the recorder. The trailing pad
+// keeps adjacent shards off one cache line — shards exist precisely so
+// workers don't contend.
+type recShard struct {
 	mu       sync.Mutex
 	outcomes []Outcome
+	hist     Hist // successful-request latencies
+	total    uint64
+	errors   uint64
+	retries  uint64
+	timeouts uint64
+	firstFail, lastFail time.Time
+	_                   [64]byte
 }
 
-// NewRecorder creates an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// NewRecorder creates an outcome-retaining recorder (the default mode:
+// full per-request history, suitable for scenario-sized runs).
+func NewRecorder() *Recorder { return newRecorder(8, true) }
 
-// Record appends one outcome.
+// NewHistRecorder creates a histogram-only recorder with one shard per
+// expected worker: per-request outcomes are never retained, so memory
+// is O(shards), not O(requests). This is the mode fleet-scale runs use.
+func NewHistRecorder(shards int) *Recorder { return newRecorder(shards, false) }
+
+func newRecorder(shards int, retain bool) *Recorder {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Recorder{retain: retain, shards: make([]recShard, shards)}
+}
+
+// HistogramOnly reports whether the recorder retains outcomes.
+func (r *Recorder) HistogramOnly() bool { return !r.retain }
+
+// Record appends one outcome to some shard. Callers with a stable
+// worker identity should prefer RecordShard, which avoids even the
+// round-robin atomic.
 func (r *Recorder) Record(o Outcome) {
-	r.mu.Lock()
-	r.outcomes = append(r.outcomes, o)
-	r.mu.Unlock()
+	r.RecordShard(int(r.next.Add(1)), o)
 }
 
-// Outcomes snapshots the recorded outcomes in start order.
+// RecordShard appends one outcome to the shard owned by worker w
+// (w mod shard count, so any id is safe).
+func (r *Recorder) RecordShard(w int, o Outcome) {
+	if w < 0 {
+		w = -w
+	}
+	s := &r.shards[w%len(r.shards)]
+	s.mu.Lock()
+	s.total++
+	if o.Err != nil {
+		s.errors++
+		if o.ConnectFail {
+			s.retries++
+		}
+		if isTimeoutErr(o.Err) {
+			s.timeouts++
+		}
+		end := o.Start.Add(o.Latency)
+		if s.firstFail.IsZero() || end.Before(s.firstFail) {
+			s.firstFail = end
+		}
+		if end.After(s.lastFail) {
+			s.lastFail = end
+		}
+	} else {
+		s.hist.Record(o.Latency)
+	}
+	if r.retain {
+		s.outcomes = append(s.outcomes, o)
+	}
+	s.mu.Unlock()
+}
+
+// isTimeoutErr classifies deadline expiries: both transport-level
+// timeouts (net.Error with Timeout() true, which includes
+// os.ErrDeadlineExceeded from SetDeadline) and context deadlines
+// (context.DeadlineExceeded — what a context-scoped op surfaces, which
+// does NOT implement net.Error) count.
+func isTimeoutErr(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Outcomes snapshots the recorded outcomes in start order. In
+// histogram-only mode no outcomes are retained and Outcomes returns
+// nil.
 func (r *Recorder) Outcomes() []Outcome {
-	r.mu.Lock()
-	out := append([]Outcome(nil), r.outcomes...)
-	r.mu.Unlock()
+	if !r.retain {
+		return nil
+	}
+	var out []Outcome
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out = append(out, s.outcomes...)
+		s.mu.Unlock()
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
+}
+
+// Hist returns the merged latency histogram of successful requests.
+func (r *Recorder) Hist() Hist {
+	var h Hist
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		h.Merge(&s.hist)
+		s.mu.Unlock()
+	}
+	return h
 }
 
 // Stats summarizes a run.
@@ -61,51 +169,50 @@ type Stats struct {
 	// span is robust and still zero-ish for a one-off hiccup versus
 	// ~outage-length for a real outage.
 	ErrorWindow time.Duration
-	// P50, P95, Max are latencies of successful requests.
-	P50, P95, Max time.Duration
+	// P50, P95, P99 are latency quantiles of successful requests, read
+	// from the merged histogram (bucket upper bounds, ≤~3% high); Max
+	// is the exact worst successful request.
+	P50, P95, P99, Max time.Duration
 	// Retries counts connect attempts that failed and were retried on
 	// the backoff schedule.
 	Retries int
-	// Timeouts counts errors that were deadline expiries (net.Error
-	// with Timeout() true) rather than hard failures.
+	// Timeouts counts errors that were deadline expiries — transport
+	// timeouts (net.Error with Timeout() true) or context deadlines
+	// (context.DeadlineExceeded) — rather than hard failures.
 	Timeouts int
 }
 
-// Stats computes the summary.
+// Stats computes the summary by merging every shard's counters and
+// histogram; it never touches retained outcomes, so it costs the same
+// in both recorder modes.
 func (r *Recorder) Stats() Stats {
-	outs := r.Outcomes()
-	s := Stats{Total: len(outs)}
-	var okLat []time.Duration
+	var s Stats
+	var h Hist
 	var firstFail, lastFail time.Time
-	for _, o := range outs {
-		if o.Err != nil {
-			s.Errors++
-			if o.ConnectFail {
-				s.Retries++
-			}
-			var ne net.Error
-			if errors.As(o.Err, &ne) && ne.Timeout() {
-				s.Timeouts++
-			}
-			end := o.Start.Add(o.Latency)
-			if firstFail.IsZero() || end.Before(firstFail) {
-				firstFail = end
-			}
-			if end.After(lastFail) {
-				lastFail = end
-			}
-			continue
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		s.Total += int(sh.total)
+		s.Errors += int(sh.errors)
+		s.Retries += int(sh.retries)
+		s.Timeouts += int(sh.timeouts)
+		if !sh.firstFail.IsZero() && (firstFail.IsZero() || sh.firstFail.Before(firstFail)) {
+			firstFail = sh.firstFail
 		}
-		okLat = append(okLat, o.Latency)
+		if sh.lastFail.After(lastFail) {
+			lastFail = sh.lastFail
+		}
+		h.Merge(&sh.hist)
+		sh.mu.Unlock()
 	}
 	if !firstFail.IsZero() {
 		s.ErrorWindow = lastFail.Sub(firstFail)
 	}
-	if len(okLat) > 0 {
-		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
-		s.P50 = okLat[len(okLat)/2]
-		s.P95 = okLat[(len(okLat)*95)/100]
-		s.Max = okLat[len(okLat)-1]
+	if h.Count() > 0 {
+		s.P50 = h.Quantile(0.50)
+		s.P95 = h.Quantile(0.95)
+		s.P99 = h.Quantile(0.99)
+		s.Max = h.Max()
 	}
 	return s
 }
@@ -218,7 +325,7 @@ func (r *Runner) worker(id int) {
 		if err == nil {
 			err = r.Op(conn, id, iter)
 		}
-		r.rec.Record(Outcome{Start: start, Latency: time.Since(start), Err: err,
+		r.rec.RecordShard(id, Outcome{Start: start, Latency: time.Since(start), Err: err,
 			ConnectFail: connectAttempt && conn == nil})
 		if err != nil && conn != nil {
 			_ = conn.Close()

@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -110,6 +113,110 @@ func TestRecorderStatsEdgeCases(t *testing.T) {
 	r2.Record(Outcome{Start: base, Err: boom})
 	if s := r2.Stats(); s.ErrorWindow != 0 {
 		t.Fatalf("single-failure window = %v", s.ErrorWindow)
+	}
+}
+
+// TestStatsTimeoutClassification pins both timeout paths (the
+// net.Error path and the context.DeadlineExceeded path, which does NOT
+// implement net.Error) plus the hard-failure negative.
+func TestStatsTimeoutClassification(t *testing.T) {
+	// A real transport deadline error: read from a net.Pipe with an
+	// expired deadline.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	_ = c1.SetReadDeadline(time.Now().Add(-time.Second))
+	_, netErr := c1.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(netErr, &ne) || !ne.Timeout() {
+		t.Fatalf("fixture broken: %v is not a net timeout", netErr)
+	}
+
+	// A wrapped context deadline. context.DeadlineExceeded itself
+	// happens to implement net.Error today (an implementation detail),
+	// so ALSO pin an error that matches only errors.Is — classification
+	// must not lean on that accident.
+	ctxErr := fmt.Errorf("op: %w", context.DeadlineExceeded)
+	bare := deadlineIsErr{}
+	if errors.As(bare, &ne) {
+		t.Fatal("fixture broken: deadlineIsErr must not be a net.Error")
+	}
+
+	r := NewRecorder()
+	base := time.Now()
+	r.Record(Outcome{Start: base, Err: netErr})
+	r.Record(Outcome{Start: base, Err: ctxErr})
+	r.Record(Outcome{Start: base, Err: bare})
+	r.Record(Outcome{Start: base, Err: errors.New("hard failure")})
+	s := r.Stats()
+	if s.Timeouts != 3 {
+		t.Fatalf("timeouts = %d, want 3 (net timeout + wrapped and bare context deadlines)", s.Timeouts)
+	}
+	if s.Errors != 4 {
+		t.Fatalf("errors = %d, want 4", s.Errors)
+	}
+}
+
+// deadlineIsErr reports itself as a context deadline via errors.Is but
+// implements neither Timeout() nor Temporary() — the shape of an
+// application-level deadline error.
+type deadlineIsErr struct{}
+
+func (deadlineIsErr) Error() string        { return "renewal budget exhausted" }
+func (deadlineIsErr) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// TestHistRecorderRetainsNothing pins the fleet-scale mode: stats and
+// histograms work, per-request outcomes are never kept.
+func TestHistRecorderRetainsNothing(t *testing.T) {
+	r := NewHistRecorder(4)
+	if !r.HistogramOnly() {
+		t.Fatal("NewHistRecorder must be histogram-only")
+	}
+	base := time.Now()
+	for w := 0; w < 4; w++ {
+		for i := 1; i <= 1000; i++ {
+			r.RecordShard(w, Outcome{Start: base, Latency: time.Duration(i) * time.Microsecond})
+		}
+	}
+	r.RecordShard(1, Outcome{Start: base.Add(time.Second), Latency: time.Millisecond, Err: errors.New("x")})
+	r.RecordShard(3, Outcome{Start: base.Add(3 * time.Second), Latency: time.Millisecond, Err: errors.New("y")})
+	if got := r.Outcomes(); got != nil {
+		t.Fatalf("histogram-only recorder retained %d outcomes", len(got))
+	}
+	s := r.Stats()
+	if s.Total != 4002 || s.Errors != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The error window spans shards: first fail on shard 1, last on 3.
+	if want := 2 * time.Second; s.ErrorWindow != want {
+		t.Fatalf("window = %v, want %v", s.ErrorWindow, want)
+	}
+	if s.Max != time.Millisecond || s.P50 <= 0 || s.P95 < s.P50 || s.P99 < s.P95 || s.Max < s.P99 {
+		t.Fatalf("latency stats inconsistent: %+v", s)
+	}
+	if h := r.Hist(); h.Count() != 4000 {
+		t.Fatalf("hist count = %d, want 4000 successes", h.Count())
+	}
+}
+
+// TestRecorderShardMerge pins that per-shard recording merges into the
+// same stats regardless of which shard took which outcome.
+func TestRecorderShardMerge(t *testing.T) {
+	base := time.Now()
+	mk := func(r *Recorder, spread bool) Stats {
+		for i := 0; i < 900; i++ {
+			w := 0
+			if spread {
+				w = i
+			}
+			r.RecordShard(w, Outcome{Start: base, Latency: time.Duration(i+1) * time.Microsecond})
+		}
+		return r.Stats()
+	}
+	one := mk(NewHistRecorder(1), false)
+	many := mk(NewHistRecorder(16), true)
+	if one != many {
+		t.Fatalf("sharded stats diverge:\none:  %+v\nmany: %+v", one, many)
 	}
 }
 
