@@ -1,9 +1,10 @@
 # Drivolution reproduction — build/test/bench entry points.
 #
-#   make check           # the tier-1 gate: build + vet + doc-lint + tests
+#   make check           # the tier-1 gate: build + vet + lint + tests
 #   make check-race      # tier-1 under the race detector (all packages)
 #   make tier1           # build + tests only (what scripts/bench.sh gates on)
 #   make race            # grant-path packages under the race detector
+#   make lint            # vet + doclint + drivolint (LINT_FILTER narrows analyzers)
 #   make doclint         # every internal/ package must have a package comment
 #   make chaos           # longer fault-injection soak across several seeds
 #   make bench           # run the perf-tracked benchmark set
@@ -16,15 +17,27 @@
 # BENCH_FILTER ('.'' = full suite, includes slow lease-traffic sweeps),
 # BENCH_PKGS.
 
-.PHONY: check check-race tier1 race doclint chaos bench bench-baseline bench-compare loadtest loadtest-baseline
+.PHONY: check check-race tier1 race lint drivolint doclint chaos bench bench-baseline bench-compare loadtest loadtest-baseline
 
 # check is the documented tier-1 entry point: everything CI (and the
-# next PR) must keep green.
-check:
+# next PR) must keep green. lint folds in vet + doclint + drivolint,
+# so the tree must be analyzer-clean to merge.
+check: lint
 	go build ./...
+	go test ./...
+
+# lint is the static-analysis gate: go vet, the package-comment lint,
+# and the repo's own drivolint analyzer suite (cmd/drivolint). Narrow
+# to a subset of analyzers with LINT_FILTER, a regexp over analyzer
+# names, e.g. `make lint LINT_FILTER='sqlcheck|latchorder'`.
+LINT_FILTER ?= .
+lint:
 	go vet ./...
 	scripts/doclint.sh
-	go test ./...
+	go run ./cmd/drivolint -filter='$(LINT_FILTER)' ./...
+
+drivolint:
+	go run ./cmd/drivolint -filter='$(LINT_FILTER)' ./...
 
 # check-race is the tier-1 gate with the race detector on: slower, so
 # it is a separate target, but it covers every package — including a

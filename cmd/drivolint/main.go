@@ -1,0 +1,81 @@
+// Command drivolint runs the repository's static-analysis suite (see
+// internal/lint) over the named package patterns and exits non-zero if
+// any finding survives suppression. It is wired into `make lint` and
+// `make check`; the tree must be drivolint-clean to merge.
+//
+// Usage:
+//
+//	drivolint [-filter regexp] [-list] [patterns ...]
+//
+// Patterns default to ./... resolved in the current directory. -filter
+// restricts the run to analyzers whose name matches the regexp (the
+// LINT_FILTER make knob); -list prints the analyzer catalog and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	filter := flag.String("filter", "", "only run analyzers whose name matches this regexp")
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drivolint: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "drivolint: -filter matched no analyzers")
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drivolint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drivolint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(prog.Pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drivolint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "drivolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -128,6 +128,7 @@ func run() error {
 
 	master.Stop()
 	fmt.Println("master stopped for maintenance; workload continues on slave")
+	//lint:sleep-ok demo pacing: let the workload run against the slave before reporting
 	time.Sleep(30 * time.Millisecond)
 	run.Stop()
 	stats := run.Recorder().Stats()

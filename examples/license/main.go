@@ -95,6 +95,7 @@ func run() error {
 	_ = c1.Close()
 	b1.Close()
 	for target.UserHasSession("analyst1") {
+		//lint:sleep-ok demo pacing: waiting for the engine's session teardown, bounded by the demo itself
 		time.Sleep(5 * time.Millisecond)
 	}
 	fmt.Println("analyst1 crashed (no release sent); engine shows no active session")

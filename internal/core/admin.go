@@ -153,6 +153,7 @@ func (s *Server) RevokeDriverForRenewals(driverID int64) error {
 
 // Drivers lists driver rows without their binaries (admin/experiments).
 func (s *Server) Drivers() ([]DriverRecord, error) {
+	//lint:scan-ok admin/experiment listing: whole-table read is the point
 	res, err := s.exec(`SELECT driver_id, api_name, api_version_major,
 		api_version_minor, platform, driver_version_major,
 		driver_version_minor, driver_version_micro, binary_format
@@ -182,6 +183,7 @@ func (s *Server) Drivers() ([]DriverRecord, error) {
 
 // Permissions lists permission rows (admin/experiments).
 func (s *Server) Permissions() ([]Permission, error) {
+	//lint:scan-ok admin/experiment listing: whole-table read is the point
 	res, err := s.exec(`SELECT permission_id, user, client_ip,
 		database, driver_id, driver_options, start_date, end_date,
 		lease_time_in_ms, renew_policy, expiration_policy, transfer_method

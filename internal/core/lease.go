@@ -370,6 +370,7 @@ func (s *Server) leaseByID(id uint64) (Lease, bool, error) {
 
 // Leases returns all lease rows (admin/experiments).
 func (s *Server) Leases() ([]Lease, error) {
+	//lint:scan-ok admin/experiment listing: whole-table read is the point
 	res, err := s.exec(`SELECT lease_id, driver_id, database, user,
 		client_id, granted_at, expires_at, released, renewals
 		FROM ` + LeasesTable + ` ORDER BY lease_id`)
@@ -402,8 +403,11 @@ func (s *Server) loadIDsLocked() error {
 		return nil
 	}
 	rs, err := ExecBatchOn(s.store, []Statement{
+		//lint:scan-ok one-time ID bootstrap: max() over the table at first grant, then cached
 		{SQL: "SELECT max(lease_id) FROM " + LeasesTable},
+		//lint:scan-ok one-time ID bootstrap: max() over the table at first grant, then cached
 		{SQL: "SELECT max(permission_id) FROM " + PermissionTable},
+		//lint:scan-ok one-time ID bootstrap: max() over the table at first grant, then cached
 		{SQL: "SELECT max(driver_id) FROM " + DriversTable},
 	})
 	if err != nil {

@@ -108,6 +108,7 @@ func (s *Server) match(req Request) (*grantInfo, *ProtocolError) {
 // generation support.
 func (s *Server) matchSQL(req Request) (*grantInfo, *ProtocolError) {
 	// 1. Permission table (Sample code 2).
+	//lint:scan-ok paper Sample code 2 verbatim: LIKE/OR/NULL predicates are not indexable; hot path uses the in-memory catalog
 	res, err := s.exec(permissionSQL, sqlmini.Args{
 		"user_database":    req.Database,
 		"client_user":      nullableStr(req.User),
@@ -198,11 +199,13 @@ func (s *Server) matchByPreference(req Request) (*grantInfo, *ProtocolError) {
 		"client_drv_micro": nullableInt(req.PreferredVersion.Micro),
 		"client_format":    nullableStr(req.PreferredFormat),
 	}
+	//lint:scan-ok paper Sample code 1 verbatim: LIKE/OR/NULL predicates are not indexable; hot path uses the in-memory catalog
 	res, err := s.exec(preferenceSQL, args)
 	if err != nil {
 		return nil, &ProtocolError{Code: ErrCodeInternal, Message: err.Error()}
 	}
 	if len(res.Rows) == 0 {
+		//lint:scan-ok paper fallback query verbatim: LIKE predicates are not indexable; hot path uses the in-memory catalog
 		res, err = s.exec(fallbackSQL, sqlmini.Args{
 			"client_api_name": req.API.Name,
 			"client_platform": string(req.ClientPlatform),

@@ -85,6 +85,17 @@ var schemaDDL = []string{
 		ON ` + LeasesTable + ` (driver_id, expires_at) USING ORDERED`,
 }
 
+// SchemaStatements returns a copy of the DDL statement list EnsureSchema
+// applies. Static tooling (drivolint's sqlcheck) replays it into a
+// scratch sqlmini database to plan hot statements at lint time; tests
+// replay subsets of it to prove that removing an index declaration is a
+// build-breaking event.
+func SchemaStatements() []string {
+	out := make([]string, len(schemaDDL))
+	copy(out, schemaDDL)
+	return out
+}
+
 // EnsureSchema creates the Drivolution tables if missing.
 func EnsureSchema(st Store) error {
 	for _, ddl := range schemaDDL {

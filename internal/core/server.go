@@ -52,7 +52,14 @@ type Server struct {
 
 	// Independent locks for independent state, so concurrent bootstraps
 	// don't serialize: lease-id allocation, pending transfers, and the
-	// subscriber set contend only with themselves.
+	// subscriber set contend only with themselves. That independence is
+	// the declared hierarchy — every Server lock is a leaf, so no
+	// function may ever hold two of them at once (enforced by
+	// drivolint's latchorder analyzer; locks handed across function
+	// boundaries, like licenseMu held around grant, are documented
+	// contracts instead).
+	//
+	//lint:latch-leaf Server.licenseMu Server.mu Server.idMu Server.pendingMu Server.subMu Server.connsMu Server.catMu Server.stmtMu
 	mu sync.Mutex // listener lifecycle only
 	ln net.Listener
 

@@ -62,9 +62,11 @@ func (c *FaultyConn) Read(b []byte) (int, error) {
 	n, err := c.Conn.Read(b)
 	if n > 0 {
 		if c.rf.Latency > 0 {
+			//lint:sleep-ok injected read latency IS the fault being simulated
 			time.Sleep(c.rf.Latency)
 		}
 		if c.rf.Bandwidth > 0 {
+			//lint:sleep-ok injected bandwidth throttle IS the fault being simulated
 			time.Sleep(time.Duration(float64(n) / float64(c.rf.Bandwidth) * float64(time.Second)))
 		}
 		allowed := n
@@ -102,9 +104,11 @@ func (c *FaultyConn) Write(b []byte) (int, error) {
 		return len(b), nil
 	}
 	if c.wf.Latency > 0 {
+		//lint:sleep-ok injected write latency IS the fault being simulated
 		time.Sleep(c.wf.Latency)
 	}
 	if c.wf.Bandwidth > 0 {
+		//lint:sleep-ok injected bandwidth throttle IS the fault being simulated
 		time.Sleep(time.Duration(float64(len(b)) / float64(c.wf.Bandwidth) * float64(time.Second)))
 	}
 	allowed := len(b)

@@ -26,6 +26,8 @@
 // it, never the reverse. The frame-boundary logic mirrors package
 // wire's framing (8-byte header, big-endian payload length in bytes
 // 4..8); TestFrameTrackerMatchesWire pins the two together.
+//
+//lint:deadline-exempt the chaos proxy relays raw conns verbatim; bounding them would mask the very stalls it exists to inject
 package faultnet
 
 import (

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ambiguity protects the replay contract from PRs 4 and 6:
+// client.ErrStatementNotSent is the store layer's license to replay a
+// statement on a fresh connection, so it may only be produced while
+// "no byte of this request reached the socket" is still provable.
+// Constructing it after a send/write call may have fired — e.g. on a
+// reply-read error path — would let the redial path replay a
+// statement the server might already have executed (double-applied
+// renewals, duplicate grants).
+//
+// The analysis is flow-ordered per function: once a statement
+// containing a firing call (Send/WriteFrame/Write-on-a-conn, or a
+// function recorded as firing in the shared facts) has completed, any
+// later mention of ErrStatementNotSent is a finding — except inside
+// errors.Is/errors.As, which *test* for the sentinel rather than
+// produce it. The statement containing the firing call itself is
+// exempt: `if err := c.Send(...); err != nil { ...ErrStatementNotSent }`
+// is the canonical provably-unsent failure path (wire.Conn.Send
+// returns an error only when the frame cannot have been fully
+// flushed, so the server cannot have parsed — let alone executed —
+// the statement). Sites that re-establish provable unsentness some
+// other way annotate //lint:ambiguity-ok <reason>.
+var Ambiguity = &Analyzer{
+	Name: "ambiguity",
+	Doc:  "ErrStatementNotSent may not be constructed after a write may have fired",
+	Run:  runAmbiguity,
+}
+
+// firingMethodNames are call names that may push request bytes onto a
+// connection.
+var firingMethodNames = map[string]bool{
+	"Send":       true,
+	"WriteFrame": true,
+}
+
+func runAmbiguity(pass *Pass) error {
+	w := &ambiguityWalker{pass: pass, seenLits: map[*ast.FuncLit]bool{}}
+
+	// Record firing facts for this package's functions (fixpoint over
+	// intra-package calls, seeded by direct firing calls and imported
+	// facts) before checking bodies, so intra-package helpers like
+	// roundTrip propagate to their callers regardless of declaration
+	// order.
+	type funcInfo struct {
+		key     string
+		fires   bool
+		callees []string
+	}
+	var funcs []*funcInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := &funcInfo{key: declKeyForFuncDecl(pass.TypesInfo, pass.Pkg.Path(), fd)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := callee(pass.TypesInfo, call); fn != nil {
+					if firingMethodNames[fn.Name()] {
+						fi.fires = true
+					}
+					fi.callees = append(fi.callees, funcKey(fn))
+				}
+				return true
+			})
+			funcs = append(funcs, fi)
+		}
+	}
+	local := map[string]bool{}
+	for _, fi := range funcs {
+		if fi.fires {
+			local[fi.key] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			if fi.fires {
+				continue
+			}
+			for _, c := range fi.callees {
+				if local[c] || pass.Facts.Firing[c] {
+					fi.fires = true
+					local[fi.key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for k := range local {
+		pass.Facts.Firing[k] = true
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.scanBlock(fn.Body.List, false)
+				}
+				return false
+			case *ast.FuncLit:
+				// Reached only for literals outside any FuncDecl
+				// (package-level var initializers); function-literal
+				// bodies inside decls are scanned by scanBlock with a
+				// fresh timeline.
+				if !w.seenLits[fn] {
+					w.seenLits[fn] = true
+					w.scanBlock(fn.Body.List, false)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type ambiguityWalker struct {
+	pass *Pass
+	// seenLits dedups closure scans: scanStmt fires the closure walk at
+	// every nesting level of the recursion, but each literal's own
+	// timeline must be scanned exactly once.
+	seenLits map[*ast.FuncLit]bool
+}
+
+// notSentObj reports whether obj is the ErrStatementNotSent sentinel
+// (matched by name so fixture packages can declare their own).
+func notSentObj(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Name() == "ErrStatementNotSent"
+}
+
+// firesIn reports whether the statement contains a firing call
+// (closures excluded: they run on their own timeline).
+func (w *ambiguityWalker) firesIn(n ast.Node) bool {
+	fired := false
+	inspectSkippingFuncLits(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := callee(w.pass.TypesInfo, call); fn != nil {
+			if firingMethodNames[fn.Name()] || w.pass.Facts.Firing[funcKey(fn)] {
+				fired = true
+			}
+		}
+		return true
+	})
+	return fired
+}
+
+// checkStmt reports uses of ErrStatementNotSent in stmt that are not
+// inside an errors.Is/errors.As test.
+func (w *ambiguityWalker) checkStmt(n ast.Node) {
+	// Collect the source ranges of errors.Is/errors.As calls first:
+	// idents inside them test for the sentinel rather than produce it.
+	type span struct{ lo, hi token.Pos }
+	var testSpans []span
+	inspectSkippingFuncLits(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := callee(w.pass.TypesInfo, call); fn != nil &&
+				funcPkgPath(fn) == "errors" && (fn.Name() == "Is" || fn.Name() == "As") {
+				testSpans = append(testSpans, span{call.Pos(), call.End()})
+			}
+		}
+		return true
+	})
+	inTest := func(pos token.Pos) bool {
+		for _, s := range testSpans {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	inspectSkippingFuncLits(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !inTest(id.Pos()) {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil && notSentObj(obj) {
+				w.pass.Reportf(id.Pos(),
+					"ErrStatementNotSent constructed after a write may have fired: the outcome is ambiguous, surface ErrExecOutcomeUnknown instead (//lint:ambiguity-ok <reason> if unsentness is provable)")
+			}
+		}
+		return true
+	})
+}
+
+// scanBlock walks stmts in order. fired means a write may already have
+// happened when the block is entered; the return value propagates
+// may-have-fired out of the block (branches union conservatively).
+func (w *ambiguityWalker) scanBlock(stmts []ast.Stmt, fired bool) bool {
+	for _, s := range stmts {
+		fired = w.scanStmt(s, fired)
+	}
+	return fired
+}
+
+func (w *ambiguityWalker) scanStmt(s ast.Stmt, fired bool) bool {
+	// Closures get their own timeline, each scanned exactly once.
+	ast.Inspect(s, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if !w.seenLits[lit] {
+				w.seenLits[lit] = true
+				w.scanBlock(lit.Body.List, false)
+			}
+			return false
+		}
+		return true
+	})
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.scanBlock(s.List, fired)
+	case *ast.DeferStmt:
+		// A deferred closure runs at return time, after any write the
+		// function later performs: scan its body as may-have-fired if
+		// the function fires at all — conservatively approximated by
+		// the closure-timeline scan above (fresh timeline) plus the
+		// enclosing flow; keep the simple fresh-timeline treatment.
+		return fired
+	case *ast.IfStmt:
+		// Branches guarded by the firing statement's own error check are
+		// the canonical provably-unsent path (wire.Conn.Send errors only
+		// when the frame cannot have been fully flushed), so the bodies
+		// are checked with the state at entry to the if — a fire inside
+		// Init/Cond only poisons the flow *after* the if-statement.
+		entry := fired
+		guardFires := false
+		if s.Init != nil {
+			if entry {
+				w.checkStmt(s.Init)
+			}
+			guardFires = w.firesIn(s.Init)
+		}
+		if entry {
+			w.checkStmt(s.Cond)
+		}
+		guardFires = guardFires || w.firesIn(s.Cond)
+		bodyFired := w.scanBlock(s.Body.List, entry)
+		elseFired := entry
+		if s.Else != nil {
+			elseFired = w.scanStmt(s.Else, entry)
+		}
+		return guardFires || bodyFired || elseFired
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fired = w.scanStmt(s.Init, fired)
+		}
+		// Scan twice when the body fires: a loop iteration after a
+		// send is "after a write may have fired".
+		after := w.scanBlock(s.Body.List, fired)
+		if after && !fired {
+			w.scanBlock(s.Body.List, true)
+		}
+		return after
+	case *ast.RangeStmt:
+		after := w.scanBlock(s.Body.List, fired)
+		if after && !fired {
+			w.scanBlock(s.Body.List, true)
+		}
+		return after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		out := fired
+		for _, c := range clauses {
+			var body []ast.Stmt
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				body = c.Body
+			case *ast.CommClause:
+				body = c.Body
+			}
+			if w.scanBlock(body, fired) {
+				out = true
+			}
+		}
+		return out
+	case *ast.LabeledStmt:
+		return w.scanStmt(s.Stmt, fired)
+	default:
+		if fired {
+			w.checkStmt(s)
+		}
+		if w.firesIn(s) {
+			return true
+		}
+		return fired
+	}
+}

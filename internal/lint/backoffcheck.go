@@ -1,0 +1,37 @@
+package lint
+
+import "go/ast"
+
+// Backoffcheck bans raw time.Sleep in production (non-test) code.
+// Retry loops sleeping a fixed interval re-synchronize a fleet of
+// failed clients into thundering herds and ignore the stack-wide
+// budget/deadline machinery; they must route through faultnet.Backoff
+// (jittered exponential delays, attempt/time budgets, stop-channel and
+// context interruption). Deliberate pacing — fault-injection latency,
+// scenario scripts simulating think time — is annotated
+// //lint:sleep-ok <reason> so every remaining sleep in the tree is a
+// documented decision.
+var Backoffcheck = &Analyzer{
+	Name: "backoffcheck",
+	Doc:  "no raw time.Sleep in production code; retries use faultnet.Backoff",
+	Run:  runBackoffcheck,
+}
+
+func runBackoffcheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Sleep" || funcPkgPath(fn) != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw time.Sleep in production code: route retries through faultnet.Backoff, or annotate deliberate pacing with //lint:sleep-ok <reason>")
+			return true
+		})
+	}
+	return nil
+}

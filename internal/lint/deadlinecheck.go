@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Deadlinecheck requires every net.Conn-producing dial or accept to
+// sit on a deadline-arming path. A blocked peer must never be able to
+// wedge a server goroutine or a client retry loop forever: the repo's
+// contract (PR 6) is that every connection is bounded by handshake,
+// write, and per-op timeouts.
+//
+// A function is deadline-arming when it (or, transitively, a function
+// it calls — across packages, via facts recorded in dependency order)
+// arms a deadline directly: SetDeadline / SetReadDeadline /
+// SetWriteDeadline on a conn, or the wire.Conn timeout surface
+// (SetWriteTimeout, RecvTimeout). Trust roots that arm lazily — a
+// wrapper whose methods arm per-op deadlines, like wire.NewConn — are
+// declared with //lint:deadline-arming on the function declaration.
+// Packages whose raw conns are deliberately unbounded (the faultnet
+// chaos proxy) opt out wholesale with //lint:deadline-exempt <reason>;
+// individual sites use //lint:deadline-ok <reason>.
+var Deadlinecheck = &Analyzer{
+	Name: "deadlinecheck",
+	Doc:  "conn-producing dials/accepts must flow through deadline-arming paths",
+	Run:  runDeadlinecheck,
+}
+
+// armingMethodNames are method names whose call constitutes arming a
+// deadline directly.
+var armingMethodNames = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+	"SetWriteTimeout":  true,
+	"RecvTimeout":      true,
+}
+
+// connProducer reports whether fn produces a net.Conn from the
+// network: the net/crypto-tls dial family plus Accept.
+func connProducer(fnPkg, fnName string) bool {
+	switch fnPkg {
+	case "net":
+		switch fnName {
+		case "Dial", "DialTimeout", "DialTCP", "DialUDP", "DialUnix", "DialIP", "Accept", "AcceptTCP", "DialContext":
+			return true
+		}
+	case "crypto/tls":
+		switch fnName {
+		case "Dial", "DialWithDialer", "Accept":
+			return true
+		}
+	}
+	return false
+}
+
+func runDeadlinecheck(pass *Pass) error {
+	exempt := pass.Directives("deadline-exempt")
+
+	// Pass 1: classify this package's functions as arming, seeding
+	// from direct arming calls and //lint:deadline-arming annotations,
+	// then iterating to a fixpoint over intra-package calls. Imported
+	// callees resolve through the shared fact store.
+	type funcInfo struct {
+		key     string
+		decl    *ast.FuncDecl
+		arming  bool
+		callees []string
+	}
+	var funcs []*funcInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := &funcInfo{key: declKeyForFuncDecl(pass.TypesInfo, pass.Pkg.Path(), fd), decl: fd}
+			declLine := pass.Fset.Position(fd.Pos()).Line
+			declFile := pass.Fset.Position(fd.Pos()).Filename
+			if pass.dirs.hasOnLines("deadline-arming", declFile, declLine, declLine-1) {
+				fi.arming = true
+			}
+			// Closures run on the function's behalf; include their
+			// bodies when looking for arming calls and callees.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				if armingMethodNames[fn.Name()] {
+					fi.arming = true
+				}
+				fi.callees = append(fi.callees, funcKey(fn))
+				return true
+			})
+			funcs = append(funcs, fi)
+		}
+	}
+	local := map[string]bool{}
+	for _, fi := range funcs {
+		if fi.arming {
+			local[fi.key] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			if fi.arming {
+				continue
+			}
+			for _, c := range fi.callees {
+				if local[c] || pass.Facts.Arming[c] {
+					fi.arming = true
+					local[fi.key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for k := range local {
+		pass.Facts.Arming[k] = true
+	}
+
+	if len(exempt) > 0 {
+		return nil
+	}
+
+	// Pass 2: every conn-producing call must sit in an arming function.
+	for _, fi := range funcs {
+		if fi.arming {
+			continue
+		}
+		fd := fi.decl
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || !connProducer(funcPkgPath(fn), fn.Name()) {
+				return true
+			}
+			var pos token.Pos = call.Pos()
+			pass.Reportf(pos,
+				"%s.%s produces a connection in a function that never arms deadlines: arm Set*Deadline/wire timeouts, route through a //lint:deadline-arming func, or annotate //lint:deadline-ok <reason>",
+				funcPkgPath(fn), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

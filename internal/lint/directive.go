@@ -1,0 +1,75 @@
+package lint
+
+import "strings"
+
+// Directivecheck validates the //lint: directive vocabulary itself:
+// unknown verbs, suppressions without the mandatory reason, ignore
+// directives naming no (or an unknown) analyzer, and malformed
+// latch-order declarations. A stale or reasonless escape hatch is a
+// finding, not a silently widening hole.
+var Directivecheck = &Analyzer{
+	Name: "directive",
+	Doc:  "//lint: directives must be well-formed and carry reasons",
+	Run:  runDirective,
+}
+
+// analyzerNames lists every analyzer name ignore directives may cite.
+// A literal rather than a walk over Analyzers() — that call would form
+// an initialization cycle through Directivecheck itself.
+var analyzerNames = []string{
+	"directive", "sqlcheck", "latchorder", "backoffcheck", "deadlinecheck", "ambiguity",
+}
+
+func runDirective(pass *Pass) error {
+	known := map[string]bool{}
+	for _, name := range analyzerNames {
+		known[name] = true
+	}
+	for _, d := range pass.dirs.all {
+		switch {
+		case d.Verb == "ignore":
+			name, reason, _ := strings.Cut(d.Args, " ")
+			if name == "" {
+				pass.Reportf(d.Pos, "//lint:ignore needs an analyzer name and a reason")
+			} else if !known[name] {
+				pass.Reportf(d.Pos, "//lint:ignore names unknown analyzer %q", name)
+			} else if strings.TrimSpace(reason) == "" {
+				pass.Reportf(d.Pos, "//lint:ignore %s needs a reason", name)
+			}
+		case suppressionAlias[d.Verb] != "":
+			if d.Args == "" {
+				pass.Reportf(d.Pos, "//lint:%s needs a reason", d.Verb)
+			}
+		case d.Verb == "latch-order":
+			if len(splitLatchOrder(d.Args)) < 2 {
+				pass.Reportf(d.Pos, "//lint:latch-order wants `A < B [< C ...]`, got %q", d.Args)
+			}
+		case d.Verb == "latch-leaf":
+			if strings.TrimSpace(d.Args) == "" {
+				pass.Reportf(d.Pos, "//lint:latch-leaf wants one or more lock names")
+			}
+		case d.Verb == "deadline-exempt":
+			if strings.TrimSpace(d.Args) == "" {
+				pass.Reportf(d.Pos, "//lint:deadline-exempt needs a reason")
+			}
+		case d.Verb == "deadline-arming":
+			// No arguments to validate.
+		default:
+			pass.Reportf(d.Pos, "unknown //lint: directive %q", d.Verb)
+		}
+	}
+	return nil
+}
+
+// splitLatchOrder splits "A < B < C" into its lock names.
+func splitLatchOrder(args string) []string {
+	parts := strings.Split(args, "<")
+	var out []string
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

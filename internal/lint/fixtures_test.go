@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer's fixture suite holds positive, negative, and
+// directive-suppressed cases; see testdata/src/<name>/fixture.go.
+
+func TestBackoffcheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/backoffcheck", lint.Backoffcheck)
+}
+
+func TestDeadlinecheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/deadlinecheck", lint.Deadlinecheck)
+}
+
+func TestLatchorderFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/latchorder", lint.Latchorder)
+}
+
+func TestAmbiguityFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/ambiguity", lint.Ambiguity)
+}
+
+func TestSqlcheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/sqlcheck", lint.Sqlcheck)
+}
+
+func TestDirectiveFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/directive", lint.Directivecheck)
+}
+
+// TestTreeIsDrivolintClean runs the full suite over the whole module:
+// the tree must merge lint-clean, and this test makes `go test ./...`
+// (tier 1) enforce it alongside `make lint`.
+func TestTreeIsDrivolintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint run is not a -short test")
+	}
+	prog := linttest.Program(t)
+	findings, err := lint.Run(prog.Pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

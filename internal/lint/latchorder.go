@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Latchorder enforces each package's declared lock partial order on
+// nested sync.Mutex/RWMutex acquisitions. A package declares its
+// hierarchy in machine-readable comments:
+//
+//	//lint:latch-order DB.ddlMu < Table.latch
+//	//lint:latch-leaf Server.mu Server.connsMu
+//
+// latch-order says the left lock may be held while acquiring locks to
+// its right (relations compose transitively). latch-leaf declares
+// locks that must never nest with any declared lock, themselves
+// included — the "split lock" regime where every critical section is
+// a leaf. Lock names are `Type.field` (or a bare field name, matching
+// any owner). Acquiring a declared lock while holding another declared
+// lock is a finding unless a latch-order chain permits that exact
+// direction; re-acquiring the same lock field (the multi-table latch
+// case) is a finding unless the site carries //lint:latch-ok <reason>
+// — the escape reserved for the canonical sorted-name acquisition
+// loops.
+//
+// The analysis is intra-function and flow-ordered: it tracks the held
+// set through each function body, re-scanning loop bodies with the
+// locks still held at the bottom of an iteration so acquire-in-loop
+// patterns surface. Locks handed across function boundaries ("caller
+// holds ddlMu") are documented contracts, not analyzed facts.
+var Latchorder = &Analyzer{
+	Name: "latchorder",
+	Doc:  "nested mutex acquisitions must follow the declared latch order",
+	Run:  runLatchorder,
+}
+
+// latchDecls is one package's parsed ordering declarations.
+type latchDecls struct {
+	// names holds every declared lock name (qualified or bare).
+	names map[string]bool
+	// before[a][b] means a may be held while acquiring b.
+	before map[string]map[string]bool
+	// leaf marks locks that may never participate in nesting.
+	leaf map[string]bool
+}
+
+func parseLatchDecls(pass *Pass) *latchDecls {
+	d := &latchDecls{
+		names:  map[string]bool{},
+		before: map[string]map[string]bool{},
+		leaf:   map[string]bool{},
+	}
+	for _, dir := range pass.Directives("latch-order") {
+		chain := splitLatchOrder(dir.Args)
+		for i := 0; i < len(chain); i++ {
+			d.names[chain[i]] = true
+			for j := i + 1; j < len(chain); j++ {
+				d.edge(chain[i], chain[j])
+			}
+		}
+	}
+	for _, dir := range pass.Directives("latch-leaf") {
+		for _, name := range strings.Fields(dir.Args) {
+			d.names[name] = true
+			d.leaf[name] = true
+		}
+	}
+	// Transitive closure over the declared order.
+	for k := range d.names {
+		for a := range d.names {
+			for b := range d.names {
+				if d.before[a][k] && d.before[k][b] {
+					d.edge(a, b)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *latchDecls) edge(a, b string) {
+	m := d.before[a]
+	if m == nil {
+		m = map[string]bool{}
+		d.before[a] = m
+	}
+	m[b] = true
+}
+
+// declared resolves a lock (qualified name plus bare field name) to
+// its declared name, preferring the qualified form.
+func (d *latchDecls) declared(qualified, bare string) (string, bool) {
+	if d.names[qualified] {
+		return qualified, true
+	}
+	if d.names[bare] {
+		return bare, true
+	}
+	return "", false
+}
+
+// allows reports whether holding a while acquiring b is permitted.
+func (d *latchDecls) allows(a, b string) bool {
+	if d.leaf[a] || d.leaf[b] {
+		return false
+	}
+	return d.before[a][b]
+}
+
+// heldLock is one acquisition on the simulated lock stack.
+type heldLock struct {
+	name string // declared name
+	obj  types.Object
+	pos  token.Pos
+}
+
+type latchWalker struct {
+	pass     *Pass
+	decls    *latchDecls
+	owners   map[types.Object]string // mutex field object -> "Type.field"
+	reported map[string]bool         // dedup across loop re-scans
+}
+
+func runLatchorder(pass *Pass) error {
+	decls := parseLatchDecls(pass)
+	if len(decls.names) == 0 {
+		return nil
+	}
+	w := &latchWalker{
+		pass:     pass,
+		decls:    decls,
+		owners:   lockFieldOwners(pass),
+		reported: map[string]bool{},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.scanBlock(fn.Body.List, nil)
+				}
+				return false
+			case *ast.FuncLit:
+				w.scanBlock(fn.Body.List, nil)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockFieldOwners maps each sync.Mutex/RWMutex struct field declared
+// in this package to its qualified "Type.field" name, so same-named
+// fields of different structs do not alias.
+func lockFieldOwners(pass *Pass) map[types.Object]string {
+	owners := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && isMutexType(obj.Type()) {
+						owners[obj] = ts.Name.Name + "." + name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return owners
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockOp describes one Lock/Unlock call found in a statement.
+type lockOp struct {
+	acquire bool
+	name    string // declared name
+	obj     types.Object
+	pos     token.Pos
+}
+
+// lockOpsIn extracts the declared-lock operations syntactically
+// contained in stmt (not descending into function literals).
+func (w *latchWalker) lockOpsIn(n ast.Node) []lockOp {
+	var ops []lockOp
+	inspectSkippingFuncLits(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(w.pass.TypesInfo, call)
+		if fn == nil || funcPkgPath(fn) != "sync" {
+			return true
+		}
+		var acquire bool
+		switch fn.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, bare := lockReceiver(w.pass.TypesInfo, sel.X)
+		if bare == "" {
+			return true
+		}
+		qualified := w.owners[obj]
+		name, ok := w.decls.declared(qualified, bare)
+		if !ok {
+			return true
+		}
+		ops = append(ops, lockOp{acquire: acquire, name: name, obj: obj, pos: call.Pos()})
+		return true
+	})
+	return ops
+}
+
+// lockReceiver resolves the mutex expression (`s.mu` in `s.mu.Lock()`)
+// to the field object and its bare name.
+func lockReceiver(info *types.Info, x ast.Expr) (types.Object, string) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel], x.Sel.Name
+	case *ast.Ident:
+		return info.Uses[x], x.Name
+	}
+	return nil, ""
+}
+
+// scanBlock walks stmts in order with the incoming held stack,
+// returning the stack at the end of the block. Nested control-flow
+// blocks are scanned with a copy of the stack (acquisitions inside a
+// branch are treated as balanced within it); loop bodies are
+// re-scanned with the locks still held at iteration end so that
+// second-iteration nesting surfaces.
+func (w *latchWalker) scanBlock(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range stmts {
+		held = w.applyStmt(s, held)
+	}
+	return held
+}
+
+func (w *latchWalker) applyStmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.scanBlock(s.List, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end, which
+		// the linear scan models by simply not removing it. A deferred
+		// Lock (pathological) is ignored.
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.applyStmt(s.Init, held)
+		}
+		held = w.applyOps(w.lockOpsIn(s.Cond), held)
+		w.scanBlock(s.Body.List, held)
+		if s.Else != nil {
+			w.applyStmt(s.Else, held)
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.applyStmt(s.Init, held)
+		}
+		w.scanLoopBody(s.Body, held)
+		return held
+	case *ast.RangeStmt:
+		w.scanLoopBody(s.Body, held)
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Scan each clause body with a copy of the current stack.
+		var clauses []ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		for _, c := range clauses {
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				w.scanBlock(c.Body, held)
+			case *ast.CommClause:
+				w.scanBlock(c.Body, held)
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine body runs on its own stack with nothing held.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.scanBlock(lit.Body.List, nil)
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.applyStmt(s.Stmt, held)
+	default:
+		return w.applyOps(w.lockOpsIn(s), held)
+	}
+}
+
+// scanLoopBody scans a loop body, then — if locks acquired in the body
+// remain held at its end — re-scans with those carried over, modeling
+// the second iteration.
+func (w *latchWalker) scanLoopBody(body *ast.BlockStmt, held []heldLock) {
+	after := w.scanBlock(body.List, held)
+	if len(after) > len(held) {
+		w.scanBlock(body.List, after)
+	}
+}
+
+// applyOps folds lock operations into the held stack, reporting
+// ordering violations.
+func (w *latchWalker) applyOps(ops []lockOp, held []heldLock) []heldLock {
+	for _, op := range ops {
+		if !op.acquire {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].name == op.name {
+					held = append(held[:i:i], held[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		for _, h := range held {
+			if h.name == op.name {
+				w.reportOnce(op.pos, fmt.Sprintf(
+					"acquires %s while already holding %s: same-field multi-latch acquisition must go through the canonical sorted-name path (//lint:latch-ok <reason>)",
+					op.name, h.name))
+				continue
+			}
+			if !w.decls.allows(h.name, op.name) {
+				w.reportOnce(op.pos, fmt.Sprintf(
+					"acquires %s while holding %s, which the declared latch order does not permit", op.name, h.name))
+			}
+		}
+		held = append(held[:len(held):len(held)], heldLock{name: op.name, obj: op.obj, pos: op.pos})
+	}
+	return held
+}
+
+func (w *latchWalker) reportOnce(pos token.Pos, msg string) {
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	pass := w.pass
+	pass.Reportf(pos, "%s", msg)
+}

@@ -1,0 +1,311 @@
+// Package lint implements drivolint, the repository's static-analysis
+// suite: a family of go/analysis-style analyzers that prove the
+// codebase's hard-won runtime contracts at compile time. The golang.org/x
+// analysis framework is deliberately not a dependency — the same
+// Analyzer/Pass/Diagnostic shape is rebuilt here on the standard
+// library's go/ast and go/types, with packages loaded from `go list
+// -export` compiler export data (load.go), so the suite needs nothing
+// beyond the Go toolchain.
+//
+// Analyzers (see docs/ARCHITECTURE.md, "Static analysis"):
+//
+//   - sqlcheck: every constant SQL string reaching an Exec/Query/
+//     Prepare/Explain/batch sink must parse with the real sqlmini
+//     parser, reference only known columns of the core schema tables,
+//     and plan to an index (never a full scan) via the real planner.
+//   - latchorder: nested mutex acquisitions must follow the partial
+//     order each package declares with //lint:latch-order and
+//     //lint:latch-leaf comments.
+//   - backoffcheck: no raw time.Sleep in production code — failure
+//     retries route through faultnet.Backoff.
+//   - deadlinecheck: every net.Conn-producing dial/accept must sit on
+//     a path that arms handshake/write/op deadlines.
+//   - ambiguity: client.ErrStatementNotSent may not be constructed
+//     after a write may have fired (the store-layer replay contract).
+//   - directive: the //lint: directives themselves are well-formed.
+//
+// Suppression: a finding on line L is suppressed by a matching
+// directive comment on line L or on a comment line immediately above.
+// Every suppression requires a reason. The vocabulary:
+//
+//	//lint:ignore <analyzer> <reason>   suppress any analyzer by name
+//	//lint:scan-ok <reason>             sugar for ignore sqlcheck
+//	//lint:sleep-ok <reason>            sugar for ignore backoffcheck
+//	//lint:deadline-ok <reason>         sugar for ignore deadlinecheck
+//	//lint:latch-ok <reason>            sugar for ignore latchorder
+//	//lint:ambiguity-ok <reason>        sugar for ignore ambiguity
+//
+// Declarations (consumed by specific analyzers, placed anywhere in the
+// declaring package):
+//
+//	//lint:latch-order A < B [< C]      A may be held while acquiring B
+//	//lint:latch-leaf A [B ...]         leaf locks: never nest with any
+//	//lint:deadline-arming              (on a func) trusted to arm deadlines
+//	//lint:deadline-exempt <reason>     package opts out of deadlinecheck
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, filters, and
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports findings on one package through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer's view of one package: syntax, types,
+// and the shared cross-package fact store.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Facts is shared across all packages of a run, which the driver
+	// processes in dependency order: facts recorded while analyzing a
+	// dependency are visible when its importers are analyzed.
+	Facts *Facts
+
+	dirs   *directiveIndex
+	report func(Finding)
+}
+
+// Reportf records a finding at pos unless a matching suppression
+// directive covers its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.dirs.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directives returns the package's directives with the given verb, for
+// analyzers that consume declarations (latch-order, deadline-arming).
+func (p *Pass) Directives(verb string) []Directive {
+	var out []Directive
+	for _, d := range p.dirs.all {
+		if d.Verb == verb {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// A Finding is one reported violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Facts is the cross-package state threaded through a run. Keys are
+// stable function identity strings (funcKey), not types.Object values,
+// because an object seen from syntax and the same object re-imported
+// from export data do not compare equal.
+type Facts struct {
+	// Arming holds functions proven (or declared) to arm connection
+	// deadlines; deadlinecheck both populates and consumes it.
+	Arming map[string]bool
+	// Firing holds functions that may have pushed request bytes onto a
+	// connection; ambiguity both populates and consumes it.
+	Firing map[string]bool
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{Arming: map[string]bool{}, Firing: map[string]bool{}}
+}
+
+// A Directive is one parsed //lint: comment.
+type Directive struct {
+	// Verb is the word after "lint:" — "ignore", "scan-ok",
+	// "latch-order", ...
+	Verb string
+	// Args is the rest of the comment line, trimmed.
+	Args string
+	Pos  token.Pos
+	// File is the file the directive appears in; Line its line.
+	File string
+	Line int
+}
+
+// suppressionAlias maps sugar verbs to the analyzer they suppress.
+var suppressionAlias = map[string]string{
+	"scan-ok":      "sqlcheck",
+	"sleep-ok":     "backoffcheck",
+	"deadline-ok":  "deadlinecheck",
+	"latch-ok":     "latchorder",
+	"ambiguity-ok": "ambiguity",
+}
+
+// declarationVerbs are directives that declare facts rather than
+// suppress findings.
+var declarationVerbs = map[string]bool{
+	"latch-order":     true,
+	"latch-leaf":      true,
+	"deadline-arming": true,
+	"deadline-exempt": true,
+}
+
+// directiveIndex holds a package's parsed //lint: comments, indexed
+// for suppression lookup.
+type directiveIndex struct {
+	all []Directive
+	// byLine maps file name -> line -> directives on that line.
+	byLine map[string]map[int][]Directive
+}
+
+const directivePrefix = "//lint:"
+
+// parseDirectives extracts every //lint: comment from files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{byLine: map[string]map[int][]Directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				body := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, args, _ := strings.Cut(body, " ")
+				pos := fset.Position(c.Pos())
+				d := Directive{
+					Verb: strings.TrimSpace(verb),
+					Args: strings.TrimSpace(args),
+					Pos:  c.Pos(),
+					File: pos.Filename,
+					Line: pos.Line,
+				}
+				idx.all = append(idx.all, d)
+				m := idx.byLine[d.File]
+				if m == nil {
+					m = map[int][]Directive{}
+					idx.byLine[d.File] = m
+				}
+				m[d.Line] = append(m[d.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding by analyzer at pos is covered
+// by a directive on the same line or the line immediately above.
+func (idx *directiveIndex) suppressed(analyzer string, pos token.Position) bool {
+	m := idx.byLine[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range m[line] {
+			if d.suppresses(analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasOnLines reports whether a directive with verb covers any of the
+// given lines of file (declaration lookup, e.g. deadline-arming on a
+// func decl).
+func (idx *directiveIndex) hasOnLines(verb, file string, lines ...int) bool {
+	m := idx.byLine[file]
+	if m == nil {
+		return false
+	}
+	for _, line := range lines {
+		for _, d := range m[line] {
+			if d.Verb == verb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppresses reports whether d silences the named analyzer (and has
+// the mandatory reason; reasonless directives suppress nothing, and
+// the directive analyzer flags them).
+func (d Directive) suppresses(analyzer string) bool {
+	if alias, ok := suppressionAlias[d.Verb]; ok {
+		return alias == analyzer && d.Args != ""
+	}
+	if d.Verb == "ignore" {
+		name, reason, _ := strings.Cut(d.Args, " ")
+		return name == analyzer && strings.TrimSpace(reason) != ""
+	}
+	return false
+}
+
+// Run executes analyzers over pkgs (which must be in dependency
+// order, as Load returns them) and returns the surviving findings
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	facts := NewFacts()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
+				dirs:      dirs,
+				report:    func(f Finding) { findings = append(findings, f) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// Analyzers returns the full drivolint suite in a deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Directivecheck,
+		Sqlcheck,
+		Latchorder,
+		Backoffcheck,
+		Deadlinecheck,
+		Ambiguity,
+	}
+}

@@ -1,0 +1,169 @@
+// Package linttest is the fixture harness for drivolint analyzers, a
+// stdlib-only analogue of golang.org/x/tools' analysistest: a fixture
+// is a directory of Go files under testdata/src annotated with
+//
+//	bad()  // want "regex matching the finding message"
+//
+// comments. The harness type-checks the fixture against the real
+// repository's dependency universe (so fixtures can import
+// repro/internal/sqlmini and friends), runs the analyzers, and fails
+// the test on any unmatched expectation or unexpected finding — both
+// directions, so fixtures prove positives, negatives, and
+// directive-suppressed cases alike.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	progOnce sync.Once
+	prog     *lint.Program
+	progErr  error
+	rootOnce sync.Once
+	root     string
+	rootErr  error
+)
+
+// RepoRoot resolves the module root directory (where go.mod lives),
+// so tests work from any package directory.
+func RepoRoot(t *testing.T) string {
+	t.Helper()
+	rootOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+		if err != nil {
+			rootErr = fmt.Errorf("linttest: resolve module root: %w", err)
+			return
+		}
+		root = strings.TrimSpace(string(out))
+	})
+	if rootErr != nil {
+		t.Fatal(rootErr)
+	}
+	return root
+}
+
+// Program loads (once per test binary) the repository program whose
+// export-data universe fixtures type-check against.
+func Program(t *testing.T) *lint.Program {
+	t.Helper()
+	progOnce.Do(func() {
+		prog, progErr = lint.Load(RepoRoot(t), "./...")
+	})
+	if progErr != nil {
+		t.Fatal(progErr)
+	}
+	return prog
+}
+
+// wantRe extracts `// want "..."` expectations (double-quoted or
+// backquoted, the latter for patterns containing quotes). The quoted
+// part is a regular expression matched against "analyzer: message". An
+// optional signed offset (`// want-1 "..."`) moves the expected line
+// relative to the comment — needed when the finding anchors to a line
+// that is itself a //lint: comment, which cannot also carry a want.
+var wantRe = regexp.MustCompile("//\\s*want([+-]\\d+)?\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run type-checks the fixture directory and runs analyzers over it,
+// comparing findings against the `// want` annotations in its files.
+// dir is relative to the calling test's package directory (the usual
+// "testdata/src/<name>" layout).
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	p := Program(t)
+	pkg, err := p.LoadDir(abs, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("linttest: load fixture %s: %v", dir, err)
+	}
+
+	expects, err := parseExpectations(abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	findings, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: run analyzers on %s: %v", dir, err)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != f.Pos.Filename || e.line != f.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(f.Analyzer + ": " + f.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// parseExpectations scans the fixture's files for `// want` comments.
+func parseExpectations(dir string) ([]*expectation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse fixture: %w", err)
+	}
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pat := m[2]
+						if m[3] != "" {
+							pat = m[3]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want regexp %q: %w",
+								fset.Position(c.Pos()), pat, err)
+						}
+						offset := 0
+						if m[1] != "" {
+							if _, err := fmt.Sscanf(m[1], "%d", &offset); err != nil {
+								return nil, fmt.Errorf("%s: bad want offset %q", fset.Position(c.Pos()), m[1])
+							}
+						}
+						pos := fset.Position(c.Pos())
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line + offset, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

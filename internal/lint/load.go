@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one analyzed module package: parsed syntax plus types.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Program is a load session: the export-data universe produced by
+// one `go list -deps -export` run, from which module packages are
+// type-checked from source and auxiliary packages (test fixtures) can
+// be type-checked on demand against the same dependency set.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs are the matched module packages in dependency order
+	// (dependencies before dependents), the order Run requires so
+	// cross-package facts flow forward.
+	Pkgs []*Package
+
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load builds a Program for the packages matching patterns, resolved
+// in dir. Each matched non-standard-library package is parsed and
+// type-checked from source; everything else (the standard library,
+// unmatched dependencies) is imported from compiler export data, which
+// `go list -export` guarantees exists for every listed dependency.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+	}
+	prog.imp = importer.ForCompiler(prog.Fset, "gc", prog.lookup)
+
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			prog.exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		pc := p
+		targets = append(targets, &pc)
+	}
+
+	// -deps emits dependencies before dependents; preserving that
+	// order over the matched subset keeps fact flow correct.
+	for _, p := range targets {
+		pkg, err := prog.typecheck(p.ImportPath, p.Dir, append(p.GoFiles, p.CgoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// lookup feeds export data to the gc importer.
+func (prog *Program) lookup(path string) (io.ReadCloser, error) {
+	f, ok := prog.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// LoadDir parses and type-checks a single directory of Go files (a
+// test fixture pseudo-package) against the Program's dependency
+// universe. pkgPath names the resulting package; fixture imports
+// resolve through the same export data as real packages.
+func (prog *Program) LoadDir(dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture dir: %w", err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return prog.typecheck(pkgPath, dir, files)
+}
+
+// typecheck parses the named files (relative to dir) and type-checks
+// them as one package.
+func (prog *Program) typecheck(pkgPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: prog.imp}
+	tpkg, err := conf.Check(pkgPath, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      prog.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sqlmini"
+)
+
+// hotLeaseProbe is the shape of the license-mode per-driver lease
+// count: equality on driver_id, served by the leases driver_id
+// indexes and by nothing else.
+const hotLeaseProbe = `SELECT lease_id FROM information_schema.leases
+	WHERE driver_id = $d`
+
+// buildSchema replays the core DDL into a scratch database, skipping
+// statements that contain skip (empty skips nothing).
+func buildSchema(t *testing.T, skip string) *sqlmini.DB {
+	t.Helper()
+	db := sqlmini.NewDB()
+	for _, ddl := range core.SchemaStatements() {
+		if skip != "" && strings.Contains(ddl, skip) {
+			continue
+		}
+		if _, err := db.Exec(ddl); err != nil {
+			t.Fatalf("apply schema: %v", err)
+		}
+	}
+	return db
+}
+
+// TestIndexDeletionIsABuildBreakingEvent is the PR's acceptance demo:
+// against the full core schema the hot lease probe plans to an index
+// and sqlcheck stays quiet; delete the leases driver_id index
+// declarations from the DDL and the same statement becomes a full-scan
+// finding — removing an index declaration breaks the build.
+func TestIndexDeletionIsABuildBreakingEvent(t *testing.T) {
+	full := buildSchema(t, "")
+	if problems := CheckSQL(full, hotLeaseProbe); len(problems) != 0 {
+		t.Fatalf("hot probe should be clean against the full schema, got %v", problems)
+	}
+
+	// Drop every leases index on driver_id (plain and composite); the
+	// probe's equality column loses its access path.
+	crippled := buildSchema(t, "leases_driver")
+	problems := CheckSQL(crippled, hotLeaseProbe)
+	if len(problems) == 0 {
+		t.Fatal("hot probe should be a finding once the driver_id indexes are gone")
+	}
+	if !strings.Contains(problems[0], "full scan") {
+		t.Fatalf("expected a full-scan finding, got %v", problems)
+	}
+}
+
+// TestCheckSQLProblemShapes pins the individual defect classes CheckSQL
+// reports.
+func TestCheckSQLProblemShapes(t *testing.T) {
+	db := buildSchema(t, "")
+	cases := []struct {
+		name string
+		sql  string
+		want string // substring of the first problem; "" means clean
+	}{
+		{"parse error", "SELEC nope", "SQL does not parse"},
+		{"unknown table", "SELECT x FROM information_schema.nope", "unknown schema table"},
+		{"unknown column", "SELECT zap FROM information_schema.drivers", `unknown column "zap"`},
+		{"full scan", "SELECT lease_id FROM information_schema.leases WHERE released = $r", "full scan"},
+		{"pk point lookup", "SELECT api_name FROM information_schema.drivers WHERE driver_id = $id", ""},
+		{"indexed lookup", "SELECT lease_id FROM information_schema.leases WHERE driver_id = $d", ""},
+		{"insert column check", "INSERT INTO information_schema.leases (lease_id, wrong_col) VALUES ($a, $b)", `unknown column "wrong_col"`},
+		{"non-schema table", "SELECT k FROM scratch WHERE k = $k", ""},
+		{"ddl ignored", "CREATE TABLE scratch (k INTEGER PRIMARY KEY)", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := CheckSQL(db, tc.sql)
+			if tc.want == "" {
+				if len(problems) != 0 {
+					t.Fatalf("want clean, got %v", problems)
+				}
+				return
+			}
+			if len(problems) == 0 || !strings.Contains(problems[0], tc.want) {
+				t.Fatalf("want problem containing %q, got %v", tc.want, problems)
+			}
+		})
+	}
+}

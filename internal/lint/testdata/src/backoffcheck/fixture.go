@@ -1,0 +1,33 @@
+// Fixture for the backoffcheck analyzer: positive (raw sleep),
+// negative (non-time Sleep), and directive-suppressed cases.
+package fixture
+
+import "time"
+
+func rawSleep() {
+	time.Sleep(time.Second) // want "backoffcheck: raw time.Sleep in production code"
+}
+
+func rawSleepInLoop() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(10 * time.Millisecond) // want "backoffcheck: raw time.Sleep"
+	}
+}
+
+func annotatedSleep() {
+	//lint:sleep-ok fixture: deliberate pacing with a documented reason
+	time.Sleep(time.Second)
+}
+
+func sameLineAnnotated() {
+	time.Sleep(time.Second) //lint:sleep-ok fixture: same-line suppression also counts
+}
+
+type pacer struct{}
+
+func (pacer) Sleep(d time.Duration) {}
+
+func notTimeSleep() {
+	var p pacer
+	p.Sleep(time.Second) // a Sleep that is not time.Sleep: no finding
+}

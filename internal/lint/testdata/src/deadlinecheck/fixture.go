@@ -1,0 +1,60 @@
+// Fixture for the deadlinecheck analyzer: unarmed dials are findings;
+// direct arming, arming through a helper, the //lint:deadline-arming
+// declaration, and //lint:deadline-ok suppression are not.
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+func unarmedDial() net.Conn {
+	c, _ := net.Dial("tcp", "localhost:0") // want "deadlinecheck: net.Dial produces a connection"
+	return c
+}
+
+func unarmedAccept(ln net.Listener) net.Conn {
+	c, _ := ln.Accept() // want "deadlinecheck: net.Accept produces a connection"
+	return c
+}
+
+func armedDirectly() {
+	c, err := net.Dial("tcp", "localhost:0")
+	if err != nil {
+		return
+	}
+	_ = c.SetDeadline(time.Now().Add(time.Second))
+	_ = c.Close()
+}
+
+func armIt(c net.Conn) {
+	if c != nil {
+		_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	}
+}
+
+func armedThroughHelper() {
+	c, _ := net.Dial("tcp", "localhost:0")
+	armIt(c)
+}
+
+// trustedWrapper models wire.NewConn: the wrapper's methods arm
+// per-operation deadlines, so the declaration vouches for it.
+//
+//lint:deadline-arming
+func trustedWrapper() net.Conn {
+	c, _ := net.Dial("tcp", "localhost:0")
+	return c
+}
+
+func armedThroughDeclaredRoot() {
+	_ = trustedWrapper()
+}
+
+func deliberatelyUnbounded() {
+	//lint:deadline-ok fixture: probe connection, closed before any I/O
+	c, _ := net.Dial("tcp", "localhost:0")
+	if c != nil {
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,35 @@
+// Fixture for the directive analyzer: the //lint: vocabulary itself
+// must be well-formed, so stale or reasonless escape hatches are
+// findings rather than silently widening holes. Findings anchor to the
+// directive comment's own line, so expectations use the want-offset
+// form from the following line.
+package fixture
+
+//lint:bogus-verb something
+// want-1 "directive: unknown //lint: directive"
+
+//lint:ignore
+// want-1 "directive: //lint:ignore needs an analyzer name and a reason"
+
+//lint:ignore nosuchanalyzer because reasons
+// want-1 `directive: //lint:ignore names unknown analyzer "nosuchanalyzer"`
+
+//lint:ignore sqlcheck
+// want-1 "directive: //lint:ignore sqlcheck needs a reason"
+
+//lint:sleep-ok
+// want-1 "directive: //lint:sleep-ok needs a reason"
+
+//lint:latch-order OnlyOneLock
+// want-1 "directive: //lint:latch-order wants"
+
+//lint:latch-leaf
+// want-1 "directive: //lint:latch-leaf wants one or more lock names"
+
+//lint:deadline-exempt
+// want-1 "directive: //lint:deadline-exempt needs a reason"
+
+//lint:ignore sqlcheck a well-formed ignore with a reason is fine
+
+//lint:deadline-arming
+func wellFormed() {}

@@ -1,0 +1,79 @@
+// Fixture for the latchorder analyzer: the declared order allows
+// Outer→Inner nesting, forbids the inverse, forbids any nesting of a
+// leaf lock, and flags same-field multi-latch acquisition unless the
+// canonical sorted loop carries //lint:latch-ok.
+package fixture
+
+import "sync"
+
+//lint:latch-order Outer.mu < Inner.mu
+//lint:latch-leaf Leaf.mu
+
+type Outer struct{ mu sync.Mutex }
+
+type Inner struct{ mu sync.Mutex }
+
+type Leaf struct{ mu sync.Mutex }
+
+func declaredOrder(o *Outer, i *Inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.mu.Lock() // Outer.mu < Inner.mu is declared: no finding
+	i.mu.Unlock()
+}
+
+func invertedOrder(o *Outer, i *Inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	o.mu.Lock() // want "latchorder: acquires Outer.mu while holding Inner.mu"
+	o.mu.Unlock()
+}
+
+func leafNested(o *Outer, l *Leaf) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	l.mu.Lock() // want "latchorder: acquires Leaf.mu while holding Outer.mu"
+	l.mu.Unlock()
+}
+
+func sequentialNotNested(o *Outer, i *Inner) {
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Lock() // Inner.mu already released: no finding
+	o.mu.Unlock()
+}
+
+func multiLatch(a, b *Inner) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "same-field multi-latch acquisition"
+	b.mu.Unlock()
+}
+
+func sortedLoop(tables []*Inner) {
+	for _, t := range tables {
+		//lint:latch-ok fixture: canonical sorted-name acquisition loop
+		t.mu.Lock()
+	}
+	for _, t := range tables {
+		t.mu.Unlock()
+	}
+}
+
+func acquireInLoop(o *Outer, i *Inner) {
+	for n := 0; n < 2; n++ {
+		i.mu.Lock()
+		o.mu.Lock() // want "latchorder: acquires Outer.mu while holding Inner.mu"
+		o.mu.Unlock()
+		i.mu.Unlock()
+	}
+}
+
+func goroutineFreshStack(o *Outer, i *Inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	go func() {
+		o.mu.Lock() // goroutine runs on its own stack: no finding
+		o.mu.Unlock()
+	}()
+}

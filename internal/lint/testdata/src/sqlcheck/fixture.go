@@ -1,0 +1,60 @@
+// Fixture for the sqlcheck analyzer, type-checked against the real
+// sqlmini package: constant SQL reaching Exec-family sinks must parse,
+// resolve against the core schema, and plan to an index.
+package fixture
+
+import "repro/internal/sqlmini"
+
+func doesNotParse(db *sqlmini.DB) {
+	_, _ = db.Exec("SELEC lease_id FORM leases") // want "sqlcheck: SQL does not parse"
+}
+
+func unknownTable(db *sqlmini.DB) {
+	_, _ = db.Exec("SELECT x FROM information_schema.nonexistent") // want "sqlcheck: unknown schema table"
+}
+
+func unknownColumn(db *sqlmini.DB) {
+	_, _ = db.Exec("SELECT no_such_col FROM information_schema.leases") // want `sqlcheck: unknown column "no_such_col"`
+}
+
+func fullScan(db *sqlmini.DB) {
+	// released is not indexed: the planner degrades to a full scan.
+	_, _ = db.Exec("SELECT lease_id FROM information_schema.leases WHERE released = $r") // want "sqlcheck: hot-path statement plans as"
+}
+
+func indexedPlans(db *sqlmini.DB) {
+	// Primary key, secondary index, and composite index lookups all
+	// plan clean against the embedded schema: no findings.
+	_, _ = db.Exec("SELECT lease_id FROM information_schema.leases WHERE lease_id = $id")
+	_, _ = db.Exec("SELECT lease_id FROM information_schema.leases WHERE driver_id = $d")
+	_, _ = db.Exec("SELECT lease_id FROM information_schema.leases WHERE driver_id = $d AND expires_at < $t")
+}
+
+func constConcat(db *sqlmini.DB) {
+	// Constant folding resolves through consts and concatenation.
+	const table = "information_schema.leases"
+	_, _ = db.Exec("SELECT bogus FROM " + table) // want `sqlcheck: unknown column "bogus"`
+}
+
+func annotatedScan(db *sqlmini.DB) {
+	//lint:scan-ok fixture: deliberate whole-table listing
+	_, _ = db.Exec("SELECT lease_id FROM information_schema.leases ORDER BY lease_id")
+}
+
+func scratchTableParseOnly(db *sqlmini.DB) {
+	// Non-schema tables are parse-checked only: no plan findings.
+	_, _ = db.Exec("SELECT k FROM scratch WHERE k = $k")
+	_, _ = db.Exec("SELEC broken") // want "sqlcheck: SQL does not parse"
+}
+
+func batchLiteral() []sqlmini.BatchStmt {
+	return []sqlmini.BatchStmt{
+		{SQL: "UPDATE information_schema.leases SET released = $rel WHERE lease_id = $id"},
+		{SQL: "SELECT typo_col FROM information_schema.drivers"}, // want `sqlcheck: unknown column "typo_col"`
+	}
+}
+
+func runtimeSQLIsInvisible(db *sqlmini.DB, table string) {
+	// Non-constant SQL cannot be checked statically: no finding.
+	_, _ = db.Exec("SELECT lease_id FROM " + table)
+}

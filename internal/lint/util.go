@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// callee resolves the *types.Func a call expression invokes: a
+// package-level function, a method on a concrete receiver, or an
+// interface method. Calls through function values return nil.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcKey returns a stable cross-package identity string for a
+// function: "pkgpath.Name" for package functions, "pkgpath.Recv.Name"
+// for methods (pointer receivers normalized away). Facts key on these
+// strings because objects re-imported from export data do not compare
+// equal to the syntax-derived originals.
+func funcKey(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path()
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return pkg + "." + recvTypeName(sig.Recv().Type()) + "." + f.Name()
+	}
+	return pkg + "." + f.Name()
+}
+
+// recvTypeName extracts the bare receiver type name from a (possibly
+// pointer) receiver type.
+func recvTypeName(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return recvTypeName(t.Elem())
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Interface:
+		return "interface"
+	}
+	s := t.String()
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// declKeyForFuncDecl is funcKey for a declaration in the package being
+// analyzed.
+func declKeyForFuncDecl(info *types.Info, pkgPath string, fd *ast.FuncDecl) string {
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		return funcKey(obj)
+	}
+	// Fall back to a syntactic key; only reachable on type errors.
+	return pkgPath + "." + fd.Name.Name
+}
+
+// funcPkgPath returns the defining package path of f ("" for builtins).
+func funcPkgPath(f *types.Func) string {
+	if f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// inspectSkippingFuncLits walks n, calling fn for every node, but does
+// not descend into function literals: analyzers that model
+// straight-line execution handle closures separately (they run at an
+// unknown later time).
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -114,6 +114,7 @@ func F2() (*Report, error) {
 		return r, err
 	}
 	// Confirm the driver row physically lives in the legacy database.
+	//lint:scan-ok experiment assertion: count(*) over a 1-row table
 	res, err := s.Target.Database("prod").Query("SELECT count(*) FROM " + core.DriversTable)
 	if err != nil {
 		return r, err
@@ -297,6 +298,7 @@ func F4() (*Report, error) {
 	run.Workers = 4
 	run.Think = 500 * time.Microsecond
 	run.Start()
+	//lint:sleep-ok scripted scenario: let the workload flow before sampling
 	time.Sleep(50 * time.Millisecond)
 
 	who := func() string {
@@ -329,6 +331,7 @@ func F4() (*Report, error) {
 
 	// Maintenance on the master can now proceed.
 	master.Stop()
+	//lint:sleep-ok scripted scenario: drain window after the master stops
 	time.Sleep(50 * time.Millisecond)
 	run.Stop()
 	stats := run.Recorder().Stats()
@@ -390,6 +393,7 @@ func F5() (*Report, error) {
 		return err
 	}
 	run.Start()
+	//lint:sleep-ok scripted scenario: let the workload flow before the upgrade
 	time.Sleep(50 * time.Millisecond)
 
 	// Sequoia driver upgrade: one insert on the standalone server.
@@ -407,6 +411,7 @@ func F5() (*Report, error) {
 	ctrl1 := cl.Controllers[0]
 	addr1 := ctrl1.Addr()
 	ctrl1.Stop()
+	//lint:sleep-ok scripted scenario: let drivers fail over before the restart
 	time.Sleep(50 * time.Millisecond)
 	if err := ctrl1.Start(addr1); err != nil {
 		return r, err
@@ -416,6 +421,7 @@ func F5() (*Report, error) {
 			return r, err
 		}
 	}
+	//lint:sleep-ok scripted scenario: drain window after the rolling restart
 	time.Sleep(50 * time.Millisecond)
 	run.Stop()
 	stats := run.Recorder().Stats()

@@ -297,14 +297,35 @@ func loadSteady(cfg LoadConfig) (*LoadResult, error) {
 	return res, nil
 }
 
+// pollPolicy is the schedule fleet-condition polls run on: short first
+// probes so fast scenarios finish fast, capped growth so slow ones
+// are still sampled often enough, jitter disabled so scenario timings
+// stay deterministic run to run.
+var pollPolicy = faultnet.Policy{
+	Initial: 2 * time.Millisecond,
+	Max:     20 * time.Millisecond,
+	Factor:  2,
+	Jitter:  -1,
+}
+
+// pollUntil re-probes cond on the pollPolicy schedule until it holds
+// or the deadline passes.
+func pollUntil(deadline time.Time, cond func() bool) bool {
+	b := faultnet.NewBackoff(pollPolicy)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		b.Sleep(nil)
+	}
+	return true
+}
+
 // settle waits until every client holds a lease (or deadline).
 func settle(f *workload.Fleet, cfg LoadConfig) error {
 	deadline := time.Now().Add(rampFor(cfg) + cfg.Lease + 30*time.Second)
-	for f.Live() < cfg.Population {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("fleet stuck settling: %d/%d live", f.Live(), cfg.Population)
-		}
-		time.Sleep(20 * time.Millisecond)
+	if !pollUntil(deadline, func() bool { return f.Live() >= cfg.Population }) {
+		return fmt.Errorf("fleet stuck settling: %d/%d live", f.Live(), cfg.Population)
 	}
 	return nil
 }
@@ -314,20 +335,22 @@ func settle(f *workload.Fleet, cfg LoadConfig) error {
 func waitConverged(f *workload.Fleet, cfg LoadConfig, before map[string]int, patience time.Duration) (time.Duration, error) {
 	start := time.Now()
 	deadline := start.Add(patience)
-	for {
+	converged := func() bool {
 		sums := f.Checksums()
-		if len(sums) == 1 {
-			for sum, n := range sums {
-				if _, old := before[sum]; !old && n == cfg.Population {
-					return time.Since(start), nil
-				}
+		if len(sums) != 1 {
+			return false
+		}
+		for sum, n := range sums {
+			if _, old := before[sum]; !old && n == cfg.Population {
+				return true
 			}
 		}
-		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("fleet did not converge to the new driver generation: %v", sums)
-		}
-		time.Sleep(20 * time.Millisecond)
+		return false
 	}
+	if !pollUntil(deadline, converged) {
+		return 0, fmt.Errorf("fleet did not converge to the new driver generation: %v", f.Checksums())
+	}
+	return time.Since(start), nil
 }
 
 // loadStorm is the upgrade storm: a settled fleet, then one AddDriver
@@ -432,6 +455,7 @@ func loadLicense(cfg LoadConfig) (*LoadResult, error) {
 		if n > peak {
 			peak = n
 		}
+		//lint:sleep-ok fixed-cadence seat sampling; backoff would undersample the peak
 		time.Sleep(10 * time.Millisecond)
 	}
 	f.Stop()
@@ -491,9 +515,11 @@ func loadRestart(cfg LoadConfig) (*LoadResult, error) {
 	if _, err := srv.AddDriver(loadImage(dbver.V(2, 0, 0), cfg.Payload), dbver.FormatImage); err != nil {
 		return nil, err
 	}
+	//lint:sleep-ok scripted outage timeline: the storm must be mid-flight when the server dies
 	time.Sleep(cfg.Lease / 4)
 	srv.Stop()
 	outage := cfg.Lease / 2
+	//lint:sleep-ok scripted outage timeline: the outage length is the variable under test
 	time.Sleep(outage)
 	if err := restartOn(srv, addr); err != nil {
 		return nil, err
@@ -524,12 +550,20 @@ func loadRestart(cfg LoadConfig) (*LoadResult, error) {
 // restartOn rebinds a stopped server to its old address, retrying
 // briefly in case the kernel hasn't released the port yet.
 func restartOn(srv *core.Server, addr string) error {
+	b := faultnet.NewBackoff(faultnet.Policy{
+		Initial:     5 * time.Millisecond,
+		Max:         100 * time.Millisecond,
+		Factor:      2,
+		Jitter:      -1,
+		MaxAttempts: 50,
+	})
 	var err error
-	for attempt := 0; attempt < 50; attempt++ {
+	for {
 		if err = srv.Start(addr); err == nil {
 			return nil
 		}
-		time.Sleep(20 * time.Millisecond)
+		if !b.Sleep(nil) {
+			return fmt.Errorf("scenarios: server restart on %s: %w", addr, err)
+		}
 	}
-	return fmt.Errorf("scenarios: server restart on %s: %w", addr, err)
 }

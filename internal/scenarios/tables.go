@@ -20,6 +20,7 @@ func T1() (*Report, error) {
 	if err := core.EnsureSchema(st); err != nil {
 		return r, err
 	}
+	//lint:scan-ok schema introspection: LIMIT 0 reads column metadata, no rows
 	res, err := db.Query("SELECT * FROM " + core.DriversTable + " LIMIT 0")
 	if err != nil {
 		return r, err
@@ -60,6 +61,7 @@ func T2() (*Report, error) {
 	if err := core.EnsureSchema(st); err != nil {
 		return r, err
 	}
+	//lint:scan-ok schema introspection: LIMIT 0 reads column metadata, no rows
 	res, err := db.Query("SELECT * FROM " + core.PermissionTable + " LIMIT 0")
 	if err != nil {
 		return r, err

@@ -127,6 +127,7 @@ func (db *DB) lockTablesByName(nameSet map[string]bool) (map[string]*Table, []*T
 			}
 		}
 		for _, t := range order {
+			//lint:latch-ok canonical sorted-name multi-latch: order comes from lockTablesByName's sort
 			t.latch.Lock()
 		}
 		stable := true

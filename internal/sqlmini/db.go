@@ -96,6 +96,14 @@ func (t *Table) rowsSnapshot() []*Row { return t.rows.Load().snapshot() }
 
 // DB is an embedded database instance. The zero value is not usable; call
 // NewDB.
+//
+// Lock hierarchy (enforced by drivolint's latchorder analyzer): DDL
+// and whole-database operations take ddlMu first and may then latch
+// tables; multiple Table.latch acquisitions go through the canonical
+// sorted-name loops only; the statement cache lock never nests.
+//
+//lint:latch-order DB.ddlMu < Table.latch
+//lint:latch-leaf DB.cacheMu
 type DB struct {
 	// ddlMu serializes schema changes (CREATE/DROP TABLE, index DDL,
 	// Restore) and whole-database operations (Snapshot). Statements
@@ -256,6 +264,21 @@ func (db *DB) TableNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// TableColumns returns the column definitions of the named table (in
+// declaration order) and whether the table exists. Static tooling
+// (drivolint's sqlcheck) uses it to validate column references against
+// the live schema without executing anything.
+func (db *DB) TableColumns(name string) ([]ColumnDef, bool) {
+	m := *db.schema.Load()
+	t, ok := m[name]
+	if !ok {
+		return nil, false
+	}
+	cols := make([]ColumnDef, len(t.Cols))
+	copy(cols, t.Cols)
+	return cols, true
 }
 
 // parseCached parses src, memoizing the AST. Statements are immutable

@@ -30,6 +30,7 @@ func (db *DB) Snapshot() []byte {
 	defer db.ddlMu.Unlock()
 	tables := db.sortedTables()
 	for _, t := range tables {
+		//lint:latch-ok canonical sorted-name multi-latch: sortedTables() fixes the order
 		t.latch.Lock()
 	}
 	defer func() {
@@ -225,6 +226,7 @@ func (db *DB) Restore(blob []byte) error {
 	db.ddlMu.Lock()
 	old := db.sortedTables()
 	for _, t := range old {
+		//lint:latch-ok canonical sorted-name multi-latch: sortedTables() fixes the order
 		t.latch.Lock()
 	}
 	oldMap := *db.schema.Load()

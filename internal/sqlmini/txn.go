@@ -69,6 +69,7 @@ func (u *undoLog) lockEntryTables() []*Table {
 		return tables[i].tid < tables[j].tid
 	})
 	for _, t := range tables {
+		//lint:latch-ok canonical sorted-name multi-latch: tables sorted by (name, tid) just above
 		t.latch.Lock()
 	}
 	return tables

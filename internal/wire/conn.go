@@ -29,7 +29,12 @@ type Conn struct {
 // stop allocating 64 KiB each.
 const connBufSize = 8 << 10
 
-// NewConn wraps nc for frame I/O.
+// NewConn wraps nc for frame I/O. It is the repo's deadline trust
+// root: the returned Conn arms per-operation deadlines lazily — Send
+// under SetWriteTimeout, RecvTimeout per receive — so raw conns are
+// bounded the moment they are wrapped.
+//
+//lint:deadline-arming
 func NewConn(nc net.Conn) *Conn {
 	return &Conn{
 		nc: nc,

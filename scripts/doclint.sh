@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
 # doclint.sh — fail if any internal/ package lacks a package comment.
 #
-# Every package under internal/ must carry a `// Package <name> ...`
-# doc comment in at least one non-test file: the architecture docs
-# (README.md, docs/ARCHITECTURE.md) lean on `go doc` as the canonical
-# per-package reference, which only works if the comments exist. Run by
-# `make check`.
+# Every package under internal/ — at any nesting depth — must carry a
+# `// Package <name> ...` doc comment in at least one non-test file:
+# the architecture docs (README.md, docs/ARCHITECTURE.md) lean on
+# `go doc` as the canonical per-package reference, which only works if
+# the comments exist. testdata trees are invisible to go tooling and
+# are skipped. Run by `make lint` (and so by `make check`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
-for dir in internal/*/; do
+for dir in $(find internal -type d -not -path '*/testdata*' | sort); do
+    # Only directories that actually hold a Go package.
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
     pkg="$(basename "$dir")"
     found=0
-    for f in "$dir"*.go; do
+    for f in "$dir"/*.go; do
         case "$f" in *_test.go) continue ;; esac
         if grep -qE "^// Package ${pkg}( |$)" "$f"; then
             found=1
