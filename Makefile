@@ -79,10 +79,14 @@ bench-compare:
 # scaled-down deterministic scenario tests, then the full-population
 # steady/storm scenarios gated against the committed BENCH_tail.json
 # tail baseline (p50/p95/p99 + statements/sec; see scripts/README.md
-# for thresholds and the refresh policy).
+# for thresholds and the refresh policy). CLUSTER=3 adds the
+# multi-member tier: the scaled server-failover test plus the
+# full-population "cluster" scenario (internal/cluster fleet, one
+# member killed mid-run).
+CLUSTER ?= 0
 loadtest:
-	scripts/loadtest.sh check
-	scripts/loadtest.sh compare
+	CLUSTER="$(CLUSTER)" scripts/loadtest.sh check
+	CLUSTER="$(CLUSTER)" scripts/loadtest.sh compare
 
 loadtest-baseline:
-	scripts/loadtest.sh baseline
+	CLUSTER="$(CLUSTER)" scripts/loadtest.sh baseline

@@ -194,6 +194,9 @@ var (
 	WithDefaultLease    = core.WithDefaultLease
 	WithDefaultPolicies = core.WithDefaultPolicies
 	WithLicenseMode     = core.WithLicenseMode
+	// WithLeaseJitter smears granted lease periods by a uniform ±frac,
+	// de-synchronizing fleet renewal storms (§3.4.2).
+	WithLeaseJitter = core.WithLeaseJitter
 )
 
 // Errors, re-exported.

@@ -7,6 +7,7 @@
 //	    -payload 4096 -out driver.img
 //	drivoctl inspect driver.img
 //	drivoctl probe -server 127.0.0.1:7070 -database prod -api JDBC
+//	drivoctl cluster-status -server 127.0.0.1:7171    # a member's CLUSTER address
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dbver"
 	"repro/internal/driverimg"
@@ -34,6 +36,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "probe":
 		err = cmdProbe(os.Args[2:])
+	case "cluster-status":
+		err = cmdClusterStatus(os.Args[2:])
 	default:
 		usage()
 	}
@@ -43,7 +47,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: drivoctl {build|inspect|probe} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: drivoctl {build|inspect|probe|cluster-status} [flags]")
 	os.Exit(2)
 }
 
@@ -179,5 +183,51 @@ func cmdProbe(args []string) error {
 	fmt.Printf("lease:     %v\n", offer.LeaseTime)
 	fmt.Printf("policies:  renew=%s expiration=%s transfer=%s\n",
 		offer.RenewPolicy, offer.ExpirationPolicy, offer.TransferMethod)
+	return nil
+}
+
+// cmdClusterStatus asks one member for its membership view: who it has
+// heard from, whether it is quorate (fenced members answer too — with
+// Quorate false), and how the shard space is currently divided,
+// including any handoff overrides in force.
+func cmdClusterStatus(args []string) error {
+	fs := flag.NewFlagSet("cluster-status", flag.ExitOnError)
+	var (
+		server  = fs.String("server", "127.0.0.1:7171", "a member's cluster-protocol address")
+		timeout = fs.Duration("timeout", 2*time.Second, "probe timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := cluster.FetchStatus(*server, *timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("member:    %s (index %d)\n", st.Name, st.Index)
+	fmt.Printf("quorate:   %v\n", st.Quorate)
+	fmt.Printf("epoch:     %d\n", st.Epoch)
+	fmt.Printf("shards:    %d\n", st.Shards)
+	fmt.Printf("peers:\n")
+	for _, p := range st.Peers {
+		mark, state := " ", "alive"
+		if p.Self {
+			mark = "*"
+		}
+		if !p.Alive {
+			state = "DOWN"
+		}
+		last := "now"
+		if !p.Self {
+			last = p.SinceSeen.Round(time.Millisecond).String() + " ago"
+		}
+		fmt.Printf("  %s %-20s %-21s %-5s seen %-12s owns %d shards\n",
+			mark, p.Name, p.ClientAddr, state, last, p.OwnedShards)
+	}
+	if len(st.Overrides) > 0 {
+		fmt.Printf("overrides: %d shard(s) moved off their home member\n", len(st.Overrides))
+		for _, o := range st.Overrides {
+			fmt.Printf("  shard %d -> member %d\n", o.Shard, o.Member)
+		}
+	}
 	return nil
 }

@@ -6,6 +6,13 @@
 //
 //	drivolutiond -addr 127.0.0.1:7070 -drivers ./drivers -lease 1h
 //	drivolutiond -addr 127.0.0.1:7070 -tls            # self-signed TLS
+//	drivolutiond -cluster 3 -drivers ./drivers       # 3-member control plane
+//
+// With -cluster N (N > 1) the process runs an N-member clustered
+// control plane (internal/cluster): sharded lease ownership, the
+// catalog replicated to every member, heartbeat-driven failover.
+// Member addresses are assigned by the kernel and logged at startup;
+// probe them with `drivoctl cluster-status -server <cluster addr>`.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	drivolution "repro"
+	"repro/internal/cluster"
 	"repro/internal/dbver"
 	"repro/internal/driverimg"
 )
@@ -32,6 +40,9 @@ func main() {
 		license = flag.Bool("license", false, "license mode: one live lease per driver")
 		renew   = flag.Int("renew-policy", int(drivolution.RenewUpgrade), "default renew policy (0=RENEW 1=UPGRADE 2=REVOKE)")
 		expire  = flag.Int("expiration-policy", int(drivolution.AfterCommit), "default expiration policy (0=AFTER_CLOSE 1=AFTER_COMMIT 2=IMMEDIATE)")
+		members = flag.Int("cluster", 0, "run an N-member clustered control plane (0/1 = standalone)")
+		shards  = flag.Int("cluster-shards", 0, "shard count for cluster mode (default 16 per member)")
+		jitter  = flag.Float64("lease-jitter", 0, "± fraction smeared onto granted lease periods (e.g. 0.1)")
 	)
 	flag.Parse()
 
@@ -42,6 +53,14 @@ func main() {
 	}
 	if *license {
 		opts = append(opts, drivolution.WithLicenseMode())
+	}
+	if *jitter > 0 {
+		opts = append(opts, drivolution.WithLeaseJitter(*jitter))
+	}
+
+	if *members > 1 {
+		runCluster(*members, *shards, *dir, *useTLS, opts)
+		return
 	}
 	srv, err := drivolution.NewServer("drivolutiond", drivolution.NewLocalStore(drivolution.NewDB()), opts...)
 	if err != nil {
@@ -78,6 +97,42 @@ func main() {
 	<-sig
 	log.Print("shutting down")
 	srv.Stop()
+}
+
+// runCluster boots an N-member clustered control plane in this
+// process and blocks until interrupted. Driver images load through one
+// member; statement replication puts them in every member's catalog.
+func runCluster(members, shards int, dir string, useTLS bool, opts []drivolution.ServerOption) {
+	if useTLS {
+		log.Fatal("cluster mode does not serve TLS yet; drop -tls or -cluster")
+	}
+	f, err := cluster.NewFleet(cluster.FleetConfig{
+		Members:       members,
+		Shards:        shards,
+		NamePrefix:    "drivolutiond",
+		ServerOptions: func(int) []drivolution.ServerOption { return opts },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dir != "" {
+		n, err := loadDrivers(f.Servers[0], dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d driver image(s) from %s (replicated to %d members)", n, dir, members)
+	}
+	clusterAddrs := f.ClusterAddrs()
+	for i, addr := range f.Addrs() {
+		log.Printf("member %d (drivolutiond-%d): clients %s, cluster %s", i, i, addr, clusterAddrs[i])
+	}
+	log.Printf("cluster of %d serving; bootloaders take the full client address list", members)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down cluster")
+	f.Stop()
 }
 
 func splitHostPort(addr string) (host, port string, err error) {

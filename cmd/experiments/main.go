@@ -28,12 +28,13 @@ func main() {
 		exp  = flag.String("exp", "", "experiment id to run (default: all)")
 		list = flag.Bool("list", false, "list experiment ids and exit")
 
-		load       = flag.String("load", "", "load scenarios to run, comma-separated or 'all' (steady, storm, license, restart)")
+		load       = flag.String("load", "", "load scenarios to run, comma-separated or 'all' (steady, storm, license, restart; 'cluster' is opt-in)")
 		population = flag.Int("population", 100000, "simulated bootloaders per load scenario")
 		workers    = flag.Int("workers", 8, "real connections driving the fleet")
 		duration   = flag.Duration("duration", 10*time.Second, "measured steady phase per load scenario")
 		seed       = flag.Int64("seed", 1, "load schedule seed")
 		lease      = flag.Duration("lease", 0, "lease term override (default scales with population)")
+		members    = flag.Int("cluster", 0, "member count for the cluster load scenario (default 3)")
 		out        = flag.String("out", "", "write load results as JSON to this file (default: stdout only)")
 	)
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 			Duration:   *duration,
 			Seed:       *seed,
 			Lease:      *lease,
+			Cluster:    *members,
 		}, *out))
 	}
 

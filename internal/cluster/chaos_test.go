@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dbver"
+	"repro/internal/faultnet"
+	"repro/internal/wire"
+)
+
+// clusterChaosSeed mirrors the core soak's contract: CHAOS_SEED
+// reproduces a run, otherwise the schedule is fresh and the seed is
+// logged for replay.
+func clusterChaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", v, err)
+		}
+		t.Logf("cluster chaos seed %d (from CHAOS_SEED)", s)
+		return s
+	}
+	s := time.Now().UnixNano()
+	t.Logf("cluster chaos seed %d (rerun with CHAOS_SEED=%d)", s, s)
+	return s
+}
+
+// TestClusterChaosMemberDeath kills 1 of 3 license-mode members in the
+// middle of a renewal storm. TestClusterChaosPartition does the same
+// with a faultnet partition of the victim's cluster links (heartbeats
+// stall, client links stay up) that later heals. Both pin the Issue's
+// cluster-wide safety contract:
+//
+//   - the §5.4.2 license cap holds at every sampled instant: no driver
+//     ever carries two live leases, across all members;
+//   - no bootloader drops its held driver (zero revocations, checksum
+//     stays installed) — §4.1.3 at cluster scope;
+//   - leases survive with their identity: after convergence every
+//     bootloader renews successfully under its original lease id.
+func TestClusterChaosMemberDeath(t *testing.T) {
+	runClusterChaos(t, false)
+}
+
+func TestClusterChaosPartition(t *testing.T) {
+	runClusterChaos(t, true)
+}
+
+func runClusterChaos(t *testing.T, partition bool) {
+	seed := clusterChaosSeed(t)
+	const victim = 2
+
+	// Victim cluster links run through seeded faultnet proxies so the
+	// partition behaves like a real one: traffic stalls, connections
+	// stay "established", and only deadlines fire.
+	var proxyMu sync.Mutex
+	proxies := map[string]*faultnet.Proxy{}
+	proxyFor := func(link string, target string) (*faultnet.Proxy, error) {
+		proxyMu.Lock()
+		defer proxyMu.Unlock()
+		if p, ok := proxies[link]; ok {
+			return p, nil
+		}
+		p, err := faultnet.NewProxy(target, seed+int64(len(proxies)))
+		if err != nil {
+			return nil, err
+		}
+		proxies[link] = p
+		return p, nil
+	}
+	defer func() {
+		proxyMu.Lock()
+		defer proxyMu.Unlock()
+		for _, p := range proxies {
+			p.Close()
+		}
+	}()
+
+	cfg := testFleetConfig(3)
+	cfg.LicenseMode = true
+	cfg.ReapInterval = 100 * time.Millisecond
+	cfg.SweepInterval = 50 * time.Millisecond
+	cfg.ClusterDial = func(from, to int, addr string, timeout time.Duration) (*wire.Conn, error) {
+		if from == victim || to == victim {
+			p, err := proxyFor(fmt.Sprintf("%d-%d", from, to), addr)
+			if err != nil {
+				return nil, err
+			}
+			addr = p.Addr()
+		}
+		c, err := wire.Dial(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.SetWriteTimeout(timeout)
+		return c, nil
+	}
+	f := newTestFleet(t, cfg)
+	target := newTarget(t)
+
+	// License mode: one live lease per driver, so the fleet gets one
+	// driver (and one per-user permission) per bootloader. Driver-keyed
+	// sharding spreads them across all three members.
+	const clients = 9
+	for i := 0; i < clients; i++ {
+		seedDriver(t, f, 0, fmt.Sprintf("u%d", i), 2*time.Second)
+	}
+
+	boots := make([]*core.Bootloader, clients)
+	leaseIDs := make([]uint64, clients)
+	rt := newRuntime()
+	for i := 0; i < clients; i++ {
+		b := core.NewBootloader(dbver.APIOf("JDBC", 3, 0), dbver.PlatformLinuxAMD64,
+			f.Addrs(), rt,
+			core.WithCredentials(fmt.Sprintf("u%d", i), fmt.Sprintf("u%d-pw", i)),
+			core.WithClientID(fmt.Sprintf("chaos-client-%d", i)),
+			core.WithDialTimeout(time.Second),
+			core.WithRetryInterval(20*time.Millisecond))
+		defer b.Close()
+		conn, err := b.Connect("dbms://"+target.Addr()+"/prod", nil)
+		if err != nil {
+			t.Fatalf("bootstrap %d: %v", i, err)
+		}
+		defer conn.Close()
+		boots[i] = b
+		if leaseIDs[i] = b.LeaseID(); leaseIDs[i] == 0 {
+			t.Fatalf("bootloader %d holds no lease", i)
+		}
+	}
+
+	// The storm: every bootloader hammers renewals while a sampler
+	// continuously audits the cluster-wide license cap on a survivor's
+	// replicated store.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var capViolation atomic.Value // string
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(b *core.Bootloader) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = b.ForceRenew("prod") // failures mid-outage are expected; revocations are not
+				time.Sleep(20 * time.Millisecond)
+			}
+		}(boots[i])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			leases, err := f.Servers[0].Leases()
+			if err == nil {
+				now := time.Now()
+				live := map[int64]int{}
+				for _, l := range leases {
+					if !l.Released && l.ExpiresAt.After(now) {
+						live[l.DriverID]++
+					}
+				}
+				for drv, n := range live {
+					if n > 1 {
+						capViolation.Store(fmt.Sprintf("driver %d carries %d live leases", drv, n))
+					}
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond) // steady-state traffic first
+	if partition {
+		proxyMu.Lock()
+		for _, p := range proxies {
+			p.Partition()
+		}
+		proxyMu.Unlock()
+		time.Sleep(1200 * time.Millisecond) // fences, survivors take over
+		proxyMu.Lock()
+		for _, p := range proxies {
+			p.Heal()
+		}
+		proxyMu.Unlock()
+		time.Sleep(800 * time.Millisecond) // victim rejoins
+	} else {
+		f.Kill(victim)
+		time.Sleep(1500 * time.Millisecond) // survivors absorb the shards
+	}
+	close(stop)
+	wg.Wait()
+
+	if v := capViolation.Load(); v != nil {
+		t.Fatalf("license cap exceeded cluster-wide: %s", v)
+	}
+
+	// Convergence: every lease still renews, under its original id,
+	// with the driver still installed and never revoked.
+	for i, b := range boots {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if err := b.ForceRenew("prod"); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("bootloader %d never converged after the fault", i)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		if got := b.LeaseID(); got != leaseIDs[i] {
+			t.Errorf("bootloader %d lost lease identity: %d -> %d", i, leaseIDs[i], got)
+		}
+		if b.CurrentChecksum() == "" {
+			t.Errorf("bootloader %d dropped its held driver", i)
+		}
+		if m := b.Stats(); m.Revocations != 0 {
+			t.Errorf("bootloader %d was revoked mid-storm: %+v", i, m)
+		}
+	}
+}

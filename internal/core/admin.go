@@ -27,7 +27,7 @@ func (s *Server) AddDriver(img *driverimg.Image, format dbver.BinaryFormat) (int
 			s.idMu.Unlock()
 			return 0, err
 		}
-		s.nextDrvID++
+		s.nextDrvID = int64(nextStridedID(uint64(s.nextDrvID), s.idOffset, s.idStride))
 		id := s.nextDrvID
 		s.idMu.Unlock()
 
@@ -100,7 +100,7 @@ func (s *Server) SetPermission(p Permission) (int64, error) {
 			s.idMu.Unlock()
 			return 0, err
 		}
-		s.nextPermID++
+		s.nextPermID = int64(nextStridedID(uint64(s.nextPermID), s.idOffset, s.idStride))
 		p.PermissionID = s.nextPermID
 		s.idMu.Unlock()
 		err := insertPermission(s.router(), p)

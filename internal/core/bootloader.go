@@ -258,6 +258,18 @@ func (b *Bootloader) LeaseID() uint64 {
 	return b.cur.leaseID
 }
 
+// ServerAddr reports the server currently holding this bootloader's
+// lease ("" before bootstrap) — under clustering, the shard owner the
+// last grant or redirect landed on.
+func (b *Bootloader) ServerAddr() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur == nil {
+		return ""
+	}
+	return b.cur.serverAddr
+}
+
 // Stats snapshots the lifecycle metrics.
 func (b *Bootloader) Stats() Metrics {
 	b.metMu.Lock()
@@ -485,14 +497,34 @@ func (b *Bootloader) probeCached(addr string, req []byte) (offered, used bool, e
 }
 
 // fetch performs REQUEST → OFFER → FILE_REQUEST → FILE_DATA* against one
-// server and returns the offer plus the (possibly empty) driver blob.
-// It reuses a cached connection to addr when one is healthy; a cached
-// connection that fails mid-exchange (server restarted, idle drop) is
-// replaced by one fresh dial before the error is reported.
-func (b *Bootloader) fetch(addr, database string, leaseID uint64, checksum string) (Offer, []byte, error) {
+// server, following up to two cluster redirect hops: a non-owning
+// member answers msgRedirect naming the shard owner rather than
+// proxying, and the bootloader repeats the request there. It returns
+// the offer, the (possibly empty) driver blob, and the address that
+// actually answered — the owner after redirects — so the caller
+// records the right home for steady-state renewal traffic. A redirect
+// with no address (the answering member lost its cluster majority)
+// surfaces as a *Redirect error, which the renewal layer treats like
+// any other failed server: keep the driver, try the other servers.
+func (b *Bootloader) fetch(addr, database string, leaseID uint64, checksum string) (Offer, []byte, string, error) {
 	b.connMu.Lock()
 	defer b.connMu.Unlock()
+	for hop := 0; ; hop++ {
+		offer, blob, err := b.fetchLocked(addr, database, leaseID, checksum)
+		var re *Redirect
+		if hop < 2 && errors.As(err, &re) && re.Addr != "" && re.Addr != addr {
+			addr = re.Addr
+			continue
+		}
+		return offer, blob, addr, err
+	}
+}
 
+// fetchLocked runs one fetch against exactly one server; caller holds
+// connMu. It reuses a cached connection to addr when one is healthy; a
+// cached connection that fails mid-exchange (server restarted, idle
+// drop) is replaced by one fresh dial before the error is reported.
+func (b *Bootloader) fetchLocked(addr, database string, leaseID uint64, checksum string) (Offer, []byte, error) {
 	if b.srvConn != nil && b.srvConnAddr == addr {
 		offer, blob, err, clean, received := b.fetchOn(b.srvConn, database, leaseID, checksum)
 		if clean {
@@ -561,6 +593,15 @@ func (b *Bootloader) fetchOn(conn *wire.Conn, database string, leaseID uint64, c
 			return Offer{}, nil, derr, false, true
 		}
 		return Offer{}, nil, pe, true, true
+	case msgRedirect:
+		// Cluster shard routing: this member does not own the request's
+		// shard. A complete, clean exchange — the connection stays
+		// reusable (it is still the right server for DISCOVER probes).
+		re, derr := decodeRedirect(f.Payload)
+		if derr != nil {
+			return Offer{}, nil, derr, false, true
+		}
+		return Offer{}, nil, re, true, true
 	case msgOffer:
 	default:
 		return Offer{}, nil, fmt.Errorf("drivolution: unexpected frame 0x%04x", f.Type), false, true
@@ -653,14 +694,14 @@ func (b *Bootloader) bootstrap(database string) (*loadedDriver, error) {
 	if err != nil {
 		return nil, err
 	}
-	offer, blob, err := b.fetch(addr, database, 0, "")
+	offer, blob, served, err := b.fetch(addr, database, 0, "")
 	if err != nil {
 		return nil, err
 	}
 	if !offer.HasDriver {
-		return nil, fmt.Errorf("drivolution: server %s offered no driver data on bootstrap", addr)
+		return nil, fmt.Errorf("drivolution: server %s offered no driver data on bootstrap", served)
 	}
-	return b.install(offer, blob, addr)
+	return b.install(offer, blob, served)
 }
 
 // Close stops renewal goroutines and force-closes every managed

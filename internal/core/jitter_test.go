@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dbver"
+)
+
+// reseedJitter makes a server's jitter stream deterministic for a test
+// (WithLeaseJitter seeds from the global rng so production fleets
+// never share a stream).
+func reseedJitter(s *Server, seed int64) {
+	s.jitterMu.Lock()
+	s.jitterRng = rand.New(rand.NewSource(seed))
+	s.jitterMu.Unlock()
+}
+
+func TestLeaseJitterBounds(t *testing.T) {
+	srv := &Server{}
+	WithLeaseJitter(0.1)(srv)
+	reseedJitter(srv, 1)
+	const period = time.Hour
+	lo, hi := period, period
+	for i := 0; i < 10000; i++ {
+		j := srv.jitterLease(period)
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	min := period * 9 / 10
+	max := period * 11 / 10
+	if lo < min || hi > max {
+		t.Fatalf("jittered periods [%v, %v] escape the ±10%% band [%v, %v]", lo, hi, min, max)
+	}
+	if hi-lo < period/20 {
+		t.Fatalf("jittered periods [%v, %v] barely spread — rng not applied?", lo, hi)
+	}
+
+	plain := &Server{}
+	if got := plain.jitterLease(period); got != period {
+		t.Fatalf("unjittered server changed the period: %v", got)
+	}
+}
+
+// TestLeaseJitterDesyncsFleet pins the §3.4.2 renewal-storm defense as
+// a deterministic schedule simulation: 1000 clients all granted at the
+// same instant, each scheduling its next renewal one granted (jittered)
+// period out — exactly what a bootloader does with Offer.LeaseTime.
+// Within a few periods the lockstep cohort must have dissolved; the
+// unjittered control stays a single spike forever, which is why the
+// smearing has to happen server-side at grant time.
+func TestLeaseJitterDesyncsFleet(t *testing.T) {
+	const (
+		clients = 1000
+		period  = time.Hour
+		rounds  = 5
+	)
+	// peakCohort runs the fleet schedule forward and reports the
+	// largest number of clients renewing within any period/10 window
+	// after the final round.
+	peakCohort := func(srv *Server) int {
+		times := make([]time.Duration, clients)
+		for r := 0; r < rounds; r++ {
+			for i := range times {
+				times[i] += srv.jitterLease(period)
+			}
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		window := period / 10
+		peak, lo := 0, 0
+		for hi := range times {
+			for times[hi]-times[lo] > window {
+				lo++
+			}
+			if n := hi - lo + 1; n > peak {
+				peak = n
+			}
+		}
+		return peak
+	}
+
+	jittered := &Server{}
+	WithLeaseJitter(0.1)(jittered)
+	reseedJitter(jittered, 42)
+	if peak := peakCohort(jittered); peak > clients/2 {
+		t.Errorf("jittered fleet still synchronized after %d periods: %d/%d clients renew within period/10",
+			rounds, peak, clients)
+	} else {
+		t.Logf("jittered fleet: largest period/10 cohort %d/%d after %d periods", peak, clients, rounds)
+	}
+
+	if peak := peakCohort(&Server{}); peak != clients {
+		t.Errorf("control drifted: unjittered lockstep fleet should renew as one cohort, got %d/%d", peak, clients)
+	}
+}
+
+// TestLeaseJitterOnOffers checks the wire-visible half of the defense:
+// granted offers carry the jittered period (so clients schedule their
+// renew-ahead point from what was actually granted), and every renewal
+// re-draws it — jitter that applied only to the first grant would let
+// a synchronized fleet re-lock within one period.
+func TestLeaseJitterOnOffers(t *testing.T) {
+	f := newFixture(t, 1, WithDefaultLease(time.Hour), WithLeaseJitter(0.2))
+	reseedJitter(f.drv, 7)
+	f.addDriver(t, f.driverImage(dbver.V(1, 0, 0), 1, 256))
+
+	lc, err := DialLeaseClient(f.drv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	min := time.Hour * 8 / 10
+	max := time.Hour * 12 / 10
+	grants := map[time.Duration]bool{}
+	var renew Request
+	for i := 0; i < 8; i++ {
+		req := Request{
+			Database: "prod", User: "app", Password: "app-pw",
+			API:            dbver.APIOf("JDBC", 3, 0),
+			ClientPlatform: dbver.PlatformLinuxAMD64,
+			ClientID:       fmt.Sprintf("jitter-client-%d", i),
+		}
+		offer, err := lc.Request(req)
+		if err != nil {
+			t.Fatalf("grant %d: %v", i, err)
+		}
+		if offer.LeaseTime < min || offer.LeaseTime > max {
+			t.Fatalf("grant %d: lease %v outside the ±20%% band around 1h", i, offer.LeaseTime)
+		}
+		grants[offer.LeaseTime] = true
+		if i == 0 {
+			renew = req
+			renew.LeaseID = offer.LeaseID
+			renew.CurrentChecksum = offer.DriverChecksum
+		}
+	}
+	if len(grants) < 2 {
+		t.Fatalf("8 grants drew identical lease periods %v — jitter not applied", grants)
+	}
+
+	renewals := map[time.Duration]bool{}
+	for i := 0; i < 8; i++ {
+		offer, err := lc.Request(renew)
+		if err != nil {
+			t.Fatalf("renewal %d: %v", i, err)
+		}
+		if offer.LeaseTime < min || offer.LeaseTime > max {
+			t.Fatalf("renewal %d: lease %v outside the ±20%% band around 1h", i, offer.LeaseTime)
+		}
+		renewals[offer.LeaseTime] = true
+	}
+	if len(renewals) < 2 {
+		t.Fatalf("8 renewals drew identical lease periods %v — renewals must re-jitter", renewals)
+	}
+}

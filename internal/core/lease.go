@@ -20,6 +20,20 @@ func (s *Server) grant(req Request, isTLS bool) (Offer, *ProtocolError) {
 		return Offer{}, &ProtocolError{Code: ErrCodeTransfer,
 			Message: "driver requires the TLS transfer channel; reconnect over TLS"}
 	}
+	if perr == nil && s.route != nil {
+		// Cluster shard routing: the match succeeded, so the shard key
+		// (driver, client) is known — a member that does not own the
+		// shard redirects instead of granting, keeping exactly one
+		// grantor per shard across the fleet.
+		if rt := s.route(g.driverID, req.ClientID); !rt.Local {
+			return Offer{}, &ProtocolError{Code: ErrCodeInternal,
+				Message:  "shard owned by " + rt.Server,
+				redirect: &Redirect{Addr: rt.Addr, Server: rt.Server}}
+		}
+	}
+	if perr == nil {
+		g.leaseTime = s.jitterLease(g.leaseTime)
+	}
 
 	if req.LeaseID != 0 {
 		return s.renewLease(req, g, perr)
@@ -233,7 +247,7 @@ func (s *Server) newLease(req Request, g *grantInfo) (uint64, error) {
 			s.idMu.Unlock()
 			return 0, err
 		}
-		s.nextLease++
+		s.nextLease = nextStridedID(s.nextLease, s.idOffset, s.idStride)
 		id := s.nextLease
 		s.idMu.Unlock()
 
@@ -257,6 +271,22 @@ func (s *Server) newLease(req Request, g *grantInfo) (uint64, error) {
 		s.idMu.Unlock()
 	}
 	return 0, fmt.Errorf("core: lease id allocation kept colliding")
+}
+
+// nextStridedID returns the smallest id > cur with id ≡ offset (mod
+// stride). With stride ≤ 1 (no cluster striding configured) it is a
+// plain increment. Cluster members share one replicated id space; the
+// residue classes keep concurrent allocations collision-free without
+// coordination.
+func nextStridedID(cur, offset, stride uint64) uint64 {
+	if stride <= 1 {
+		return cur + 1
+	}
+	next := cur - cur%stride + offset%stride
+	if next <= cur {
+		next += stride
+	}
+	return next
 }
 
 // isDuplicateKey detects a primary-key collision, both for local stores

@@ -88,6 +88,16 @@ func (c *LeaseClient) Request(req Request) (Offer, error) {
 			return Offer{}, derr
 		}
 		return Offer{}, pe
+	case msgRedirect:
+		// Cluster shard routing: a clean, complete exchange — the
+		// connection stays healthy; the caller repeats the request on a
+		// client connected to re.Addr.
+		re, derr := decodeRedirect(f.Payload)
+		if derr != nil {
+			c.poisoned = true
+			return Offer{}, derr
+		}
+		return Offer{}, re
 	case msgOffer:
 		o, derr := decodeOffer(f.Payload)
 		if derr != nil {
@@ -98,6 +108,44 @@ func (c *LeaseClient) Request(req Request) (Offer, error) {
 	default:
 		c.poisoned = true
 		return Offer{}, fmt.Errorf("core: unexpected frame 0x%04x to lease request", f.Type)
+	}
+}
+
+// Discover runs one DISCOVER→OFFER matchmaking probe: the server
+// answers with lease terms and the matched driver's identity but
+// creates no lease (paper §3.1). Cluster benchmarks use it to measure
+// member-local matchmaking throughput.
+func (c *LeaseClient) Discover(req Request) (Offer, error) {
+	if c.poisoned {
+		return Offer{}, ErrLeaseClientPoisoned
+	}
+	if err := c.conn.Send(msgDiscover, req.encode()); err != nil {
+		c.poisoned = true
+		return Offer{}, err
+	}
+	f, err := c.recv()
+	if err != nil {
+		c.poisoned = true
+		return Offer{}, err
+	}
+	switch f.Type {
+	case msgError:
+		pe, derr := decodeProtocolError(f.Payload)
+		if derr != nil {
+			c.poisoned = true
+			return Offer{}, derr
+		}
+		return Offer{}, pe
+	case msgOffer:
+		o, derr := decodeOffer(f.Payload)
+		if derr != nil {
+			c.poisoned = true
+			return Offer{}, derr
+		}
+		return o, nil
+	default:
+		c.poisoned = true
+		return Offer{}, fmt.Errorf("core: unexpected frame 0x%04x to discover", f.Type)
 	}
 }
 

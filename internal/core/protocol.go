@@ -23,6 +23,7 @@ const (
 	msgNotify      uint16 = 0x0208 // server push: driver table changed
 	msgRelease     uint16 = 0x0209 // bootloader gives back its lease (license mode)
 	msgReleaseOK   uint16 = 0x020A
+	msgRedirect    uint16 = 0x020B // cluster: repeat the REQUEST at the owning member
 )
 
 // ErrorCode classifies DRIVOLUTION_ERROR messages.
@@ -69,6 +70,11 @@ func (c ErrorCode) String() string {
 type ProtocolError struct {
 	Code    ErrorCode
 	Message string
+
+	// redirect, when set, makes the request handler answer with a
+	// msgRedirect frame instead of an error frame (cluster shard
+	// routing); it never reaches the wire as an error.
+	redirect *Redirect
 }
 
 // Error implements error.
@@ -221,6 +227,44 @@ func decodeProtocolError(b []byte) (*ProtocolError, error) {
 	d := wire.NewDecoder(b)
 	pe := &ProtocolError{Code: ErrorCode(d.Uint16()), Message: d.String()}
 	return pe, d.Err()
+}
+
+// Redirect is the payload of msgRedirect: the answer a cluster member
+// gives to a REQUEST whose shard it does not own. The bootloader
+// repeats the request against Addr — the non-owner redirects rather
+// than proxying, so steady-state lease traffic flows straight to the
+// owner. An empty Addr means the answering member cannot name a
+// serving owner right now (it is cut off from the cluster majority);
+// the client should try its other configured servers.
+//
+// Redirect implements error so it can travel the same result paths as
+// *ProtocolError, and like *ProtocolError it marks a clean, complete
+// exchange: the connection remains on a frame boundary and is safe to
+// reuse.
+type Redirect struct {
+	Addr   string // owner's advertised client address ("" = none known)
+	Server string // owner's server name, for diagnostics
+}
+
+// Error implements error.
+func (r *Redirect) Error() string {
+	if r.Addr == "" {
+		return "drivolution: redirected: no owning member available"
+	}
+	return fmt.Sprintf("drivolution: redirected to %s (%s)", r.Addr, r.Server)
+}
+
+func (r *Redirect) encode() []byte {
+	e := wire.NewEncoder(64)
+	e.String(r.Addr)
+	e.String(r.Server)
+	return e.Bytes()
+}
+
+func decodeRedirect(b []byte) (*Redirect, error) {
+	d := wire.NewDecoder(b)
+	r := &Redirect{Addr: d.String(), Server: d.String()}
+	return r, d.Err()
 }
 
 // fileRequest asks for the driver binary of a lease.

@@ -83,27 +83,36 @@ func (b *Bootloader) ForceRenew(database string) error {
 // renewOnce performs one Table 4 renewal exchange and applies the
 // client-side policy actions.
 func (b *Bootloader) renewOnce(database string) error {
+	// Snapshot the lease fields under b.mu: a concurrent renewal (timer
+	// loop vs ForceRenew) rewrites them — including serverAddr when a
+	// cluster redirect re-homes the lease — while we are off the lock.
 	b.mu.Lock()
 	cur := b.cur
+	var serverAddr, checksum string
+	var leaseID uint64
+	if cur != nil {
+		serverAddr, leaseID, checksum = cur.serverAddr, cur.leaseID, cur.checksum
+	}
 	b.mu.Unlock()
 	if cur == nil {
 		return ErrNoDriverAvailable
 	}
 
-	offer, blob, err := b.fetch(cur.serverAddr, database, cur.leaseID, cur.checksum)
-	addr := cur.serverAddr
+	offer, blob, addr, err := b.fetch(serverAddr, database, leaseID, checksum)
 	if err != nil {
 		var pe *ProtocolError
 		if !errors.As(err, &pe) {
-			// Network failure: fail over to another configured server
-			// (paper §5.3.2: bootloaders "perform failover, if the first
-			// host in the list becomes unavailable").
+			// Network failure — or a cluster redirect that could not name
+			// a serving owner (*Redirect with no address): fail over to
+			// another configured server (paper §5.3.2: bootloaders
+			// "perform failover, if the first host in the list becomes
+			// unavailable").
 			for _, alt := range b.servers {
-				if alt == cur.serverAddr {
+				if alt == serverAddr {
 					continue
 				}
-				if o, bl2, e2 := b.fetch(alt, database, cur.leaseID, cur.checksum); e2 == nil || errors.As(e2, &pe) {
-					offer, blob, err, addr = o, bl2, e2, alt
+				if o, bl2, served, e2 := b.fetch(alt, database, leaseID, checksum); e2 == nil || errors.As(e2, &pe) {
+					offer, blob, err, addr = o, bl2, e2, served
 					break
 				}
 			}
@@ -117,7 +126,7 @@ func (b *Bootloader) renewOnce(database string) error {
 				// The answering server does not know this lease — e.g. a
 				// replicated embedded server that took over after its
 				// peer died. DHCP-style recovery: acquire a fresh lease.
-				return b.rebootstrap(addr, database, cur)
+				return b.rebootstrap(addr, database, cur, checksum)
 			case ErrCodeTransfer, ErrCodeInternal:
 				// Transient or configuration trouble on the server side:
 				// keep the working driver and retry later.
@@ -128,7 +137,7 @@ func (b *Bootloader) renewOnce(database string) error {
 			// DRIVOLUTION_ERROR: the driver is revoked with no
 			// replacement. Apply the current expiration policy (Table 4's
 			// REVOKE branch).
-			b.logf("drivolution: lease %d revoked: %v", cur.leaseID, pe)
+			b.logf("drivolution: lease %d revoked: %v", leaseID, pe)
 			b.revokeCurrent(pe)
 			return pe
 		}
@@ -182,8 +191,8 @@ func (b *Bootloader) renewOnce(database string) error {
 // unknown there. If the offered driver is content-identical to the
 // running one, only the lease bookkeeping changes; otherwise the swap
 // follows the offered expiration policy like any upgrade.
-func (b *Bootloader) rebootstrap(addr, database string, cur *loadedDriver) error {
-	offer, blob, err := b.fetch(addr, database, 0, cur.checksum)
+func (b *Bootloader) rebootstrap(addr, database string, cur *loadedDriver, checksum string) error {
+	offer, blob, addr, err := b.fetch(addr, database, 0, checksum)
 	if err != nil {
 		var pe *ProtocolError
 		if errors.As(err, &pe) {
@@ -191,7 +200,7 @@ func (b *Bootloader) rebootstrap(addr, database string, cur *loadedDriver) error
 		}
 		return err
 	}
-	if offer.HasDriver && offer.DriverChecksum != cur.checksum {
+	if offer.HasDriver && offer.DriverChecksum != checksum {
 		newLD, err := b.install(offer, blob, addr)
 		if err != nil {
 			return err
@@ -227,6 +236,10 @@ func (b *Bootloader) rebootstrap(addr, database string, cur *loadedDriver) error
 func (b *Bootloader) revokeCurrent(cause error) {
 	b.mu.Lock()
 	cur := b.cur
+	var pol ExpirationPolicy
+	if cur != nil {
+		pol = cur.expirePol
+	}
 	b.cur = nil
 	b.revoked = true
 	b.revokeErr = errors.Join(ErrNoDriverAvailable, cause)
@@ -235,7 +248,7 @@ func (b *Bootloader) revokeCurrent(cause error) {
 		return
 	}
 	b.addMetric(func(m *Metrics) { m.Revocations++ })
-	cur.transition(b, cur.expirePol)
+	cur.transition(b, pol)
 }
 
 // pushLoop maintains the dedicated update channel (§3.2). A NOTIFY wakes
@@ -318,16 +331,21 @@ func (b *Bootloader) pushLoop(database string) {
 func (b *Bootloader) ReleaseLease() error {
 	b.mu.Lock()
 	cur := b.cur
+	var serverAddr string
+	var leaseID uint64
+	if cur != nil {
+		serverAddr, leaseID = cur.serverAddr, cur.leaseID
+	}
 	b.mu.Unlock()
 	if cur == nil {
 		return ErrNoDriverAvailable
 	}
-	conn, err := b.dialServer(cur.serverAddr)
+	conn, err := b.dialServer(serverAddr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	if err := conn.Send(msgRelease, releaseMsg{LeaseID: cur.leaseID}.encode()); err != nil {
+	if err := conn.Send(msgRelease, releaseMsg{LeaseID: leaseID}.encode()); err != nil {
 		return err
 	}
 	f, err := conn.RecvTimeout(b.dialTimeout)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,17 @@ type Server struct {
 	licenseMode bool
 	licenseMu   sync.Mutex // serializes license-mode grants (see grantSerialized)
 
+	// Cluster hooks (internal/cluster): route decides per grant whether
+	// this server owns the request's shard; idOffset/idStride pin every
+	// id this server allocates to a residue class so members of a
+	// replicated fleet never collide; leaseJitter smears granted lease
+	// periods so a synchronized fleet's renewals de-synchronize.
+	route              ShardRouter
+	idOffset, idStride uint64
+	leaseJitter        float64
+	jitterMu           sync.Mutex // guards jitterRng only
+	jitterRng          *rand.Rand
+
 	defaultLease      time.Duration
 	defaultRenew      RenewPolicy
 	defaultExpiration ExpirationPolicy
@@ -59,7 +71,7 @@ type Server struct {
 	// boundaries, like licenseMu held around grant, are documented
 	// contracts instead).
 	//
-	//lint:latch-leaf Server.licenseMu Server.mu Server.idMu Server.pendingMu Server.subMu Server.connsMu Server.catMu Server.stmtMu
+	//lint:latch-leaf Server.licenseMu Server.mu Server.idMu Server.pendingMu Server.subMu Server.connsMu Server.catMu Server.stmtMu Server.jitterMu
 	mu sync.Mutex // listener lifecycle only
 	ln net.Listener
 
@@ -107,7 +119,32 @@ type Server struct {
 	leasesGranted atomic.Int64
 	renewKeeps    atomic.Int64
 	renewUpgrades atomic.Int64
+	redirects     atomic.Int64
 }
+
+// Route is a ShardRouter's decision for one grant.
+type Route struct {
+	// Local reports that this server owns the request's shard and may
+	// create or renew the lease itself.
+	Local bool
+	// Addr is the owner's advertised client address when !Local. Empty
+	// (with Local false) means no serving owner is known — the member
+	// is cut off from the cluster majority and must not grant; the
+	// request handler answers with an empty redirect so the bootloader
+	// fails over to its other configured servers.
+	Addr string
+	// Server names the owner for diagnostics.
+	Server string
+}
+
+// ShardRouter lets a cluster layer (internal/cluster) decide which
+// member may create or renew leases for a matched request. It is
+// consulted after matchmaking succeeds and before any lease row is
+// touched; driverID is the matched driver and clientID the requesting
+// bootloader's identity, so the cluster can shard by either key.
+// Matchmaking itself (DISCOVER) stays member-local: every member
+// answers it from its replicated catalog.
+type ShardRouter func(driverID int64, clientID string) Route
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -154,6 +191,38 @@ func WithDefaultPolicies(r RenewPolicy, e ExpirationPolicy) ServerOption {
 // the §5.4.2 per-user license model.
 func WithLicenseMode() ServerOption {
 	return func(s *Server) { s.licenseMode = true }
+}
+
+// WithShardRouter installs cluster shard routing: every REQUEST whose
+// shard the router assigns elsewhere is answered with a msgRedirect
+// frame naming the owner instead of a grant, and DISCOVER is declined
+// while the router reports no serving owner at all (this member lost
+// its cluster majority). Single-server deployments leave it nil.
+func WithShardRouter(r ShardRouter) ServerOption {
+	return func(s *Server) { s.route = r }
+}
+
+// WithIDStride pins every id this server allocates (leases, drivers,
+// permissions) to the residue class id ≡ offset (mod stride). Cluster
+// members replicating one schema use disjoint offsets so concurrent
+// allocations never collide across members — without it, two members
+// inserting the same id would each keep their local row and silently
+// drop the replicated twin, diverging the stores.
+func WithIDStride(offset, stride uint64) ServerOption {
+	return func(s *Server) { s.idOffset, s.idStride = offset, stride }
+}
+
+// WithLeaseJitter smears every granted lease period by a uniform
+// ±frac (e.g. 0.1 = ±10%). A fleet bootstrapped in lockstep otherwise
+// renews in lockstep forever — the §3.4.2 renewal storm; jittered
+// terms de-synchronize it within a few periods. Offers still carry
+// the jittered period, so clients schedule their renew-ahead point
+// from what was actually granted.
+func WithLeaseJitter(frac float64) ServerOption {
+	return func(s *Server) {
+		s.leaseJitter = frac
+		s.jitterRng = rand.New(rand.NewSource(rand.Int63()))
+	}
 }
 
 // WithHandshakeTimeout bounds how long an accepted connection may take
@@ -270,6 +339,9 @@ type ServerCounters struct {
 	// RenewUpgrades counts renewals offered a different driver — the
 	// fleet-wide hot-swap events of an upgrade storm.
 	RenewUpgrades int64
+	// Redirects counts REQUESTs answered with a msgRedirect frame
+	// because another cluster member owns the shard.
+	Redirects int64
 }
 
 // Counters snapshots every protocol counter by name.
@@ -284,6 +356,7 @@ func (s *Server) Counters() ServerCounters {
 		LeasesGranted: s.leasesGranted.Load(),
 		RenewKeeps:    s.renewKeeps.Load(),
 		RenewUpgrades: s.renewUpgrades.Load(),
+		Redirects:     s.redirects.Load(),
 	}
 }
 
@@ -459,6 +532,15 @@ func (s *Server) handleDiscover(conn *wire.Conn, payload []byte) {
 		s.sendError(conn, perr.Code, perr.Message)
 		return
 	}
+	if s.route != nil {
+		// A fenced cluster member (no quorum: it can neither grant nor
+		// name a serving owner) must not advertise itself in discovery;
+		// an erroring answer sends the bootloader to its other servers.
+		if rt := s.route(g.driverID, req.ClientID); !rt.Local && rt.Addr == "" {
+			s.sendError(conn, ErrCodeInternal, "cluster member cannot serve: no quorum")
+			return
+		}
+	}
 	s.offers.Add(1)
 	s.sendOffer(conn, Offer{
 		LeaseTime:        g.leaseTime,
@@ -497,11 +579,33 @@ func (s *Server) handleRequest(conn *wire.Conn, payload []byte) {
 	}
 	offer, perr := s.grantSerialized(req, conn.IsTLS())
 	if perr != nil {
+		if perr.redirect != nil {
+			s.redirects.Add(1)
+			_ = conn.Send(msgRedirect, perr.redirect.encode())
+			return
+		}
 		s.sendError(conn, perr.Code, perr.Message)
 		return
 	}
 	s.offers.Add(1)
 	s.sendOffer(conn, offer)
+}
+
+// jitterLease smears a granted lease period by ±leaseJitter (uniform).
+// No-op unless WithLeaseJitter configured the server.
+func (s *Server) jitterLease(d time.Duration) time.Duration {
+	if s.leaseJitter <= 0 || s.jitterRng == nil {
+		return d
+	}
+	s.jitterMu.Lock()
+	u := s.jitterRng.Float64()
+	s.jitterMu.Unlock()
+	f := 1 + s.leaseJitter*(2*u-1)
+	j := time.Duration(float64(d) * f)
+	if j <= 0 {
+		return d
+	}
+	return j
 }
 
 // grantSerialized runs grant, serialized in license mode: the

@@ -822,6 +822,38 @@ func (s *Server) ApplyReplicated(dbName string, m execMsg) error {
 	return err
 }
 
+// Execute runs one statement on the named database in-process — no
+// wire connection — and ships it to attached replicas when it mutates,
+// exactly like a statement arriving over the protocol. Cluster members
+// embed a non-listening Server purely as a replication hub and funnel
+// their store writes through here, so every member's local database
+// converges with its peers'.
+func (s *Server) Execute(dbName, sql string, args ...any) (*sqlmini.Result, error) {
+	db := s.Database(dbName)
+	if db == nil {
+		return nil, fmt.Errorf("dbms %s: no database %q", s.name, dbName)
+	}
+	m, err := marshalExec(sql, args)
+	if err != nil {
+		return nil, err
+	}
+	mutating, err := isMutating(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.queries.Add(1)
+	sess := db.NewSession()
+	defer sess.Close()
+	res, err := execOn(sess, m)
+	if err != nil {
+		return nil, err
+	}
+	if mutating {
+		s.replicate(dbName, m)
+	}
+	return res, nil
+}
+
 // isMutating classifies a statement by its parsed type.
 func isMutating(sql string) (bool, error) {
 	st, err := sqlmini.Parse(sql)

@@ -52,6 +52,9 @@ type LoadConfig struct {
 	Lease time.Duration
 	// Payload is the driver blob size in bytes (default 1KiB).
 	Payload int
+	// Cluster is the member count for the cluster scenario (default
+	// 3); the single-server scenarios ignore it.
+	Cluster int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -110,6 +113,7 @@ type LoadResult struct {
 	Upgrades         int64   `json:"upgrades"`
 	Denied           int64   `json:"denied"`
 	Rebootstraps     int64   `json:"rebootstraps"`
+	Redirects        int64   `json:"redirects"`
 	TransferBytes    int64   `json:"transfer_bytes"`
 	ScheduleLagMaxMs float64 `json:"schedule_lag_max_ms"`
 
@@ -134,8 +138,12 @@ func RunLoad(name string, cfg LoadConfig) (*LoadResult, error) {
 		return loadLicense(cfg)
 	case "restart":
 		return loadRestart(cfg)
+	case "cluster":
+		// The opt-in multi-member tier (`make loadtest CLUSTER=3`);
+		// not in LoadScenarios so `-load all` stays single-server.
+		return loadCluster(cfg)
 	default:
-		return nil, fmt.Errorf("scenarios: unknown load scenario %q (have %v)", name, LoadScenarios())
+		return nil, fmt.Errorf("scenarios: unknown load scenario %q (have %v plus \"cluster\")", name, LoadScenarios())
 	}
 }
 
@@ -237,12 +245,13 @@ func rampFor(cfg LoadConfig) time.Duration {
 	return r
 }
 
-// result folds a fleet report and server-side counters into the
-// persisted shape.
-func result(name string, cfg LoadConfig, rep workload.FleetReport, store *countingStore) *LoadResult {
+// result folds a fleet report and the server-side statement count
+// (from the countingStore, or table-version deltas for the cluster
+// tier) into the persisted shape.
+func result(name string, cfg LoadConfig, rep workload.FleetReport, stmts int64) *LoadResult {
 	stmtRate := 0.0
 	if rep.Elapsed > 0 {
-		stmtRate = float64(store.stmts.Load()) / rep.Elapsed.Seconds()
+		stmtRate = float64(stmts) / rep.Elapsed.Seconds()
 	}
 	return &LoadResult{
 		Scenario:         name,
@@ -263,6 +272,7 @@ func result(name string, cfg LoadConfig, rep workload.FleetReport, store *counti
 		Upgrades:         rep.Upgrades,
 		Denied:           rep.Denied,
 		Rebootstraps:     rep.Rebootstraps,
+		Redirects:        rep.Redirects,
 		TransferBytes:    rep.TransferBytes,
 		ScheduleLagMaxMs: float64(rep.ScheduleLagMax) / float64(time.Millisecond),
 	}
@@ -287,7 +297,7 @@ func loadSteady(cfg LoadConfig) (*LoadResult, error) {
 		return nil, err
 	}
 	rep := f.RunFor(rampFor(cfg) + cfg.Duration)
-	res := result("steady", cfg, rep, store)
+	res := result("steady", cfg, rep, store.stmts.Load())
 	if rep.Stats.Errors != 0 {
 		return res, fmt.Errorf("steady-state fleet saw %d errors: %s", rep.Stats.Errors, rep)
 	}
@@ -388,7 +398,7 @@ func loadStorm(cfg LoadConfig) (*LoadResult, error) {
 	}
 	f.Stop()
 	rep := f.Report()
-	res := result("storm", cfg, rep, store)
+	res := result("storm", cfg, rep, store.stmts.Load())
 	res.ConvergeMs = float64(converge) / float64(time.Millisecond)
 	if rep.Stats.Errors != 0 {
 		return res, fmt.Errorf("upgrade storm saw %d errors: %s", rep.Stats.Errors, rep)
@@ -460,7 +470,7 @@ func loadLicense(cfg LoadConfig) (*LoadResult, error) {
 	}
 	f.Stop()
 	rep := f.Report()
-	res := result("license", cfg, rep, store)
+	res := result("license", cfg, rep, store.stmts.Load())
 	res.PeakLicenses = peak
 	res.LicenseCap = seats
 	if peak > seats {
@@ -531,7 +541,7 @@ func loadRestart(cfg LoadConfig) (*LoadResult, error) {
 	}
 	f.Stop()
 	rep := f.Report()
-	res := result("restart", cfg, rep, store)
+	res := result("restart", cfg, rep, store.stmts.Load())
 	res.ConvergeMs = float64(converge) / float64(time.Millisecond)
 	if rep.Stats.Errors == 0 {
 		return res, fmt.Errorf("restart storm saw no errors — the outage was not exercised")

@@ -1,6 +1,8 @@
 package scenarios
 
 import (
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -160,5 +162,34 @@ func TestLoadRestartStormSmall(t *testing.T) {
 	}
 	if res.Upgrades < int64(res.Population) {
 		t.Fatalf("only %d/%d clients upgraded through the restart", res.Upgrades, res.Population)
+	}
+}
+
+// TestLoadClusterFailoverSmall is the scaled-down cluster tier: a
+// 3-member control plane under the simulated fleet, one member killed
+// mid-run. It is opt-in (`make loadtest CLUSTER=3` sets LOAD_CLUSTER)
+// so the tier-1 `go test ./...` path stays single-server; the scenario
+// itself asserts the routing/no-lost-lease/bounded-window invariants.
+func TestLoadClusterFailoverSmall(t *testing.T) {
+	members := 3
+	if v := os.Getenv("LOAD_CLUSTER"); v == "" {
+		t.Skip("cluster load tier is opt-in: run via `make loadtest CLUSTER=3` (sets LOAD_CLUSTER)")
+	} else if n, err := strconv.Atoi(v); err == nil && n > 1 {
+		members = n
+	}
+	res, err := RunLoad("cluster", LoadConfig{
+		Population: 150, Workers: 4, Duration: 2 * time.Second, Seed: 13,
+		Payload: 512, Cluster: members,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cluster small: %d reqs, %d redirects, errors %d (window %.0fms), p99 %.0fµs",
+		res.Requests, res.Redirects, res.Errors, res.ErrorWindowMs, res.P99Us)
+	if res.Redirects == 0 {
+		t.Fatalf("no redirects observed: %+v", res)
+	}
+	if res.Rebootstraps != 0 {
+		t.Fatalf("leases lost across the kill: %+v", res)
 	}
 }

@@ -1,0 +1,52 @@
+package sqlmini
+
+import (
+	"sync"
+	"time"
+)
+
+// Background MVCC sweeping. GC is normally piggybacked on writers
+// (maybeGCLocked fires when a table's deferred queue grows), which
+// means a table that goes write-idle keeps its accumulated version
+// chains forever: nothing ever reaches the threshold again, so a
+// burst of updates followed by a read-only period pins every
+// superseded version. The sweeper closes that gap with a periodic
+// full round, independent of write traffic.
+
+// Sweep forces one full garbage-collection round over every table,
+// reclaiming all row versions no live snapshot can need. Write-idle
+// databases use it (or StartSweeper) to converge version chains to
+// length 1.
+func (db *DB) Sweep() { db.gcAll() }
+
+// StartSweeper runs Sweep every interval on a background goroutine
+// until the returned stop function is called. stop blocks until the
+// goroutine has exited and is safe to call more than once. Each round
+// takes the DDL lock and every table latch briefly (the same order
+// writers use), so the cadence should be coarse — seconds, not
+// milliseconds — on write-hot databases.
+func (db *DB) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				db.gcAll()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

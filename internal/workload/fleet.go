@@ -34,8 +34,9 @@ import (
 // which is exactly where renewal stampedes, upgrade storms, and tail
 // collapse live.
 type Fleet struct {
-	cfg FleetConfig
-	rec *Recorder
+	cfg   FleetConfig
+	addrs []string // resolved server list (cfg.Addrs, or [cfg.Addr])
+	rec   *Recorder
 
 	start  time.Time
 	stopCh chan struct{}
@@ -60,6 +61,7 @@ type Fleet struct {
 	rebootstraps  atomic.Int64
 	releases      atomic.Int64
 	transferBytes atomic.Int64
+	redirects     atomic.Int64
 
 	workerLag []lagSlot
 }
@@ -76,6 +78,12 @@ type lagSlot struct {
 type FleetConfig struct {
 	// Addr is the Drivolution server (or fault proxy) address.
 	Addr string
+	// Addrs lists every member of a server cluster; when set it
+	// supersedes Addr. Clients start spread across the members, chase
+	// REDIRECT frames to their shard owners, and fail over to the next
+	// member when one stops answering — the simulated analog of the
+	// bootloader's multi-server list (§5.3.2).
+	Addrs []string
 	// Database, User, Password fill every request's credentials.
 	Database string
 	User     string
@@ -142,6 +150,7 @@ type vclient struct {
 	renewals uint16 // renewals on the current lease (release churn)
 	seq      uint16 // per-client event counter feeding the jitter prng
 	state    uint8
+	home     uint8 // index into Fleet.addrs this client currently talks to
 }
 
 const (
@@ -167,8 +176,15 @@ func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1
 // NewFleet validates the config and builds the client population and
 // its initial bootstrap schedule.
 func NewFleet(cfg FleetConfig) (*Fleet, error) {
-	if cfg.Addr == "" {
+	addrs := cfg.Addrs
+	if len(addrs) == 0 && cfg.Addr != "" {
+		addrs = []string{cfg.Addr}
+	}
+	if len(addrs) == 0 {
 		return nil, errors.New("workload: fleet needs a server address")
+	}
+	if len(addrs) > 256 {
+		return nil, errors.New("workload: at most 256 cluster members")
 	}
 	if cfg.Population <= 0 {
 		return nil, errors.New("workload: fleet needs a population")
@@ -205,6 +221,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	f := &Fleet{
 		cfg:       cfg,
+		addrs:     addrs,
 		rec:       rec,
 		stopCh:    make(chan struct{}),
 		clients:   make([]vclient, cfg.Population),
@@ -218,6 +235,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	// per-client jitter, already heap-ordered by construction.
 	step := float64(cfg.RampUp) / float64(cfg.Population)
 	for i := range f.clients {
+		// Clients start spread across the members; redirects move each
+		// one to its shard owner within its first exchange.
+		f.clients[i].home = uint8(i % len(addrs))
 		due := int64(float64(i) * step)
 		f.events = append(f.events, event{due: due, id: int32(i)})
 	}
@@ -281,6 +301,9 @@ type FleetReport struct {
 	Denied       int64
 	Rebootstraps int64
 	Releases     int64
+	// Redirects counts cluster REDIRECT answers followed (clients
+	// relocating to their shard owners).
+	Redirects int64
 	// ScheduleLagMax is the worst observed delay between an event's
 	// due time and a worker starting it. When it approaches the lease
 	// term the harness (or the server) is saturated and tail numbers
@@ -315,6 +338,7 @@ func (f *Fleet) Report() FleetReport {
 		Denied:         f.denied.Load(),
 		Rebootstraps:   f.rebootstraps.Load(),
 		Releases:       f.releases.Load(),
+		Redirects:      f.redirects.Load(),
 		ScheduleLagMax: time.Duration(lag),
 	}
 }
@@ -356,6 +380,17 @@ func (f *Fleet) Live() int {
 }
 
 func (f *Fleet) now() int64 { return int64(time.Since(f.start)) }
+
+// addrIndex resolves a redirect target to a member slot (-1 when the
+// address is not in the configured list).
+func (f *Fleet) addrIndex(addr string) int {
+	for i, a := range f.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
+}
 
 // rand01 derives a deterministic uniform in [0,1) from (seed, client,
 // event counter) via splitmix64 — no per-client rng state, no locks.
@@ -413,16 +448,19 @@ func (f *Fleet) setLive(delta int64) {
 	f.mu.Unlock()
 }
 
-// worker drains due events with one real connection. A transport
-// failure poisons the connection; the replacement dial follows a
+// worker drains due events with one real connection per cluster
+// member (one total against a single server). A transport failure
+// poisons the affected connection; the replacement dial follows a
 // jittered exponential backoff so a dead server is probed, not
 // hammered, and the fleet storms back de-correlated after a heal.
 func (f *Fleet) worker(w int) {
 	defer f.wg.Done()
-	var lc *core.LeaseClient
+	conns := make([]*core.LeaseClient, len(f.addrs))
 	defer func() {
-		if lc != nil {
-			lc.Close()
+		for _, lc := range conns {
+			if lc != nil {
+				lc.Close()
+			}
 		}
 	}()
 	bo := faultnet.NewBackoff(faultnet.Policy{
@@ -462,12 +500,15 @@ func (f *Fleet) worker(w int) {
 			atomic.StoreInt64(&f.workerLag[w].max, lag)
 		}
 
-		if lc == nil {
-			var err error
-			lc, err = core.DialLeaseClient(f.cfg.Addr, f.cfg.OpTimeout)
+		home := int(f.clients[ev.id].home)
+		if conns[home] == nil {
+			lc, err := core.DialLeaseClient(f.addrs[home], f.cfg.OpTimeout)
 			if err != nil {
 				vc := &f.clients[ev.id]
 				vc.seq++
+				// The member is unreachable: this client fails over to
+				// the next one (no-op against a single server).
+				vc.home = uint8((home + 1) % len(f.addrs))
 				f.rec.RecordShard(w, Outcome{Start: time.Now(), Err: err, ConnectFail: true})
 				f.reschedule(ev.id, f.retryDelay(ev.id, vc.seq))
 				if !bo.Sleep(f.stopCh) {
@@ -476,13 +517,14 @@ func (f *Fleet) worker(w int) {
 				continue
 			}
 			bo.Reset()
+			conns[home] = lc
 		}
-		if !f.step(w, &lc, ev.id) {
+		if !f.step(w, conns[home], ev.id) {
 			// Transport failure mid-exchange: drop the conn; the next
 			// due event dials afresh (after backoff above if it keeps
 			// failing).
-			lc.Close()
-			lc = nil
+			conns[home].Close()
+			conns[home] = nil
 		}
 	}
 }
@@ -499,10 +541,9 @@ func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
 }
 
 // step runs one virtual client's due action on the worker's
-// connection. It returns false when the connection is no longer
-// usable (transport failure).
-func (f *Fleet) step(w int, lcp **core.LeaseClient, id int32) bool {
-	lc := *lcp
+// connection to the client's current home member. It returns false
+// when that connection is no longer usable (transport failure).
+func (f *Fleet) step(w int, lc *core.LeaseClient, id int32) bool {
 	vc := &f.clients[id]
 	vc.seq++
 	req := core.Request{
@@ -523,11 +564,28 @@ func (f *Fleet) step(w int, lcp **core.LeaseClient, id int32) bool {
 	lat := time.Since(start)
 
 	if err != nil {
+		var re *core.Redirect
+		if errors.As(err, &re) {
+			// A clean cluster redirect: the connection stays healthy.
+			// A named owner moves the client there (next event runs at
+			// the owner, nearly immediately); an empty redirect means
+			// the member is fenced — fail over to the next one.
+			f.redirects.Add(1)
+			if i := f.addrIndex(re.Addr); i >= 0 {
+				vc.home = uint8(i)
+				f.reschedule(id, f.retryDelay(id, vc.seq)/16)
+			} else {
+				vc.home = uint8((int(vc.home) + 1) % len(f.addrs))
+				f.reschedule(id, f.retryDelay(id, vc.seq))
+			}
+			return true
+		}
 		var pe *core.ProtocolError
 		if !errors.As(err, &pe) {
 			// Transport failure: record, keep the client's identity
-			// (§4.1.3 keep-serving — its lease may still be live), retry
-			// later, and tell the worker to redial.
+			// (§4.1.3 keep-serving — its lease may still be live), fail
+			// over, retry later, and tell the worker to redial.
+			vc.home = uint8((int(vc.home) + 1) % len(f.addrs))
 			f.rec.RecordShard(w, Outcome{Start: start, Latency: lat, Err: err})
 			f.reschedule(id, f.retryDelay(id, vc.seq))
 			return false
@@ -649,8 +707,8 @@ func (f *Fleet) dropLease(vc *vclient) {
 func (r FleetReport) String() string {
 	s := r.Stats
 	return fmt.Sprintf(
-		"%d reqs (%.0f/s), %d errors (%d timeouts), p50 %v p95 %v p99 %v max %v, window %v, live %d, upgrades %d, denied %d, lag %v",
+		"%d reqs (%.0f/s), %d errors (%d timeouts), p50 %v p95 %v p99 %v max %v, window %v, live %d, upgrades %d, denied %d, redirects %d, lag %v",
 		s.Total, r.RequestsPerSec, s.Errors, s.Timeouts,
 		s.P50, s.P95, s.P99, s.Max, s.ErrorWindow.Round(time.Millisecond),
-		r.Live, r.Upgrades, r.Denied, r.ScheduleLagMax.Round(time.Millisecond))
+		r.Live, r.Upgrades, r.Denied, r.Redirects, r.ScheduleLagMax.Round(time.Millisecond))
 }

@@ -12,7 +12,7 @@
 #   BENCH_TIME    go -benchtime (default 1s)
 #   BENCH_FILTER  go -bench regexp (default: the perf-tracked grant/wire set;
 #                 set to '.' for the full suite, which includes slow sweeps)
-#   BENCH_PKGS    packages to bench (default ". ./internal/wire")
+#   BENCH_PKGS    packages to bench (default ". ./internal/wire ./internal/cluster")
 #   BENCH_CPU     go -cpu list (e.g. "1,4,8") for the GOMAXPROCS scaling
 #                 study of the BenchmarkConcurrent* family. Unset = the
 #                 machine's GOMAXPROCS. Baseline/compare JSON folds cpu
@@ -26,8 +26,8 @@ cd "$(dirname "$0")/.."
 MODE="${1:-compare}"
 COUNT="${BENCH_COUNT:-5}"
 TIME="${BENCH_TIME:-1s}"
-FILTER="${BENCH_FILTER:-BenchmarkMatchmaking|BenchmarkLeaseRenewalNoChange|BenchmarkLeaseRenewalUpgrade|BenchmarkLeaseRenewalAt100Leases|BenchmarkLeaseRenewalAt10000Leases|BenchmarkLicenseCheckAt10000Leases|BenchmarkExpirySweepAt100Leases|BenchmarkExpirySweepAt10000Leases|BenchmarkLicenseUsageCountAt10000Leases|BenchmarkExternalLeaseRenewal|BenchmarkExternalReapAt1000Leases|BenchmarkExternalMatchmaking|BenchmarkExternalPreparedRenewal|BenchmarkBootstrapProtocol|BenchmarkConcurrentBootstrap|BenchmarkConcurrentMatchmaking|BenchmarkConcurrentRenewal|BenchmarkConcurrentMixed|BenchmarkFrameRoundTrip|BenchmarkEncoder|BenchmarkDecoder|BenchmarkFileChunkFraming}"
-PKGS="${BENCH_PKGS:-. ./internal/wire}"
+FILTER="${BENCH_FILTER:-BenchmarkMatchmaking|BenchmarkLeaseRenewalNoChange|BenchmarkLeaseRenewalUpgrade|BenchmarkLeaseRenewalAt100Leases|BenchmarkLeaseRenewalAt10000Leases|BenchmarkLicenseCheckAt10000Leases|BenchmarkExpirySweepAt100Leases|BenchmarkExpirySweepAt10000Leases|BenchmarkLicenseUsageCountAt10000Leases|BenchmarkExternalLeaseRenewal|BenchmarkExternalReapAt1000Leases|BenchmarkExternalMatchmaking|BenchmarkExternalPreparedRenewal|BenchmarkBootstrapProtocol|BenchmarkConcurrentBootstrap|BenchmarkConcurrentMatchmaking|BenchmarkConcurrentRenewal|BenchmarkConcurrentMixed|BenchmarkClusterMatchmaking|BenchmarkClusterRenewal|BenchmarkFrameRoundTrip|BenchmarkEncoder|BenchmarkDecoder|BenchmarkFileChunkFraming}"
+PKGS="${BENCH_PKGS:-. ./internal/wire ./internal/cluster}"
 CPU="${BENCH_CPU:-}"
 BASELINE="${BASELINE:-BENCH_baseline.json}"
 RAW="$(mktemp)"

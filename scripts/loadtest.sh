@@ -18,6 +18,9 @@
 #                    cores, sets its throughput ceiling)
 #   LOAD_DURATION    measured steady phase (default 10s)
 #   LOAD_SEED        schedule seed (default 1)
+#   CLUSTER          member count >0 adds the multi-member cluster tier: the
+#                    scaled failover test in check mode, the "cluster" scenario
+#                    in full runs (`make loadtest CLUSTER=3`)
 #   LOAD_P99_PCT     compare: max allowed p99 regression in percent (default 50)
 #   LOAD_RATE_PCT    compare: max allowed statements/sec drop in percent (default 35)
 #   TAIL_BASELINE    baseline path (default BENCH_tail.json)
@@ -39,11 +42,16 @@ SEED="${LOAD_SEED:-1}"
 P99_PCT="${LOAD_P99_PCT:-50}"
 RATE_PCT="${LOAD_RATE_PCT:-35}"
 BASELINE="${TAIL_BASELINE:-BENCH_tail.json}"
+CLUSTER="${CLUSTER:-0}"
 
 check_tier() {
     echo "== scaled-down load tier: fleet + scenario tests"
     go test -run 'TestFleet|TestHist|TestRecorder|TestStats' ./internal/workload/
     go test -run 'TestLoad' ./internal/scenarios/
+    if [ "$CLUSTER" -gt 0 ] 2>/dev/null; then
+        echo "== cluster tier: $CLUSTER-member failover scenario (scaled)"
+        LOAD_CLUSTER="$CLUSTER" go test -run 'TestLoadClusterFailoverSmall' -v ./internal/scenarios/
+    fi
 }
 
 # baseline_field FILE KEY — first record's value of KEY (run metadata).
@@ -61,9 +69,13 @@ run_full() {
         workers="$(baseline_field "$BASELINE" workers)"; workers="${workers:-$WORKERS}"
         seed="$(baseline_field "$BASELINE" seed)"; seed="${seed:-$SEED}"
     fi
-    echo "== load scenarios '$SCENARIOS': population $pop, workers $workers, duration $DURATION, seed $seed"
-    go run ./cmd/experiments -load "$SCENARIOS" -population "$pop" -workers "$workers" \
-        -duration "$DURATION" -seed "$seed" -out "$out"
+    local scen="$SCENARIOS"
+    if [ "$CLUSTER" -gt 0 ] 2>/dev/null; then
+        scen="$scen,cluster"
+    fi
+    echo "== load scenarios '$scen': population $pop, workers $workers, duration $DURATION, seed $seed"
+    go run ./cmd/experiments -load "$scen" -population "$pop" -workers "$workers" \
+        -duration "$DURATION" -seed "$seed" -cluster "$CLUSTER" -out "$out"
 }
 
 # compare_tails OLD NEW — per-scenario p99/statement-rate gate. The
